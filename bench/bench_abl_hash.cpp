@@ -1,0 +1,47 @@
+// Ablation A1: hash-function choice. The consistency condition only needs
+// a well-mixing, agreed-upon H; this bench shows MD5, SHA-1, and the fast
+// splitmix64 mixer produce the same protocol behaviour (discovery time,
+// pinging-set size, check rate) — justifying the benches' use of
+// splitmix64 for speed while the library defaults to MD5.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace avmon;
+
+  stats::TablePrinter table(
+      "Ablation A1: protocol metrics under different hash functions "
+      "(STAT, N=500)");
+  table.setHeader({"hash", "avg discovery s", "avg |PS|", "avg |TS|",
+                   "avg comps/s", "avg memory"});
+
+  for (const char* hashName : {"md5", "sha1", "splitmix64"}) {
+    auto scenario = benchx::figureScenario(churn::Model::kStat, 500, 45);
+    scenario.hashName = hashName;
+    experiments::ScenarioRunner runner(scenario);
+    runner.run();
+
+    stats::Summary ps, ts;
+    for (const auto& nt : runner.schedule().nodes()) {
+      const auto& node = runner.node(nt.id);
+      if (node.memoryEntries() == 0) continue;
+      ps.add(static_cast<double>(node.pingingSet().size()));
+      ts.add(static_cast<double>(node.targetSet().size()));
+    }
+
+    table.addRow({hashName,
+                  stats::TablePrinter::num(
+                      benchx::meanOf(runner.discoveryDelaysSeconds(1)), 2),
+                  stats::TablePrinter::num(ps.mean(), 2),
+                  stats::TablePrinter::num(ts.mean(), 2),
+                  stats::TablePrinter::num(
+                      benchx::meanOf(runner.computationsPerSecond()), 2),
+                  stats::TablePrinter::num(
+                      benchx::meanOf(runner.memoryEntries(false)), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Expected: rows statistically indistinguishable — the "
+               "selection scheme is hash-agnostic given good mixing.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) of the primitives the protocol's
+// per-round cost is built from: hash digests, consistency checks, RNG,
+// and event-queue operations. These back the paper's Section 4.1 CPU
+// estimates (e.g. "1000 hash computations ... take about 0.375 ms").
+#include <benchmark/benchmark.h>
+
+#include "avmon/monitor_selector.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_function.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace avmon;
+
+void BM_Md5PairDigest(benchmark::State& state) {
+  hash::Md5HashFunction fn;
+  const std::uint8_t pair[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn.digest64(pair));
+  }
+}
+BENCHMARK(BM_Md5PairDigest);
+
+void BM_Sha1PairDigest(benchmark::State& state) {
+  hash::Sha1HashFunction fn;
+  const std::uint8_t pair[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn.digest64(pair));
+  }
+}
+BENCHMARK(BM_Sha1PairDigest);
+
+void BM_SplitMixPairDigest(benchmark::State& state) {
+  hash::SplitMix64HashFunction fn;
+  const std::uint8_t pair[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn.digest64(pair));
+  }
+}
+BENCHMARK(BM_SplitMixPairDigest);
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  hash::Md5HashFunction fn;
+  HashMonitorSelector sel(fn, 20, 1000000);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sel.isMonitor(NodeId::fromIndex(i), NodeId::fromIndex(i + 1)));
+    ++i;
+  }
+}
+BENCHMARK(BM_ConsistencyCheck);
+
+void BM_ConsistencyCheckRound(benchmark::State& state) {
+  // One full Figure-2 cross-check at the paper's N=1M setting:
+  // ~2·(cvs+2)² checks with cvs = 32 — the "0.375 ms per round" estimate.
+  hash::Md5HashFunction fn;
+  HashMonitorSelector sel(fn, 20, 1000000);
+  const int cvs = 32;
+  for (auto _ : state) {
+    std::uint64_t matches = 0;
+    for (int u = 0; u < cvs + 2; ++u) {
+      for (int v = 0; v < cvs + 2; ++v) {
+        if (u == v) continue;
+        matches += sel.isMonitor(NodeId::fromIndex(u), NodeId::fromIndex(v));
+        matches += sel.isMonitor(NodeId::fromIndex(v), NodeId::fromIndex(u));
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ConsistencyCheckRound);
+
+void BM_RngDraw(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(27));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_EventQueueCycle(benchmark::State& state) {
+  // Schedule-and-run throughput of the simulator core.
+  sim::Simulator sim;
+  for (auto _ : state) {
+    sim.after(1, [] {});
+    sim.step();
+  }
+  benchmark::DoNotOptimize(sim.executedEvents());
+}
+BENCHMARK(BM_EventQueueCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

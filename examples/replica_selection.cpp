@@ -1,0 +1,99 @@
+// Availability-based replica selection — the motivating application from
+// Godfrey et al. (SIGCOMM 2006) cited in the paper's introduction: with
+// per-node availability histories, "smart" replica placement beats
+// availability-agnostic placement.
+//
+// Uses the replication::place strategies over candidates whose
+// availabilities come from live AVMON monitors in a churned simulation,
+// scoring each placement by its TRUE group availability.
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "replication/replica_planner.hpp"
+#include "stats/table_printer.hpp"
+
+int main() {
+  using namespace avmon;
+
+  experiments::Scenario scenario;
+  scenario.model = churn::Model::kSynth;  // 20%/hour churn
+  scenario.stableSize = 300;
+  scenario.warmup = 30 * kMinute;
+  scenario.horizon = 5 * kHour;
+  scenario.forgetful = false;  // favor estimation accuracy for placement
+  scenario.seed = 99;
+  experiments::ScenarioRunner runner(scenario);
+  runner.run();
+
+  // Candidates carry *queried* availability (what the monitors report);
+  // ground truth is kept aside for scoring.
+  std::vector<replication::Candidate> candidates;
+  std::unordered_map<NodeId, double> truth;
+  for (const auto& nt : runner.schedule().nodes()) {
+    const AvmonNode& node = runner.node(nt.id);
+    double sum = 0;
+    std::size_t reporters = 0;
+    for (const NodeId& m : node.pingingSet()) {
+      if (const auto est = runner.node(m).availabilityEstimateOf(nt.id)) {
+        sum += *est;
+        ++reporters;
+      }
+    }
+    if (reporters == 0) continue;
+    candidates.push_back({nt.id, sum / static_cast<double>(reporters)});
+    truth[nt.id] = nt.availability(scenario.warmup, scenario.horizon);
+  }
+  std::cout << "Candidates with monitored availability: " << candidates.size()
+            << "\n\n";
+
+  const auto trueGroupAvailability =
+      [&](const std::vector<replication::Candidate>& replicas) {
+        std::vector<replication::Candidate> actual;
+        for (const auto& r : replicas) actual.push_back({r.id, truth[r.id]});
+        return replication::groupAvailability(actual);
+      };
+
+  stats::TablePrinter table(
+      "Replica placement: true P(at least one replica up) per strategy");
+  table.setHeader({"replicas R", "most-available", "random-above-bar(0.7)",
+                   "random", "provisioning rule"});
+
+  for (std::size_t r : {1u, 2u, 3u, 5u}) {
+    std::unordered_map<std::string, double> scores;
+    for (replication::Strategy strategy :
+         {replication::Strategy::kMostAvailable,
+          replication::Strategy::kRandomAboveBar,
+          replication::Strategy::kRandom}) {
+      double sum = 0;
+      constexpr int kDraws = 100;
+      Rng rng(7);
+      for (int d = 0; d < kDraws; ++d) {
+        sum += trueGroupAvailability(
+            replication::place(candidates, r, strategy, rng, 0.7));
+      }
+      scores[replication::strategyName(strategy)] = sum / kDraws;
+    }
+    // For context: how many average-availability replicas the closed-form
+    // provisioning rule says you need for 99% group availability.
+    double meanAvail = 0;
+    for (const auto& c : candidates) meanAvail += c.availability;
+    meanAvail /= static_cast<double>(candidates.size());
+    table.addRow({std::to_string(r),
+                  stats::TablePrinter::num(scores["most-available"], 4),
+                  stats::TablePrinter::num(scores["random-above-bar"], 4),
+                  stats::TablePrinter::num(scores["random"], 4),
+                  "r(0.99)=" + std::to_string(replication::replicasNeeded(
+                                   meanAvail, 0.99))});
+  }
+  table.print(std::cout);
+  std::cout
+      << "Availability-informed placement beats random once R >= 2. Note "
+         "the R=1 winner's curse: argmax over noisy estimates can pick a "
+         "briefly-observed node whose few pings were all answered — the "
+         "random-above-bar strategy is robust to it, which is exactly why "
+         "Godfrey et al. recommend randomized choice among good-enough "
+         "candidates over strict argmax.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/table1.hpp"
+
+#include <cmath>
+
+#include "analysis/formulas.hpp"
+#include "avmon/config.hpp"
+
+namespace avmon::analysis {
+namespace {
+
+Table1Row avmonRow(const std::string& name, std::size_t cvs, std::size_t n,
+                   const std::string& mAsym, const std::string& dAsym,
+                   const std::string& cAsym) {
+  Table1Row row;
+  row.approach = name;
+  row.memoryAsymptotic = mAsym;
+  row.discoveryAsymptotic = dAsym;
+  row.computeAsymptotic = cAsym;
+  row.memoryEntries = static_cast<double>(cvs);
+  row.discoveryRounds = expectedDiscoveryRounds(cvs, n);
+  // Figure-2 cross-check: both orientations over ~(cvs+2)² pairs; we report
+  // the paper's leading term cvs².
+  row.computationsPerRound = static_cast<double>(cvs) * static_cast<double>(cvs);
+  return row;
+}
+
+}  // namespace
+
+std::vector<Table1Row> table1(std::size_t n, std::size_t genericCvs) {
+  std::vector<Table1Row> rows;
+
+  Table1Row broadcast;
+  broadcast.approach = "Broadcast (AVCast)";
+  broadcast.memoryAsymptotic = "O(N)";
+  broadcast.discoveryAsymptotic = "O(log N)";
+  broadcast.computeAsymptotic = "one-time";
+  broadcast.memoryEntries = static_cast<double>(n);
+  broadcast.discoveryRounds = std::log2(static_cast<double>(n));
+  broadcast.computationsPerRound = 0;  // join-time only
+  rows.push_back(broadcast);
+
+  rows.push_back(avmonRow("AVMON generic cvs", genericCvs, n, "O(cvs)",
+                          "1/(1-e^{-cvs^2/N})", "O(cvs^2)"));
+  rows.push_back(avmonRow("AVMON cvs=log N",
+                          cvsForVariant(CvsVariant::kLogN, n), n, "O(log N)",
+                          "N/log^2 N", "O(log^2 N)"));
+  rows.push_back(avmonRow("AVMON Optimal-MD", cvsOptimalMD(n), n,
+                          "O((2N)^{1/3})", "(2N)^{1/3}", "O((2N)^{2/3})"));
+  rows.push_back(avmonRow("AVMON Optimal-MDC/DC", cvsOptimalMDC(n), n,
+                          "O(N^{1/4})", "sqrt(N)", "O(sqrt(N))"));
+  return rows;
+}
+
+}  // namespace avmon::analysis

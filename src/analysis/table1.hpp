@@ -1,0 +1,27 @@
+// Table 1 of the paper: asymptotic and concrete M/D/C comparison of the
+// Broadcast baseline and the AVMON variants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace avmon::analysis {
+
+/// One row: an approach and its three costs, both as the paper's
+/// asymptotic strings and as concrete values at a given N.
+struct Table1Row {
+  std::string approach;
+  std::string memoryAsymptotic;     ///< memory & per-round bandwidth (M)
+  std::string discoveryAsymptotic;  ///< expected discovery time (D)
+  std::string computeAsymptotic;    ///< computations per round (C)
+  double memoryEntries = 0;         ///< concrete M at the chosen N
+  double discoveryRounds = 0;       ///< concrete E[D] at the chosen N
+  double computationsPerRound = 0;  ///< concrete C at the chosen N
+};
+
+/// Builds the five rows of Table 1 evaluated at system size n:
+/// Broadcast, AVMON generic (cvs given), cvs=log N, Optimal-MD, Optimal-MDC/DC.
+std::vector<Table1Row> table1(std::size_t n, std::size_t genericCvs);
+
+}  // namespace avmon::analysis

@@ -1,0 +1,90 @@
+#include "avmon/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace avmon {
+
+std::string shufflePolicyName(ShufflePolicy p) {
+  switch (p) {
+    case ShufflePolicy::kUnionSample: return "union-sample";
+    case ShufflePolicy::kSwap: return "swap";
+  }
+  throw std::logic_error("unreachable: bad ShufflePolicy");
+}
+
+std::string variantName(CvsVariant v) {
+  switch (v) {
+    case CvsVariant::kLogN: return "logN";
+    case CvsVariant::kOptimalMD: return "MD";
+    case CvsVariant::kOptimalMDC: return "MDC";
+    case CvsVariant::kOptimalDC: return "DC";
+    case CvsVariant::kPaperEval: return "4*MDC";
+  }
+  throw std::logic_error("unreachable: bad CvsVariant");
+}
+
+std::size_t cvsForVariant(CvsVariant v, std::size_t n) {
+  const double nd = static_cast<double>(n);
+  double cvs = 0;
+  switch (v) {
+    case CvsVariant::kLogN:
+      cvs = std::log2(nd);
+      break;
+    case CvsVariant::kOptimalMD:
+      cvs = std::cbrt(2.0 * nd);
+      break;
+    case CvsVariant::kOptimalMDC:
+    case CvsVariant::kOptimalDC:
+      cvs = std::pow(nd, 0.25);
+      break;
+    case CvsVariant::kPaperEval:
+      cvs = 4.0 * std::pow(nd, 0.25);
+      break;
+  }
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::llround(cvs)));
+}
+
+unsigned defaultK(std::size_t n) {
+  return std::max(1u, static_cast<unsigned>(
+                          std::llround(std::log2(static_cast<double>(n)))));
+}
+
+AvmonConfig AvmonConfig::paperDefaults(std::size_t n) {
+  return forVariant(CvsVariant::kPaperEval, n);
+}
+
+AvmonConfig AvmonConfig::forVariant(CvsVariant v, std::size_t n) {
+  AvmonConfig cfg;
+  cfg.systemSize = n;
+  cfg.k = defaultK(n);
+  cfg.cvs = cvsForVariant(v, n);
+  cfg.protocolPeriod = kMinute;
+  cfg.monitoringPeriod = kMinute;
+  cfg.forgetful = ForgetfulConfig{};
+  cfg.validate();
+  return cfg;
+}
+
+void AvmonConfig::validate() const {
+  if (systemSize < 2)
+    throw std::invalid_argument("AvmonConfig: systemSize must be >= 2");
+  if (k < 1) throw std::invalid_argument("AvmonConfig: k must be >= 1");
+  if (cvs < 1) throw std::invalid_argument("AvmonConfig: cvs must be >= 1");
+  if (protocolPeriod <= 0)
+    throw std::invalid_argument("AvmonConfig: protocolPeriod must be > 0");
+  if (monitoringPeriod <= 0)
+    throw std::invalid_argument("AvmonConfig: monitoringPeriod must be > 0");
+  if (forgetful.tau < 0)
+    throw std::invalid_argument("AvmonConfig: forgetful.tau must be >= 0");
+  if (forgetful.c <= 0)
+    throw std::invalid_argument("AvmonConfig: forgetful.c must be > 0");
+  if (forgetful.ewmaAlpha <= 0.0 || forgetful.ewmaAlpha > 1.0)
+    throw std::invalid_argument(
+        "AvmonConfig: forgetful.ewmaAlpha must be in (0,1]");
+  if (bytesPerEntry == 0 || pingBytes == 0)
+    throw std::invalid_argument("AvmonConfig: byte sizes must be > 0");
+}
+
+}  // namespace avmon

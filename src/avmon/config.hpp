@@ -1,0 +1,102 @@
+// AVMON protocol configuration and the optimal coarse-view-size variants.
+//
+// The coarse view size cvs controls the tradeoff analyzed in paper
+// Section 4.2: memory/bandwidth M = O(cvs), expected discovery time
+// D ≈ N/cvs², computation C = O(cvs²) per round. The derived optima:
+//
+//   Optimal-MD   cvs = ∛(2N)   minimizes M + D
+//   Optimal-MDC  cvs = ⁴√N     minimizes M + C + D
+//   Optimal-DC   cvs = ⁴√N     minimizes C + D (same optimum as MDC)
+//
+// The paper's experiments run cvs = 4·⁴√N ("a factor of 4 above
+// cvs_Optimal-MDC for performance reasons"), K = log2(N), 1-minute protocol
+// and monitoring periods, and forgetful pinging with τ = 2 min, c = 1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace avmon {
+
+/// Which analytic cvs rule to apply.
+enum class CvsVariant {
+  kLogN,       ///< cvs = log2 N (Table 1 row 3)
+  kOptimalMD,  ///< cvs = ∛(2N)
+  kOptimalMDC, ///< cvs = ⁴√N
+  kOptimalDC,  ///< cvs = ⁴√N (same as MDC)
+  kPaperEval,  ///< cvs = 4·⁴√N (the evaluation's default setting)
+};
+
+/// Name for reports ("logN", "MD", "MDC", "DC", "4*MDC").
+std::string variantName(CvsVariant v);
+
+/// How a node rebuilds its coarse view after fetching CV(w) (Figure 2's
+/// last step vs. the CYCLON-style alternative from related work §2).
+enum class ShufflePolicy {
+  /// The paper's rule: CV(x) := cvs random entries of CV(x) ∪ CV(w) ∪ {w}.
+  /// Simple, but *copies* entries: pointer counts random-walk, so static
+  /// systems slowly develop indegree skew (the Figure-19 STAT tail).
+  kUnionSample,
+  /// CYCLON-style swap: x and w exchange half their views; pointers are
+  /// conserved (moved, never copied), so indegree stays balanced.
+  kSwap,
+};
+
+std::string shufflePolicyName(ShufflePolicy p);
+
+/// Computes cvs for a variant at system size n (rounded, min 2).
+std::size_t cvsForVariant(CvsVariant v, std::size_t n);
+
+/// Default K = log2(N) rounded, min 1 (paper Section 5 setting 3).
+unsigned defaultK(std::size_t n);
+
+/// Forgetful-pinging knobs (paper Section 3.3).
+struct ForgetfulConfig {
+  bool enabled = true;
+  SimDuration tau = 2 * kMinute;  ///< downtime threshold before decaying
+  double c = 1.0;                 ///< expected pings per PS member between joins
+  /// Use an exponentially averaged session length as ts(u) instead of the
+  /// last observed one (the paper's "alternatively, this could be
+  /// exponentially averaged"). Smooths one-off long sessions.
+  bool ewmaSessionLength = false;
+  double ewmaAlpha = 0.5;  ///< weight of the newest session in the average
+};
+
+/// Full per-node protocol configuration.
+struct AvmonConfig {
+  std::size_t systemSize = 1000;       ///< N, the a-priori stable size
+  unsigned k = 10;                     ///< expected pinging-set size K
+  std::size_t cvs = 23;                ///< max coarse view entries
+  SimDuration protocolPeriod = kMinute;    ///< T (Figure 2 cadence)
+  SimDuration monitoringPeriod = kMinute;  ///< TA (monitoring ping cadence)
+  ForgetfulConfig forgetful;
+  bool pr2 = false;  ///< Section 5.4 "PR2" re-advertisement optimization
+
+  /// Coarse-view reshuffle rule (see ShufflePolicy).
+  ShufflePolicy shuffle = ShufflePolicy::kUnionSample;
+
+  /// Suppress repeated NOTIFYs for pairs this node has already reported.
+  /// Figure 2 as written re-notifies every match on every fetch; NOTIFY is
+  /// idempotent at the receiver, so any real implementation remembers what
+  /// it already sent. Disable to measure the naive protocol.
+  bool notifyDedup = true;
+
+  /// Message-size accounting, paper Section 5.1: 8 B per coarse view entry
+  /// and 8 B per ping message.
+  std::size_t bytesPerEntry = 8;
+  std::size_t pingBytes = 8;
+
+  /// Builds the paper's default evaluation configuration for size n:
+  /// cvs = 4·⁴√N, K = log2 N, T = TA = 1 min, forgetful(τ=2min, c=1).
+  static AvmonConfig paperDefaults(std::size_t n);
+
+  /// Builds a configuration using a specific analytic variant for cvs.
+  static AvmonConfig forVariant(CvsVariant v, std::size_t n);
+
+  /// Throws std::invalid_argument if any field is out of range.
+  void validate() const;
+};
+
+}  // namespace avmon

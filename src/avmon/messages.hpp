@@ -1,0 +1,36 @@
+// Wire messages of the AVMON protocol (carried as std::any payloads over
+// the simulated network). Sizes below follow the paper's accounting: 8 B
+// per ping, 8 B per coarse-view entry, and ids are 6 B on the wire.
+#pragma once
+
+#include "common/node_id.hpp"
+
+namespace avmon {
+
+/// Figure 1: JOIN(x, c) — origin x asks receivers to add it to their
+/// coarse views and split-forward the remaining weight.
+struct JoinMessage {
+  NodeId origin;
+  int weight = 0;
+
+  static constexpr std::size_t kBytes = 12;  // 6 B id + 4 B weight + header
+};
+
+/// Figure 2: NOTIFY(u, v) — some node discovered that u ∈ PS(v), i.e. u
+/// should monitor v. Sent to both u and v, who re-verify before acting.
+struct NotifyMessage {
+  NodeId monitor;  ///< u: the node that satisfies the consistency condition
+  NodeId target;   ///< v: the node to be monitored
+
+  static constexpr std::size_t kBytes = 16;  // two 6 B ids + header
+};
+
+/// Section 5.4 "PR2": a node that went unpinged for two monitoring periods
+/// forces itself back into the coarse views of its own CV members.
+struct ForceAddMessage {
+  NodeId origin;
+
+  static constexpr std::size_t kBytes = 10;  // 6 B id + header
+};
+
+}  // namespace avmon

@@ -1,0 +1,57 @@
+#include "avmon/monitor_selector.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace avmon {
+namespace {
+
+std::uint64_t packId(const NodeId& id) noexcept {
+  return (static_cast<std::uint64_t>(id.ip()) << 16) | id.port();
+}
+
+}  // namespace
+
+HashMonitorSelector::HashMonitorSelector(const hash::HashFunction& hash,
+                                         unsigned k, std::size_t systemSize)
+    : hash_(hash), k_(k), systemSize_(systemSize) {
+  if (k_ < 1) throw std::invalid_argument("HashMonitorSelector: K must be >= 1");
+  if (systemSize_ < 2)
+    throw std::invalid_argument("HashMonitorSelector: N must be >= 2");
+  threshold_ =
+      static_cast<double>(k_) / static_cast<double>(systemSize_);
+}
+
+double HashMonitorSelector::hashPoint(const NodeId& observer,
+                                      const NodeId& target) const {
+  // 12-byte message: observer id then target id, matching the paper's
+  // H(y, x) with y the (candidate) monitor.
+  std::array<std::uint8_t, 2 * NodeId::kWireSize> buf;
+  const auto yb = observer.toBytes();
+  const auto xb = target.toBytes();
+  std::copy(yb.begin(), yb.end(), buf.begin());
+  std::copy(xb.begin(), xb.end(), buf.begin() + NodeId::kWireSize);
+  return hash_.normalized(buf);
+}
+
+bool HashMonitorSelector::isMonitor(const NodeId& observer,
+                                    const NodeId& target) const {
+  if (observer == target) return false;
+  return hashPoint(observer, target) <= threshold_;
+}
+
+std::string HashMonitorSelector::describe() const {
+  return "hash(" + hash_.name() + "), K=" + std::to_string(k_) +
+         ", N=" + std::to_string(systemSize_);
+}
+
+bool MemoizedMonitorSelector::isMonitor(const NodeId& observer,
+                                        const NodeId& target) const {
+  const auto key = std::make_pair(packId(observer), packId(target));
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const bool verdict = inner_.isMonitor(observer, target);
+  cache_.emplace(key, verdict);
+  return verdict;
+}
+
+}  // namespace avmon

@@ -1,0 +1,105 @@
+// Monitor selection: who is allowed to monitor whom.
+//
+// AVMON's discovery protocol works with *any* consistent and verifiable
+// selection scheme (paper Section 3.2); the scheme itself is pluggable
+// behind MonitorSelector. The paper's concrete scheme (Section 3.1,
+// borrowed from AVCast) is the hash condition
+//
+//     y ∈ PS(x)  ⇔  H(y ‖ x) ≤ K/N
+//
+// over the 6-byte wire encodings of the two node ids, giving an expected
+// K monitors per node, chosen consistently, verifiably, and uniformly at
+// random.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/node_id.hpp"
+#include "hash/hash_function.hpp"
+
+namespace avmon {
+
+/// Decides the monitoring relation. Implementations must be deterministic
+/// (same answer forever — the Consistency property) and computable by any
+/// third party from the two ids alone (the Verifiability property).
+class MonitorSelector {
+ public:
+  virtual ~MonitorSelector() = default;
+
+  /// True iff `observer` ∈ PS(`target`), i.e. observer monitors target.
+  /// Never true when observer == target (self-monitoring is the
+  /// self-reporting anti-pattern AVMON exists to avoid).
+  virtual bool isMonitor(const NodeId& observer, const NodeId& target) const = 0;
+
+  /// For reports.
+  virtual std::string describe() const = 0;
+};
+
+/// The paper's hash-based selection scheme.
+class HashMonitorSelector final : public MonitorSelector {
+ public:
+  /// `k` is the expected pinging-set size (paper: K = log2 N);
+  /// `systemSize` is the a-priori stable size N. Requires k >= 1,
+  /// systemSize >= 2, hash outliving this object.
+  HashMonitorSelector(const hash::HashFunction& hash, unsigned k,
+                      std::size_t systemSize);
+
+  bool isMonitor(const NodeId& observer, const NodeId& target) const override;
+  std::string describe() const override;
+
+  unsigned k() const noexcept { return k_; }
+  std::size_t systemSize() const noexcept { return systemSize_; }
+
+  /// The normalized hash H(observer ‖ target) in [0,1) — exposed so tests
+  /// can validate uniformity and the threshold comparison.
+  double hashPoint(const NodeId& observer, const NodeId& target) const;
+
+  /// The decision threshold K/N.
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  const hash::HashFunction& hash_;
+  unsigned k_;
+  std::size_t systemSize_;
+  double threshold_;
+};
+
+/// Memoizing decorator: caches pair verdicts so repeated consistency checks
+/// across millions of simulated rounds don't recompute MD5. Protocol-level
+/// computation metrics are counted by the *nodes* per check performed, so
+/// memoization is invisible to the measured results. Not thread-safe (the
+/// simulator is single-threaded).
+class MemoizedMonitorSelector final : public MonitorSelector {
+ public:
+  explicit MemoizedMonitorSelector(const MonitorSelector& inner)
+      : inner_(inner) {}
+
+  bool isMonitor(const NodeId& observer, const NodeId& target) const override;
+  std::string describe() const override {
+    return inner_.describe() + " (memoized)";
+  }
+
+  std::size_t cacheSize() const noexcept { return cache_.size(); }
+
+ private:
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
+      // splitmix-style combine of the two 48-bit identities.
+      std::uint64_t x = p.first * 0x9E3779B97F4A7C15ULL ^ p.second;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  const MonitorSelector& inner_;
+  mutable std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, bool,
+                             PairHash>
+      cache_;
+};
+
+}  // namespace avmon

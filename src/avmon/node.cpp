@@ -1,0 +1,396 @@
+#include "avmon/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace avmon {
+
+AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
+                     const MonitorSelector& selector, sim::Simulator& sim,
+                     sim::Network& net, BootstrapFn bootstrap, Rng rng)
+    : id_(id),
+      config_(std::move(config)),
+      selector_(selector),
+      sim_(sim),
+      net_(net),
+      bootstrap_(std::move(bootstrap)),
+      rng_(std::move(rng)) {
+  config_.validate();
+  net_.attach(id_, *this);
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+void AvmonNode::join(bool firstJoin) {
+  if (alive_) return;
+  alive_ = true;
+  ++epoch_;
+  net_.setUp(id_, true);
+  sessionStartTime_ = sim_.now();
+  if (firstJoinTime_ < 0) firstJoinTime_ = sim_.now();
+
+  // Figure 1: pick a random node; send JOIN with weight cvs on birth, or
+  // min(cvs, downtime in protocol periods) on rejoin; inherit its view.
+  int weight = static_cast<int>(config_.cvs);
+  if (!firstJoin && lastLeaveTime_ >= 0) {
+    const auto periodsDown = static_cast<int>(
+        (sim_.now() - lastLeaveTime_) / config_.protocolPeriod);
+    weight = std::min(weight, std::max(periodsDown, 1));
+  }
+
+  const NodeId contact = bootstrap_ ? bootstrap_(id_) : NodeId{};
+  if (!contact.isNil()) {
+    net_.send(id_, contact, JoinMessage{id_, weight}, JoinMessage::kBytes);
+
+    // "Inherit view from this random node": fetch its coarse view to seed
+    // ours (charged like a regular view fetch).
+    if (auto* ep = net_.rpc(id_, contact, config_.pingBytes,
+                            config_.bytesPerEntry * config_.cvs)) {
+      auto& other = static_cast<AvmonNode&>(*ep);
+      std::vector<NodeId> seed = other.coarseView();
+      seed.push_back(contact);
+      rng_.shuffle(seed);
+      for (const NodeId& n : seed) addToCoarseView(n);
+    }
+  }
+
+  // Start the two periodic tasks with a random phase so nodes run
+  // asynchronously (paper: periods fixed, execution unsynchronized).
+  const std::uint64_t epochAtStart = epoch_;
+  sim_.every(sim_.now() + static_cast<SimDuration>(
+                              rng_.below(static_cast<std::uint64_t>(
+                                  config_.protocolPeriod))),
+             config_.protocolPeriod, [this, epochAtStart] {
+               if (!alive_ || epoch_ != epochAtStart) return false;
+               protocolTick();
+               return true;
+             });
+  sim_.every(sim_.now() + static_cast<SimDuration>(
+                              rng_.below(static_cast<std::uint64_t>(
+                                  config_.monitoringPeriod))),
+             config_.monitoringPeriod, [this, epochAtStart] {
+               if (!alive_ || epoch_ != epochAtStart) return false;
+               monitoringTick();
+               return true;
+             });
+}
+
+void AvmonNode::leave() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;  // cancels the periodic timers at their next firing
+  lastLeaveTime_ = sim_.now();
+  net_.setUp(id_, false);
+}
+
+// -------------------------------------------------------------- coarse view
+
+bool AvmonNode::addToCoarseView(const NodeId& id) {
+  if (id == id_ || id.isNil() || cvIndex_.contains(id)) return false;
+  if (cv_.size() >= config_.cvs) {
+    // Evict a uniformly random entry to stay within the cvs bound while
+    // keeping the view a random subset.
+    const std::size_t victim = rng_.index(cv_.size());
+    cvIndex_.erase(cv_[victim]);
+    cv_[victim] = id;
+  } else {
+    cv_.push_back(id);
+  }
+  cvIndex_.insert(id);
+  return true;
+}
+
+// ----------------------------------------------------------------- messages
+
+void AvmonNode::onMessage(const NodeId& /*from*/, const std::any& payload) {
+  if (!alive_) return;
+  if (const auto* join = std::any_cast<JoinMessage>(&payload)) {
+    handleJoin(*join);
+  } else if (const auto* notify = std::any_cast<NotifyMessage>(&payload)) {
+    handleNotify(*notify);
+  } else if (const auto* force = std::any_cast<ForceAddMessage>(&payload)) {
+    handleForceAdd(*force);
+  }
+}
+
+void AvmonNode::handleJoin(const JoinMessage& msg) {
+  // Figure 1, receiver side.
+  int weight = msg.weight;
+  if (weight <= 0 || msg.origin == id_) return;
+  ++metrics_.joinsReceived;
+  if (!cvIndex_.contains(msg.origin)) {
+    addToCoarseView(msg.origin);
+    ++metrics_.joinAdds;
+    --weight;
+  }
+  if (weight <= 0 || cv_.empty()) return;
+
+  const int low = weight / 2;
+  const int high = weight - low;
+  if (high > 0) {
+    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, high},
+              JoinMessage::kBytes);
+    ++metrics_.joinsForwarded;
+  }
+  if (low > 0) {
+    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, low},
+              JoinMessage::kBytes);
+    ++metrics_.joinsForwarded;
+  }
+}
+
+void AvmonNode::handleNotify(const NotifyMessage& msg) {
+  // Section 3.3: re-check the consistency condition before trusting the
+  // notification (a selfish node could forge NOTIFYs for its colluders).
+  if (msg.target == id_ && msg.monitor != id_) {
+    if (!ps_.contains(msg.monitor) && checkCondition(msg.monitor, id_)) {
+      ps_.insert(msg.monitor);
+      psDiscoveryTimes_.push_back(sim_.now());
+    }
+  }
+  if (msg.monitor == id_ && msg.target != id_) {
+    if (!ts_.contains(msg.target) && checkCondition(id_, msg.target)) {
+      TargetRecord rec;
+      rec.history = std::make_unique<history::RawHistory>();
+      ts_.emplace(msg.target, std::move(rec));
+    }
+  }
+}
+
+void AvmonNode::handleForceAdd(const ForceAddMessage& msg) {
+  addToCoarseView(msg.origin);
+}
+
+// ------------------------------------------------------------ protocol tick
+
+bool AvmonNode::checkCondition(const NodeId& u, const NodeId& v) {
+  ++metrics_.hashChecks;
+  return selector_.isMonitor(u, v);
+}
+
+void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
+                              const std::vector<NodeId>& theirs) {
+  // Check every ordered cross pair (u,v), u≠v, in both directions, sending
+  // NOTIFY(u,v) to u and v whenever "u monitors v" holds. Duplicate pairs
+  // (nodes present in both views) are filtered via a local set so each
+  // unordered pair is evaluated once per fetch, in both orientations.
+  std::unordered_set<std::uint64_t> seen;
+  const auto pairKey = [](const NodeId& a, const NodeId& b) {
+    const std::uint64_t x = (static_cast<std::uint64_t>(a.ip()) << 16) | a.port();
+    const std::uint64_t y = (static_cast<std::uint64_t>(b.ip()) << 16) | b.port();
+    return splitmix64Mix(std::min(x, y)) ^ std::max(x, y);
+  };
+
+  for (const NodeId& u : mine) {
+    for (const NodeId& v : theirs) {
+      if (u == v) continue;
+      if (!seen.insert(pairKey(u, v)).second) continue;
+      for (const auto& [mon, tgt] : {std::pair{u, v}, std::pair{v, u}}) {
+        if (checkCondition(mon, tgt)) {
+          if (config_.notifyDedup &&
+              !notifiedPairs_
+                   .insert(splitmix64Mix(pairKey(mon, tgt)) ^
+                           std::hash<NodeId>{}(mon))
+                   .second) {
+            continue;  // this node already told both parties
+          }
+          net_.send(id_, mon, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
+          net_.send(id_, tgt, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
+          metrics_.notifiesSent += 2;
+        }
+      }
+    }
+  }
+}
+
+void AvmonNode::reshuffleCoarseView(const std::vector<NodeId>& fetched,
+                                    const NodeId& w) {
+  std::vector<NodeId> pool = cv_;
+  pool.insert(pool.end(), fetched.begin(), fetched.end());
+  pool.push_back(w);
+
+  rng_.shuffle(pool);
+  cv_.clear();
+  cvIndex_.clear();
+  for (const NodeId& n : pool) {
+    if (cv_.size() >= config_.cvs) break;
+    if (n == id_ || n.isNil() || cvIndex_.contains(n)) continue;
+    cv_.push_back(n);
+    cvIndex_.insert(n);
+  }
+}
+
+void AvmonNode::protocolTick() {
+  // Step 1: liveness-probe one random coarse view entry.
+  if (!cv_.empty()) {
+    const std::size_t zi = rng_.index(cv_.size());
+    const NodeId z = cv_[zi];
+    auto* ep = net_.rpc(id_, z, config_.pingBytes, config_.pingBytes);
+    if (ep == nullptr) {
+      cvIndex_.erase(z);
+      cv_.erase(cv_.begin() + static_cast<std::ptrdiff_t>(zi));
+    }
+  }
+
+  // PR2 (Section 5.4): if nobody has monitoring-pinged us for two
+  // successive periods, re-advertise ourselves to our CV members. This is
+  // how indegree-starved nodes (never discovered, so never pinged) pull
+  // themselves back into circulation; the baseline is the session start so
+  // a freshly joined node waits two full periods before crying.
+  const SimTime pingBaseline =
+      std::max(lastMonitoringPingReceived_, sessionStartTime_);
+  if (config_.pr2 &&
+      sim_.now() - pingBaseline > 2 * config_.monitoringPeriod) {
+    for (const NodeId& n : cv_) {
+      net_.send(id_, n, ForceAddMessage{id_}, ForceAddMessage::kBytes);
+    }
+  }
+
+  // Step 2: fetch the coarse view of a random alive member w.
+  if (cv_.empty()) return;
+  const NodeId w = cv_[rng_.index(cv_.size())];
+  auto* ep = net_.rpc(id_, w, config_.pingBytes,
+                      config_.bytesPerEntry * (cv_.size() + 1));
+  if (ep == nullptr) return;  // w was down; try again next period
+  ++metrics_.cvFetches;
+
+  const std::vector<NodeId> fetched = static_cast<AvmonNode&>(*ep).coarseView();
+
+  // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
+  std::vector<NodeId> mine = cv_;
+  mine.push_back(id_);
+  if (!cvIndex_.contains(w)) mine.push_back(w);
+  std::vector<NodeId> theirs = fetched;
+  theirs.push_back(id_);
+  theirs.push_back(w);
+  discoverPairs(mine, theirs);
+
+  // Step 4: reshuffle the coarse view.
+  if (config_.shuffle == ShufflePolicy::kSwap) {
+    const std::size_t half = std::max<std::size_t>(1, cv_.size() / 2);
+    auto* swapEp = net_.rpc(id_, w, config_.bytesPerEntry * half,
+                            config_.bytesPerEntry * half);
+    if (swapEp != nullptr) reshuffleBySwap(w, static_cast<AvmonNode&>(*swapEp));
+  } else {
+    reshuffleCoarseView(fetched, w);
+  }
+}
+
+std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
+  std::vector<NodeId> taken;
+  taken.reserve(std::min(count, cv_.size()));
+  while (taken.size() < count && !cv_.empty()) {
+    const std::size_t idx = rng_.index(cv_.size());
+    taken.push_back(cv_[idx]);
+    cvIndex_.erase(cv_[idx]);
+    cv_[idx] = cv_.back();
+    cv_.pop_back();
+  }
+  return taken;
+}
+
+void AvmonNode::reshuffleBySwap(const NodeId& w, AvmonNode& other) {
+  const std::size_t half = std::max<std::size_t>(1, cv_.size() / 2);
+  const std::vector<NodeId> offer = takeRandomEntries(half);
+  const std::vector<NodeId> received = other.acceptExchange(id_, offer);
+  for (const NodeId& n : received) addToCoarseView(n);
+  // Like CYCLON, the initiator also refreshes its pointer to the peer.
+  addToCoarseView(w);
+}
+
+std::vector<NodeId> AvmonNode::acceptExchange(
+    const NodeId& /*from*/, const std::vector<NodeId>& offered) {
+  std::vector<NodeId> given = takeRandomEntries(offered.size());
+  for (const NodeId& n : offered) addToCoarseView(n);
+  return given;
+}
+
+// ---------------------------------------------------------------- monitoring
+
+void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
+  ++metrics_.monitoringPingsSent;
+  auto* ep = net_.rpc(id_, target, config_.pingBytes, config_.pingBytes);
+  const SimTime now = sim_.now();
+  const bool up = ep != nullptr && static_cast<AvmonNode&>(*ep).acceptMonitoringPing();
+  rec.history->record(now, up);
+
+  if (up) {
+    if (rec.downSince >= 0 || rec.sessionStart < 0) rec.sessionStart = now;
+    rec.downSince = -1;
+  } else {
+    ++metrics_.uselessPings;
+    if (rec.downSince < 0) {
+      // Transition up -> down: close the observed session, remember ts(u).
+      if (rec.sessionStart >= 0) {
+        rec.lastSessionLength = std::max<SimDuration>(
+            now - rec.sessionStart, config_.monitoringPeriod);
+        const double alpha = config_.forgetful.ewmaAlpha;
+        rec.ewmaSessionLength =
+            rec.ewmaSessionLength <= 0
+                ? static_cast<double>(rec.lastSessionLength)
+                : alpha * static_cast<double>(rec.lastSessionLength) +
+                      (1.0 - alpha) * rec.ewmaSessionLength;
+      }
+      rec.downSince = now;
+    }
+  }
+}
+
+void AvmonNode::monitoringTick() {
+  const SimTime now = sim_.now();
+  for (auto& [target, rec] : ts_) {
+    const bool longDead =
+        config_.forgetful.enabled && rec.downSince >= 0 &&
+        (now - rec.downSince) > config_.forgetful.tau;
+    if (longDead) {
+      // Forgetful pinging: ping with probability c·ts/(ts + t) so the
+      // target still receives an expected c pings from each monitor
+      // between two successive joins.
+      const double observed =
+          config_.forgetful.ewmaSessionLength && rec.ewmaSessionLength > 0
+              ? rec.ewmaSessionLength
+              : static_cast<double>(rec.lastSessionLength);
+      const double ts =
+          std::max(observed, static_cast<double>(config_.monitoringPeriod));
+      const double t = static_cast<double>(now - rec.downSince);
+      if (!rng_.chance(config_.forgetful.c * ts / (ts + t))) {
+        ++metrics_.forgetfulSuppressed;
+        continue;
+      }
+    }
+    pingTarget(target, rec);
+  }
+}
+
+bool AvmonNode::acceptMonitoringPing() {
+  lastMonitoringPingReceived_ = sim_.now();
+  return true;
+}
+
+// ------------------------------------------------------------------- queries
+
+std::optional<SimDuration> AvmonNode::discoveryDelay(std::size_t k) const {
+  if (k == 0 || k > psDiscoveryTimes_.size() || firstJoinTime_ < 0)
+    return std::nullopt;
+  return psDiscoveryTimes_[k - 1] - firstJoinTime_;
+}
+
+std::vector<NodeId> AvmonNode::reportMonitors(std::size_t l) const {
+  std::vector<NodeId> out;
+  out.reserve(std::min(l, ps_.size()));
+  for (const NodeId& m : ps_) {
+    if (out.size() >= l) break;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::optional<double> AvmonNode::availabilityEstimateOf(
+    const NodeId& target) const {
+  const auto it = ts_.find(target);
+  if (it == ts_.end()) return std::nullopt;
+  if (overreporting_) return 1.0;
+  return it->second.history->estimate();
+}
+
+}  // namespace avmon

@@ -1,0 +1,61 @@
+#include "baselines/broadcast.hpp"
+
+namespace avmon::baselines {
+
+BroadcastNode::BroadcastNode(NodeId id, const MonitorSelector& selector,
+                             sim::Simulator& sim, sim::Network& net,
+                             DirectoryFn directory)
+    : id_(id),
+      selector_(selector),
+      sim_(sim),
+      net_(net),
+      directory_(std::move(directory)) {
+  net_.attach(id_, *this);
+}
+
+void BroadcastNode::join() {
+  if (alive_) return;
+  alive_ = true;
+  net_.setUp(id_, true);
+  if (firstJoinTime_ < 0) firstJoinTime_ = sim_.now();
+
+  // O(N) join cost: announce to everyone, and learn everyone.
+  for (const NodeId& peer : directory_()) {
+    if (peer == id_) continue;
+    members_.insert(peer);
+    net_.send(id_, peer, PresenceMessage{id_}, PresenceMessage::kBytes);
+    considerPeer(peer);
+  }
+}
+
+void BroadcastNode::leave() {
+  if (!alive_) return;
+  alive_ = false;
+  net_.setUp(id_, false);
+}
+
+void BroadcastNode::considerPeer(const NodeId& peer) {
+  // Both orientations of the consistency condition against the peer.
+  ++hashChecks_;
+  if (selector_.isMonitor(peer, id_) && ps_.insert(peer).second) {
+    if (firstMonitorTime_ < 0) firstMonitorTime_ = sim_.now();
+  }
+  ++hashChecks_;
+  if (selector_.isMonitor(id_, peer)) ts_.insert(peer);
+}
+
+void BroadcastNode::onMessage(const NodeId& /*from*/, const std::any& payload) {
+  if (!alive_) return;
+  if (const auto* presence = std::any_cast<PresenceMessage>(&payload)) {
+    if (presence->origin == id_) return;
+    members_.insert(presence->origin);
+    considerPeer(presence->origin);
+  }
+}
+
+std::optional<SimDuration> BroadcastNode::firstMonitorDelay() const {
+  if (firstMonitorTime_ < 0 || firstJoinTime_ < 0) return std::nullopt;
+  return firstMonitorTime_ - firstJoinTime_;
+}
+
+}  // namespace avmon::baselines

@@ -1,0 +1,89 @@
+// Broadcast baseline: the discovery scheme of AVCast [11], which the paper
+// compares against in Table 1.
+//
+// Every (re)joining node broadcasts its presence to every node in the
+// system. Each receiver checks the consistency condition against the
+// joiner in both directions and installs any monitoring relation
+// immediately. Discovery is near-instant (one broadcast latency) but the
+// join costs O(N) messages and every node needs a full membership list —
+// exactly the M = O(N) row of Table 1.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "avmon/monitor_selector.hpp"
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::baselines {
+
+/// Returns the full current membership (alive nodes). Models the complete
+/// membership graph AVCast maintains at each node.
+using DirectoryFn = std::function<std::vector<NodeId>()>;
+
+/// Presence announcement broadcast on join.
+struct PresenceMessage {
+  NodeId origin;
+  static constexpr std::size_t kBytes = 10;
+};
+
+/// One participant of the Broadcast scheme.
+class BroadcastNode final : public sim::Endpoint {
+ public:
+  BroadcastNode(NodeId id, const MonitorSelector& selector,
+                sim::Simulator& sim, sim::Network& net, DirectoryFn directory);
+
+  BroadcastNode(const BroadcastNode&) = delete;
+  BroadcastNode& operator=(const BroadcastNode&) = delete;
+
+  /// Joins: broadcasts presence to every member the directory reports.
+  void join();
+  void leave();
+  bool isAlive() const noexcept { return alive_; }
+
+  const NodeId& id() const noexcept { return id_; }
+  const std::unordered_set<NodeId>& pingingSet() const noexcept { return ps_; }
+  const std::unordered_set<NodeId>& targetSet() const noexcept { return ts_; }
+  const std::unordered_set<NodeId>& membership() const noexcept {
+    return members_;
+  }
+
+  /// |membership| + |PS| + |TS|: memory entries, comparable to AVMON's.
+  std::size_t memoryEntries() const noexcept {
+    return members_.size() + ps_.size() + ts_.size();
+  }
+
+  std::uint64_t hashChecks() const noexcept { return hashChecks_; }
+
+  /// Delay from this node's first join to its first PS entry, if any.
+  std::optional<SimDuration> firstMonitorDelay() const;
+
+  void onMessage(const NodeId& from, const std::any& payload) override;
+
+ private:
+  void considerPeer(const NodeId& peer);
+
+  NodeId id_;
+  const MonitorSelector& selector_;
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  DirectoryFn directory_;
+
+  bool alive_ = false;
+  SimTime firstJoinTime_ = -1;
+  SimTime firstMonitorTime_ = -1;
+
+  std::unordered_set<NodeId> members_;
+  std::unordered_set<NodeId> ps_;
+  std::unordered_set<NodeId> ts_;
+  std::uint64_t hashChecks_ = 0;
+};
+
+}  // namespace avmon::baselines

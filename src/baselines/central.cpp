@@ -1,0 +1,67 @@
+#include "baselines/central.hpp"
+
+namespace avmon::baselines {
+
+CentralServer::CentralServer(NodeId id, sim::Simulator& sim, sim::Network& net,
+                             SimDuration monitoringPeriod,
+                             std::size_t pingBytes)
+    : id_(id),
+      sim_(sim),
+      net_(net),
+      monitoringPeriod_(monitoringPeriod),
+      pingBytes_(pingBytes) {
+  net_.attach(id_, *this);
+}
+
+void CentralServer::start() {
+  if (started_) return;
+  started_ = true;
+  net_.setUp(id_, true);
+  sim_.every(sim_.now() + monitoringPeriod_, monitoringPeriod_, [this] {
+    tick();
+    return true;
+  });
+}
+
+void CentralServer::tick() {
+  for (auto& [member, hist] : members_) {
+    ++pingsSent_;
+    auto* ep = net_.rpc(id_, member, pingBytes_, pingBytes_);
+    hist.record(sim_.now(), ep != nullptr);
+  }
+}
+
+double CentralServer::estimateOf(const NodeId& member) const {
+  const auto it = members_.find(member);
+  return it == members_.end() ? 0.0 : it->second.estimate();
+}
+
+void CentralServer::onMessage(const NodeId& /*from*/, const std::any& payload) {
+  if (const auto* reg = std::any_cast<RegisterMessage>(&payload)) {
+    members_.try_emplace(reg->origin);
+  }
+}
+
+CentralMember::CentralMember(NodeId id, NodeId server, sim::Network& net)
+    : id_(id), server_(server), net_(net) {
+  net_.attach(id_, *this);
+}
+
+void CentralMember::join() {
+  if (alive_) return;
+  alive_ = true;
+  net_.setUp(id_, true);
+  net_.send(id_, server_, RegisterMessage{id_}, RegisterMessage::kBytes);
+}
+
+void CentralMember::leave() {
+  if (!alive_) return;
+  alive_ = false;
+  net_.setUp(id_, false);
+}
+
+void CentralMember::onMessage(const NodeId&, const std::any&) {
+  // Members only answer pings, which the network models as RPC liveness.
+}
+
+}  // namespace avmon::baselines

@@ -1,0 +1,85 @@
+// Central-monitor baseline: PS(x) = {server} for every x (paper Section 1,
+// existing approach (2)). A single designated host pings every member each
+// monitoring period. Demonstrates the load-imbalance and scalability
+// failure the paper motivates: the server's bandwidth and memory grow as
+// O(N) while everyone else pays O(1).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/node_id.hpp"
+#include "common/time.hpp"
+#include "history/availability_history.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::baselines {
+
+/// Join/leave registration sent to the central server.
+struct RegisterMessage {
+  NodeId origin;
+  static constexpr std::size_t kBytes = 10;
+};
+
+/// The central monitor. Members register on join; the server pings every
+/// registered member once per monitoring period and keeps a RawHistory per
+/// member.
+class CentralServer final : public sim::Endpoint {
+ public:
+  CentralServer(NodeId id, sim::Simulator& sim, sim::Network& net,
+                SimDuration monitoringPeriod, std::size_t pingBytes = 8);
+
+  CentralServer(const CentralServer&) = delete;
+  CentralServer& operator=(const CentralServer&) = delete;
+
+  /// Brings the server up and starts its ping loop.
+  void start();
+
+  const NodeId& id() const noexcept { return id_; }
+  std::size_t memberCount() const noexcept { return members_.size(); }
+
+  /// The server's availability estimate for a member (0 if unknown).
+  double estimateOf(const NodeId& member) const;
+
+  /// Pings sent in total — the server's O(N)-per-period load.
+  std::uint64_t pingsSent() const noexcept { return pingsSent_; }
+
+  void onMessage(const NodeId& from, const std::any& payload) override;
+
+ private:
+  void tick();
+
+  NodeId id_;
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  SimDuration monitoringPeriod_;
+  std::size_t pingBytes_;
+  bool started_ = false;
+
+  std::unordered_map<NodeId, history::RawHistory> members_;
+  std::uint64_t pingsSent_ = 0;
+};
+
+/// A member of the centrally monitored system: registers with the server
+/// whenever it joins, answers pings implicitly via network liveness.
+class CentralMember final : public sim::Endpoint {
+ public:
+  CentralMember(NodeId id, NodeId server, sim::Network& net);
+
+  void join();
+  void leave();
+  const NodeId& id() const noexcept { return id_; }
+
+  void onMessage(const NodeId& from, const std::any& payload) override;
+
+ private:
+  NodeId id_;
+  NodeId server_;
+  sim::Network& net_;
+  bool alive_ = false;
+};
+
+}  // namespace avmon::baselines

@@ -1,0 +1,25 @@
+#include "baselines/self_report.hpp"
+
+namespace avmon::baselines {
+
+void SelfReportNode::join(SimTime now) {
+  if (up_) return;
+  up_ = true;
+  sessionStart_ = now;
+  if (firstJoin_ < 0) firstJoin_ = now;
+}
+
+void SelfReportNode::leave(SimTime now) {
+  if (!up_) return;
+  up_ = false;
+  accumulatedUp_ += now - sessionStart_;
+}
+
+double SelfReportNode::trueAvailability(SimTime now) const {
+  if (firstJoin_ < 0 || now <= firstJoin_) return 0.0;
+  SimDuration up = accumulatedUp_;
+  if (up_) up += now - sessionStart_;
+  return static_cast<double>(up) / static_cast<double>(now - firstJoin_);
+}
+
+}  // namespace avmon::baselines

@@ -1,0 +1,46 @@
+// Self-reporting baseline: PS(x) = {x} (paper Section 1, existing approach
+// (1)). Each node tracks and reports its own availability — so a selfish
+// node can report any value it likes. Included to quantify, next to
+// AVMON's overreporting experiment, how completely self-reporting fails
+// against the selfish-node model.
+#pragma once
+
+#include "common/node_id.hpp"
+#include "common/time.hpp"
+
+namespace avmon::baselines {
+
+/// Tracks true up-time locally and reports either the truth or a lie.
+class SelfReportNode {
+ public:
+  explicit SelfReportNode(NodeId id) : id_(id) {}
+
+  const NodeId& id() const noexcept { return id_; }
+
+  /// Lifecycle, driven by the churn player.
+  void join(SimTime now);
+  void leave(SimTime now);
+
+  /// True availability measured by the node itself over its lifetime
+  /// (fraction of time up since first join). `now` caps the open session.
+  double trueAvailability(SimTime now) const;
+
+  /// What the node tells the world. Honest nodes return trueAvailability;
+  /// selfish nodes return whatever they want (the paper's threat model).
+  double reportedAvailability(SimTime now) const {
+    return selfish_ ? 1.0 : trueAvailability(now);
+  }
+
+  void setSelfish(bool on) noexcept { selfish_ = on; }
+  bool isSelfish() const noexcept { return selfish_; }
+
+ private:
+  NodeId id_;
+  bool selfish_ = false;
+  bool up_ = false;
+  SimTime firstJoin_ = -1;
+  SimTime sessionStart_ = -1;
+  SimDuration accumulatedUp_ = 0;
+};
+
+}  // namespace avmon::baselines

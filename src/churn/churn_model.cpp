@@ -1,0 +1,73 @@
+#include "churn/churn_model.hpp"
+
+#include <stdexcept>
+
+#include "trace/generators.hpp"
+
+namespace avmon::churn {
+
+std::string modelName(Model m) {
+  switch (m) {
+    case Model::kStat: return "STAT";
+    case Model::kSynth: return "SYNTH";
+    case Model::kSynthBD: return "SYNTH-BD";
+    case Model::kSynthBD2: return "SYNTH-BD2";
+    case Model::kPlanetLab: return "PL";
+    case Model::kOvernet: return "OV";
+  }
+  throw std::logic_error("unreachable: bad Model");
+}
+
+trace::AvailabilityTrace generate(Model m, const WorkloadParams& params) {
+  switch (m) {
+    case Model::kStat: {
+      trace::SynthParams p;
+      p.stableSize = params.stableSize;
+      p.horizon = params.horizon;
+      p.controlFraction = params.controlFraction;
+      p.controlJoinTime = params.controlJoinTime;
+      p.seed = params.seed;
+      return trace::generateStat(p);
+    }
+    case Model::kSynth:
+    case Model::kSynthBD:
+    case Model::kSynthBD2: {
+      trace::SynthParams p;
+      p.stableSize = params.stableSize;
+      p.churnPerHour = 0.2;
+      p.birthDeathPerDay = m == Model::kSynth     ? 0.0
+                           : m == Model::kSynthBD ? 0.2
+                                                  : 0.4;
+      p.horizon = params.horizon;
+      // The BD models' control group is implicit (nodes born after
+      // warm-up, Section 5.1), so no explicit control nodes there.
+      p.controlFraction = m == Model::kSynth ? params.controlFraction : 0.0;
+      p.controlJoinTime = params.controlJoinTime;
+      p.seed = params.seed;
+      return trace::generateSynth(p);
+    }
+    case Model::kPlanetLab: {
+      trace::PlanetLabParams p;
+      p.horizon = params.horizon;
+      p.seed = params.seed;
+      return trace::generatePlanetLabLike(p);
+    }
+    case Model::kOvernet: {
+      trace::OvernetParams p;
+      p.horizon = params.horizon;
+      p.seed = params.seed;
+      return trace::generateOvernetLike(p);
+    }
+  }
+  throw std::logic_error("unreachable: bad Model");
+}
+
+std::size_t effectiveStableSize(Model m, const WorkloadParams& params) {
+  switch (m) {
+    case Model::kPlanetLab: return 239;
+    case Model::kOvernet: return 550;
+    default: return params.stableSize;
+  }
+}
+
+}  // namespace avmon::churn

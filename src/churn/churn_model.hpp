@@ -1,0 +1,46 @@
+// Named churn models: one enum covering all five availability models of
+// the paper's evaluation plus the doubled-churn SYNTH-BD2 (Section 5.3).
+// Bench binaries and tests select workloads by this enum so experiment
+// code never duplicates generator parameter plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::churn {
+
+enum class Model {
+  kStat,       ///< static, no churn
+  kSynth,      ///< Poisson join/leave at 20%/hour
+  kSynthBD,    ///< SYNTH + births/deaths at 20%/day
+  kSynthBD2,   ///< SYNTH + births/deaths at 40%/day
+  kPlanetLab,  ///< PlanetLab-like trace (fixed N=239)
+  kOvernet,    ///< Overnet-like trace (fixed stable N=550)
+};
+
+/// Paper-facing label ("STAT", "SYNTH", "SYNTH-BD", "SYNTH-BD2", "PL", "OV").
+std::string modelName(Model m);
+
+/// Workload knobs shared by all models. `stableSize` is ignored by the
+/// fixed-size trace models (PL and OV).
+struct WorkloadParams {
+  std::size_t stableSize = 1000;
+  SimDuration horizon = 4 * kHour;
+  /// Control-group fraction for STAT/SYNTH (the paper uses 10%); the BD
+  /// models measure nodes born after warm-up instead.
+  double controlFraction = 0.1;
+  SimTime controlJoinTime = 1 * kHour;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the availability schedule for the given model.
+trace::AvailabilityTrace generate(Model m, const WorkloadParams& params);
+
+/// The stable system size N the protocol should be configured with for
+/// this model (PL: 239, OV: 550, otherwise params.stableSize).
+std::size_t effectiveStableSize(Model m, const WorkloadParams& params);
+
+}  // namespace avmon::churn

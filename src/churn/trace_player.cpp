@@ -1,0 +1,23 @@
+#include "churn/trace_player.hpp"
+
+namespace avmon::churn {
+
+void TracePlayer::schedule(LifecycleListener& listener) {
+  for (const trace::NodeTrace& node : trace_.nodes()) {
+    const NodeId id = node.id;
+    for (std::size_t i = 0; i < node.sessions.size(); ++i) {
+      const trace::Interval& s = node.sessions[i];
+      const bool firstJoin = (i == 0);
+      sim_.at(s.start,
+              [&listener, id, firstJoin] { listener.onJoin(id, firstJoin); });
+      // A session ending at the horizon is still "up at the end" — emit the
+      // leave anyway; runners usually stop measuring before the horizon.
+      sim_.at(s.end, [&listener, id] { listener.onLeave(id); });
+    }
+    if (node.death) {
+      sim_.at(*node.death, [&listener, id] { listener.onDeath(id); });
+    }
+  }
+}
+
+}  // namespace avmon::churn

@@ -1,0 +1,55 @@
+// Replays an availability trace as simulator events.
+//
+// The player turns each node's schedule into join/leave/death callbacks at
+// the right simulated instants. Protocol-independent: the listener decides
+// what joining means (flip network liveness, run the AVMON join
+// sub-protocol, ...). Deaths are reported to the listener for bookkeeping
+// but are invisible to protocol nodes — the paper's deaths are silent.
+#pragma once
+
+#include "common/node_id.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::churn {
+
+/// Receives lifecycle transitions as the trace unfolds.
+class LifecycleListener {
+ public:
+  virtual ~LifecycleListener() = default;
+
+  /// The node comes up. `firstJoin` is true for its very first session
+  /// (i.e., right after birth) — the paper's join sub-protocol sends a
+  /// full-weight JOIN then, and a reduced-weight JOIN on rejoins.
+  virtual void onJoin(const NodeId& id, bool firstJoin) = 0;
+
+  /// The node goes down (leave or crash; indistinguishable on the wire).
+  virtual void onLeave(const NodeId& id) = 0;
+
+  /// The node has left for good. Silent: only measurement code may look.
+  virtual void onDeath(const NodeId& id) = 0;
+};
+
+/// Schedules every transition of `trace` onto `sim`, targeting `listener`.
+///
+/// The player must outlive the simulation run (scheduled closures reference
+/// it). Call schedule() exactly once, before running the simulator.
+class TracePlayer {
+ public:
+  TracePlayer(sim::Simulator& sim, const trace::AvailabilityTrace& trace)
+      : sim_(sim), trace_(trace) {}
+
+  TracePlayer(const TracePlayer&) = delete;
+  TracePlayer& operator=(const TracePlayer&) = delete;
+
+  /// Enqueues all join/leave/death events. Transitions at identical times
+  /// are delivered in node order (deterministic).
+  void schedule(LifecycleListener& listener);
+
+ private:
+  sim::Simulator& sim_;
+  const trace::AvailabilityTrace& trace_;
+};
+
+}  // namespace avmon::churn

@@ -1,0 +1,36 @@
+#include "common/node_id.hpp"
+
+#include <cstdio>
+
+namespace avmon {
+
+std::array<std::uint8_t, NodeId::kWireSize> NodeId::toBytes() const noexcept {
+  return {
+      static_cast<std::uint8_t>(ip_ >> 24),
+      static_cast<std::uint8_t>(ip_ >> 16),
+      static_cast<std::uint8_t>(ip_ >> 8),
+      static_cast<std::uint8_t>(ip_),
+      static_cast<std::uint8_t>(port_ >> 8),
+      static_cast<std::uint8_t>(port_),
+  };
+}
+
+NodeId NodeId::fromBytes(
+    const std::array<std::uint8_t, NodeId::kWireSize>& b) noexcept {
+  const std::uint32_t ip = (static_cast<std::uint32_t>(b[0]) << 24) |
+                           (static_cast<std::uint32_t>(b[1]) << 16) |
+                           (static_cast<std::uint32_t>(b[2]) << 8) |
+                           static_cast<std::uint32_t>(b[3]);
+  const std::uint16_t port =
+      static_cast<std::uint16_t>((b[4] << 8) | b[5]);
+  return NodeId(ip, port);
+}
+
+std::string NodeId::toString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip_ >> 24) & 0xFF,
+                (ip_ >> 16) & 0xFF, (ip_ >> 8) & 0xFF, ip_ & 0xFF, port_);
+  return buf;
+}
+
+}  // namespace avmon

@@ -1,0 +1,34 @@
+// Simulated-time units shared by every module.
+//
+// All simulation timestamps are integral milliseconds from the start of a
+// scenario. Integral time keeps event ordering exact and runs reproducible;
+// milliseconds are fine-grained enough for the paper's second-scale metrics.
+#pragma once
+
+#include <cstdint>
+
+namespace avmon {
+
+/// A point in simulated time, in milliseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in milliseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMillisecond = 1;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double toSeconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a simulated duration to fractional minutes (for reporting).
+constexpr double toMinutes(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMinute);
+}
+
+}  // namespace avmon

@@ -1,0 +1,88 @@
+// Broadcast-baseline scenario runner: drives the AVCast-style Broadcast
+// scheme (baselines::BroadcastNode) over the same availability schedules
+// as ScenarioRunner, measuring the Table-1 quantities — O(N) memory and
+// join bandwidth against near-instant discovery — so the analytic
+// comparison can be backed by side-by-side measurements.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "avmon/monitor_selector.hpp"
+#include "baselines/broadcast.hpp"
+#include "churn/churn_model.hpp"
+#include "churn/trace_player.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_function.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::experiments {
+
+/// Workload description for a Broadcast run (a subset of Scenario: the
+/// Broadcast scheme has no protocol knobs beyond K).
+struct BroadcastScenario {
+  churn::Model model = churn::Model::kStat;
+  std::size_t stableSize = 1000;
+  SimDuration horizon = 2 * kHour;
+  SimTime warmup = 1 * kHour;
+  double controlFraction = 0.1;
+  std::uint64_t seed = 1;
+  std::string hashName = "md5";
+};
+
+/// Builds, runs, and reports one Broadcast-baseline scenario.
+class BroadcastRunner final : public churn::LifecycleListener {
+ public:
+  explicit BroadcastRunner(BroadcastScenario scenario);
+  ~BroadcastRunner() override;
+
+  BroadcastRunner(const BroadcastRunner&) = delete;
+  BroadcastRunner& operator=(const BroadcastRunner&) = delete;
+
+  void run();
+
+  // ---- results ----
+
+  std::size_t effectiveN() const noexcept { return effectiveN_; }
+
+  /// Discovery delay (seconds) of the first monitor, per control node.
+  std::vector<double> discoveryDelaysSeconds() const;
+
+  /// |membership| + |PS| + |TS| per node — the O(N) memory of Table 1.
+  std::vector<double> memoryEntries() const;
+
+  /// Outgoing bytes per join event, per node that joined at least once:
+  /// the O(N)-messages join cost.
+  std::vector<double> bytesPerJoin() const;
+
+  /// Total presence messages sent system-wide.
+  std::uint64_t totalMessages() const;
+
+  // ---- LifecycleListener ----
+  void onJoin(const NodeId& id, bool firstJoin) override;
+  void onLeave(const NodeId& id) override;
+  void onDeath(const NodeId& id) override;
+
+ private:
+  BroadcastScenario scenario_;
+  std::size_t effectiveN_;
+
+  Rng rootRng_;
+  sim::Simulator sim_;
+  std::unique_ptr<hash::HashFunction> hashFn_;
+  std::unique_ptr<HashMonitorSelector> selector_;
+  std::unique_ptr<sim::Network> net_;
+
+  trace::AvailabilityTrace trace_;
+  std::unique_ptr<churn::TracePlayer> player_;
+
+  std::unordered_map<NodeId, std::unique_ptr<baselines::BroadcastNode>> nodes_;
+  std::unordered_map<NodeId, std::size_t> joinCounts_;
+  std::vector<NodeId> controlIds_;
+  bool ran_ = false;
+};
+
+}  // namespace avmon::experiments

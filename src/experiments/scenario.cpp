@@ -1,0 +1,292 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avmon::experiments {
+
+ScenarioRunner::ScenarioRunner(Scenario scenario)
+    : scenario_(std::move(scenario)), rootRng_(scenario_.seed) {
+  churn::WorkloadParams workload;
+  workload.stableSize = scenario_.stableSize;
+  workload.horizon = scenario_.horizon;
+  workload.controlFraction = scenario_.controlFraction;
+  workload.controlJoinTime = scenario_.warmup;
+  workload.seed = scenario_.seed;
+
+  effectiveN_ = churn::effectiveStableSize(scenario_.model, workload);
+  config_ = scenario_.configOverride.value_or(
+      AvmonConfig::paperDefaults(effectiveN_));
+  config_.pr2 = scenario_.pr2;
+  config_.forgetful.enabled = scenario_.forgetful;
+  config_.forgetful.ewmaSessionLength = scenario_.forgetfulEwma;
+  config_.validate();
+
+  hashFn_ = hash::makeHashFunction(scenario_.hashName);
+  selector_ = std::make_unique<HashMonitorSelector>(*hashFn_, config_.k,
+                                                    effectiveN_);
+
+  sim::NetworkConfig netConfig;
+  netConfig.messageDropProbability = scenario_.messageDropProbability;
+  netConfig.rpcFailProbability = scenario_.rpcFailProbability;
+  net_ = std::make_unique<sim::Network>(sim_, netConfig, rootRng_.fork());
+
+  trace_ = churn::generate(scenario_.model, workload);
+  player_ = std::make_unique<churn::TracePlayer>(sim_, trace_);
+
+  // One protocol node per scheduled node, all constructed up front (they
+  // start down; the trace player brings them up).
+  const auto bootstrap = [this](const NodeId& self) {
+    return pickBootstrap(self);
+  };
+  for (const trace::NodeTrace& nt : trace_.nodes()) {
+    auto node = std::make_unique<AvmonNode>(nt.id, config_, *selector_, sim_,
+                                            *net_, bootstrap, rootRng_.fork());
+    traceByNode_[nt.id] = &nt;
+    nodes_.emplace(nt.id, std::move(node));
+  }
+
+  // Overreporting attackers (Figure 20): a uniformly random fraction.
+  if (scenario_.overreportFraction > 0) {
+    for (auto& [id, node] : nodes_) {
+      if (rootRng_.chance(scenario_.overreportFraction))
+        node->setOverreporting(true);
+    }
+  }
+
+  buildMeasuredSet();
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+void ScenarioRunner::buildMeasuredSet() {
+  MeasuredSet mode = scenario_.measured;
+  if (mode == MeasuredSet::kAuto) {
+    switch (scenario_.model) {
+      case churn::Model::kStat:
+      case churn::Model::kSynth:
+        mode = MeasuredSet::kControlGroup;
+        break;
+      case churn::Model::kSynthBD:
+      case churn::Model::kSynthBD2:
+        mode = MeasuredSet::kBornAfterWarmup;
+        break;
+      case churn::Model::kPlanetLab:
+      case churn::Model::kOvernet:
+        mode = MeasuredSet::kAll;
+        break;
+    }
+  }
+  for (const trace::NodeTrace& nt : trace_.nodes()) {
+    const bool in = mode == MeasuredSet::kAll ||
+                    (mode == MeasuredSet::kControlGroup && nt.isControl) ||
+                    (mode == MeasuredSet::kBornAfterWarmup &&
+                     nt.birth >= scenario_.warmup);
+    if (in) measured_.push_back(nt.id);
+  }
+}
+
+NodeId ScenarioRunner::pickBootstrap(const NodeId& self) {
+  if (alive_.empty()) return NodeId{};
+  // A couple of draws are enough to dodge `self`; if the caller is the
+  // only alive node there is genuinely nobody to contact.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const NodeId pick = alive_[rootRng_.index(alive_.size())];
+    if (pick != self) return pick;
+  }
+  return NodeId{};
+}
+
+void ScenarioRunner::onJoin(const NodeId& id, bool firstJoin) {
+  auto& node = nodes_.at(id);
+  node->join(firstJoin);
+  if (!alivePos_.contains(id)) {
+    alivePos_[id] = alive_.size();
+    alive_.push_back(id);
+  }
+}
+
+void ScenarioRunner::onLeave(const NodeId& id) {
+  nodes_.at(id)->leave();
+  if (const auto it = alivePos_.find(id); it != alivePos_.end()) {
+    const std::size_t pos = it->second;
+    alive_[pos] = alive_.back();
+    alivePos_[alive_[pos]] = pos;
+    alive_.pop_back();
+    alivePos_.erase(it);
+  }
+}
+
+void ScenarioRunner::onDeath(const NodeId& /*id*/) {
+  // Deaths are silent (Section 3 system model): the node simply never
+  // rejoins. Nothing to tear down — TS/PS garbage is the point of the
+  // forgetful-pinging experiments.
+}
+
+void ScenarioRunner::run() {
+  if (ran_) throw std::logic_error("ScenarioRunner::run called twice");
+  ran_ = true;
+  player_->schedule(*this);
+  // Scope bandwidth measurement to the post-warm-up window.
+  sim_.at(scenario_.warmup, [this] { net_->resetTraffic(); });
+  sim_.runUntil(scenario_.horizon);
+}
+
+std::vector<double> ScenarioRunner::discoveryDelaysSeconds(std::size_t k) const {
+  std::vector<double> out;
+  out.reserve(measured_.size());
+  for (const NodeId& id : measured_) {
+    if (const auto d = nodes_.at(id)->discoveryDelay(k))
+      out.push_back(toSeconds(*d));
+  }
+  return out;
+}
+
+double ScenarioRunner::discoveredFraction(std::size_t k) const {
+  // Denominator: measured nodes that actually joined during the run (the
+  // paper counts born nodes; a node whose first session never started
+  // cannot be discovered and isn't part of the population).
+  std::size_t joined = 0, found = 0;
+  for (const NodeId& id : measured_) {
+    if (!traceByNode_.at(id)->firstJoin()) continue;
+    ++joined;
+    if (nodes_.at(id)->discoveryDelay(k)) ++found;
+  }
+  return joined == 0
+             ? 0.0
+             : static_cast<double>(found) / static_cast<double>(joined);
+}
+
+std::vector<double> ScenarioRunner::computationsPerSecond() const {
+  std::vector<double> out;
+  out.reserve(measured_.size());
+  for (const NodeId& id : measured_) {
+    const double upSeconds = toSeconds(traceByNode_.at(id)->totalUpTime());
+    if (upSeconds < 1.0) continue;
+    out.push_back(static_cast<double>(nodes_.at(id)->metrics().hashChecks) /
+                  upSeconds);
+  }
+  return out;
+}
+
+std::vector<double> ScenarioRunner::memoryEntries(bool measuredOnly) const {
+  std::vector<double> out;
+  const auto collect = [&](const NodeId& id) {
+    // Nodes that never joined have nothing; skip to avoid a wall of zeros.
+    const auto& node = *nodes_.at(id);
+    if (node.memoryEntries() == 0) return;
+    out.push_back(static_cast<double>(node.memoryEntries()));
+  };
+  if (measuredOnly) {
+    for (const NodeId& id : measured_) collect(id);
+  } else {
+    for (const auto& [id, node] : nodes_) collect(id);
+  }
+  return out;
+}
+
+std::vector<double> ScenarioRunner::outgoingBytesPerSecond() const {
+  std::vector<double> out;
+  const SimTime from = scenario_.warmup;
+  const SimTime to = scenario_.horizon;
+  for (const auto& [id, node] : nodes_) {
+    const trace::NodeTrace* nt = traceByNode_.at(id);
+    const double upSeconds =
+        nt->availability(from, to) * toSeconds(to - from);
+    if (upSeconds < toSeconds(config_.protocolPeriod)) continue;
+    // The paper normalizes by wall-clock time, not up-time (nodes spend
+    // nothing while down); nodes born mid-window get their shorter window.
+    const double windowSeconds = toSeconds(to - std::max(from, nt->birth));
+    out.push_back(static_cast<double>(net_->traffic(id).bytesSent) /
+                  windowSeconds);
+  }
+  return out;
+}
+
+std::vector<double> ScenarioRunner::uselessPingsPerMinute() const {
+  std::vector<double> out;
+  for (const auto& [id, node] : nodes_) {
+    if (node->targetSet().empty()) continue;
+    const double upMinutes = toMinutes(traceByNode_.at(id)->totalUpTime());
+    if (upMinutes < 1.0) continue;
+    out.push_back(static_cast<double>(node->metrics().uselessPings) /
+                  upMinutes);
+  }
+  return out;
+}
+
+std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
+    bool measuredOnly) const {
+  std::vector<AvailabilityAccuracy> out;
+  const auto evaluate = [&](const NodeId& id) {
+    const auto& target = *nodes_.at(id);
+    const trace::NodeTrace* nt = traceByNode_.at(id);
+    const auto firstJoin = nt->firstJoin();
+    if (!firstJoin) return;
+
+    AvailabilityAccuracy acc;
+    acc.id = id;
+    double estSum = 0.0;
+    double actualSum = 0.0;
+    for (const NodeId& monitorId : target.pingingSet()) {
+      const auto monIt = nodes_.find(monitorId);
+      if (monIt == nodes_.end()) continue;
+      const auto est = monIt->second->availabilityEstimateOf(id);
+      if (!est) continue;
+      // Ground truth aligned to this monitor's observation window: its
+      // sample stream starts at discovery, which is correlated with the
+      // target's up periods, so comparing against availability from the
+      // target's first join would bias the ratio upward on short runs.
+      const auto& ts = monIt->second->targetSet();
+      const auto recIt = ts.find(id);
+      if (recIt == ts.end()) continue;
+      const auto* raw =
+          dynamic_cast<const history::RawHistory*>(recIt->second.history.get());
+      // Monitors with a handful of samples carry no statistical weight
+      // (the paper's 48 h runs give every monitor thousands of pings).
+      if (raw == nullptr || raw->samples().size() < 10) continue;
+      estSum += *est;
+      // Window end matters too: a monitor that left before the horizon
+      // stopped sampling then, so truth is measured over its sample span.
+      actualSum += nt->availability(
+          raw->samples().front().when,
+          std::min(raw->samples().back().when + config_.monitoringPeriod,
+                   scenario_.horizon));
+      ++acc.reporters;
+    }
+    if (acc.reporters == 0) return;
+    acc.estimated = estSum / static_cast<double>(acc.reporters);
+    acc.actual = actualSum / static_cast<double>(acc.reporters);
+    out.push_back(acc);
+  };
+
+  if (measuredOnly) {
+    for (const NodeId& id : measured_) evaluate(id);
+  } else {
+    for (const auto& [id, node] : nodes_) evaluate(id);
+  }
+  return out;
+}
+
+NodeId ScenarioRunner::maxBandwidthNode() const {
+  NodeId best;
+  std::uint64_t bestBytes = 0;
+  for (const auto& [id, node] : nodes_) {
+    const std::uint64_t bytes = net_->traffic(id).bytesSent;
+    if (bytes > bestBytes) {
+      bestBytes = bytes;
+      best = id;
+    }
+  }
+  return best;
+}
+
+const AvmonNode& ScenarioRunner::node(const NodeId& id) const {
+  return *nodes_.at(id);
+}
+
+AvmonNode& ScenarioRunner::mutableNode(const NodeId& id) {
+  return *nodes_.at(id);
+}
+
+}  // namespace avmon::experiments

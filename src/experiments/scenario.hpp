@@ -1,0 +1,176 @@
+// Scenario runner: the one harness behind every experiment.
+//
+// Builds a complete simulated deployment — availability schedule from a
+// churn model, a network, one AvmonNode per scheduled node — plays the
+// schedule, and exposes exactly the metrics the paper's figures report:
+// discovery times, per-node memory entries, consistency-check rates,
+// outgoing bandwidth, useless pings, and estimated-vs-real availability.
+//
+// Measurement conventions (Section 5.1 of the paper):
+//  * a warm-up period runs first; bandwidth counters reset when it ends;
+//  * the "measured set" is the control group where the model defines one
+//    (STAT/SYNTH), nodes born after warm-up for the birth/death models,
+//    and every node for the trace-driven models (PL/OV);
+//  * discovery time of the k-th monitor is measured from a node's first
+//    join to the instant its pinging set reached size k.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "avmon/config.hpp"
+#include "avmon/monitor_selector.hpp"
+#include "avmon/node.hpp"
+#include "churn/churn_model.hpp"
+#include "churn/trace_player.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_function.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::experiments {
+
+/// Which nodes the metrics cover.
+enum class MeasuredSet {
+  kAuto,             ///< per-model default described above
+  kControlGroup,     ///< nodes flagged isControl in the trace
+  kBornAfterWarmup,  ///< nodes whose birth is after the warm-up
+  kAll,              ///< every node in the trace
+};
+
+/// Full experiment description.
+struct Scenario {
+  churn::Model model = churn::Model::kStat;
+  std::size_t stableSize = 1000;    ///< N (ignored by PL/OV)
+  SimDuration horizon = 2 * kHour;  ///< total simulated time
+  SimTime warmup = 1 * kHour;       ///< warm-up end = control join time
+  double controlFraction = 0.1;     ///< control group size (STAT/SYNTH)
+  std::uint64_t seed = 1;
+
+  /// Hash behind the consistency condition. Benches default to the fast
+  /// splitmix64 mixer: the metrics count *how many* condition checks the
+  /// protocol performs, and the selection distribution is uniform for any
+  /// well-mixing hash, so figures are unchanged (verified by
+  /// bench_abl_hash); MD5 is the paper-faithful default elsewhere.
+  std::string hashName = "splitmix64";
+
+  /// Protocol settings; defaults to AvmonConfig::paperDefaults(N).
+  std::optional<AvmonConfig> configOverride;
+  bool pr2 = false;
+  bool forgetful = true;
+  /// Use the exponentially averaged session length in forgetful pinging.
+  bool forgetfulEwma = false;
+
+  /// Fraction of nodes misreporting 100% availability for all their
+  /// targets (Figure 20's attack).
+  double overreportFraction = 0.0;
+
+  /// Failure injection (resilience testing; the paper assumes a reliable
+  /// network, so both default to 0).
+  double messageDropProbability = 0.0;
+  double rpcFailProbability = 0.0;
+
+  MeasuredSet measured = MeasuredSet::kAuto;
+};
+
+/// Estimated-vs-actual availability for one node (Figures 17 and 20).
+struct AvailabilityAccuracy {
+  NodeId id;
+  double estimated = 0.0;  ///< mean over the node's PS members' histories
+  double actual = 0.0;     ///< ground truth from the availability trace
+  std::size_t reporters = 0;
+};
+
+/// Builds, runs, and reports one scenario.
+class ScenarioRunner final : public churn::LifecycleListener {
+ public:
+  explicit ScenarioRunner(Scenario scenario);
+  ~ScenarioRunner() override;
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Runs the full scenario to its horizon. Call once.
+  void run();
+
+  // ---- results (valid after run()) ----
+
+  const trace::AvailabilityTrace& schedule() const noexcept { return trace_; }
+  const AvmonConfig& config() const noexcept { return config_; }
+  std::size_t effectiveN() const noexcept { return effectiveN_; }
+
+  /// Ids in the measured set (see MeasuredSet).
+  const std::vector<NodeId>& measuredIds() const noexcept { return measured_; }
+
+  /// Discovery delay (seconds) of each measured node's k-th monitor;
+  /// nodes that never discovered k monitors are omitted.
+  std::vector<double> discoveryDelaysSeconds(std::size_t k = 1) const;
+
+  /// Fraction of measured nodes that discovered >= k monitors.
+  double discoveredFraction(std::size_t k = 1) const;
+
+  /// Consistency-condition evaluations per second of up-time, per measured
+  /// node (the paper's computation metric).
+  std::vector<double> computationsPerSecond() const;
+
+  /// |CV|+|PS|+|TS| per node at the end of the run.
+  std::vector<double> memoryEntries(bool measuredOnly) const;
+
+  /// Outgoing bytes per second over the post-warm-up window, per node that
+  /// was up for at least one protocol period of that window.
+  std::vector<double> outgoingBytesPerSecond() const;
+
+  /// Monitoring pings sent to absent targets, per minute of up-time, per
+  /// node that monitors at least one target.
+  std::vector<double> uselessPingsPerMinute() const;
+
+  /// Estimated (PS-averaged) vs. actual availability for each node in the
+  /// chosen set that has at least one reporting monitor.
+  std::vector<AvailabilityAccuracy> availabilityAccuracy(bool measuredOnly) const;
+
+  /// Id of the node with the highest outgoing byte count (nil if none) —
+  /// used by bandwidth benches to explain distribution tails.
+  NodeId maxBandwidthNode() const;
+
+  /// Direct node access for custom probes (tests, examples, ablations).
+  const AvmonNode& node(const NodeId& id) const;
+  AvmonNode& mutableNode(const NodeId& id);
+
+  // ---- LifecycleListener ----
+  void onJoin(const NodeId& id, bool firstJoin) override;
+  void onLeave(const NodeId& id) override;
+  void onDeath(const NodeId& id) override;
+
+ private:
+  NodeId pickBootstrap(const NodeId& self);
+  void buildMeasuredSet();
+
+  Scenario scenario_;
+  std::size_t effectiveN_;
+  AvmonConfig config_;
+
+  Rng rootRng_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<hash::HashFunction> hashFn_;
+  std::unique_ptr<HashMonitorSelector> selector_;
+
+  trace::AvailabilityTrace trace_;
+  std::unique_ptr<churn::TracePlayer> player_;
+
+  std::unordered_map<NodeId, std::unique_ptr<AvmonNode>> nodes_;
+  std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
+
+  // O(1) random sampling over the alive set for bootstrap picks.
+  std::vector<NodeId> alive_;
+  std::unordered_map<NodeId, std::size_t> alivePos_;
+
+  std::vector<NodeId> measured_;
+  bool ran_ = false;
+};
+
+}  // namespace avmon::experiments

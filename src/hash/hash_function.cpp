@@ -1,0 +1,50 @@
+#include "hash/hash_function.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "hash/md5.hpp"
+#include "hash/sha1.hpp"
+
+namespace avmon::hash {
+namespace {
+
+std::uint64_t first64BigEndian(const std::uint8_t* d) noexcept {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | d[i];
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t Md5HashFunction::digest64(
+    std::span<const std::uint8_t> data) const {
+  const Md5::Digest d = Md5::digest(data);
+  return first64BigEndian(d.data());
+}
+
+std::uint64_t Sha1HashFunction::digest64(
+    std::span<const std::uint8_t> data) const {
+  const Sha1::Digest d = Sha1::digest(data);
+  return first64BigEndian(d.data());
+}
+
+std::uint64_t SplitMix64HashFunction::digest64(
+    std::span<const std::uint8_t> data) const {
+  // Fold bytes into the state with a multiply between words, then finish
+  // with the splitmix64 finalizer. Equivalent structure to FNV-then-mix.
+  std::uint64_t acc = 0x243F6A8885A308D3ULL;  // pi fractional bits
+  for (std::uint8_t b : data) {
+    acc = (acc ^ b) * 0x100000001B3ULL;
+  }
+  return splitmix64Mix(acc);
+}
+
+std::unique_ptr<HashFunction> makeHashFunction(const std::string& name) {
+  if (name == "md5") return std::make_unique<Md5HashFunction>();
+  if (name == "sha1") return std::make_unique<Sha1HashFunction>();
+  if (name == "splitmix64") return std::make_unique<SplitMix64HashFunction>();
+  throw std::invalid_argument("unknown hash function: " + name);
+}
+
+}  // namespace avmon::hash

@@ -1,0 +1,152 @@
+#include "hash/md5.hpp"
+
+#include <cstring>
+
+namespace avmon::hash {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+// Per-round shift amounts, RFC 1321 section 3.4.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// Sine-derived constants: floor(2^32 * |sin(i+1)|).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+}  // namespace
+
+void Md5::reset() noexcept {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  bitCount_ = 0;
+  bufferLen_ = 0;
+}
+
+void Md5::processBlock(const std::uint8_t* block) noexcept {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(std::span<const std::uint8_t> data) noexcept {
+  bitCount_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+
+  if (bufferLen_ > 0) {
+    const std::size_t need = 64 - bufferLen_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + bufferLen_, data.data(), take);
+    bufferLen_ += take;
+    offset = take;
+    if (bufferLen_ == 64) {
+      processBlock(buffer_);
+      bufferLen_ = 0;
+    }
+  }
+
+  while (offset + 64 <= data.size()) {
+    processBlock(data.data() + offset);
+    offset += 64;
+  }
+
+  if (offset < data.size()) {
+    bufferLen_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, bufferLen_);
+  }
+}
+
+Md5::Digest Md5::finalize() noexcept {
+  // Padding: a single 0x80 byte, zeros to 56 mod 64, then the 64-bit
+  // little-endian bit count.
+  const std::uint64_t bits = bitCount_;
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t padLen =
+      (bufferLen_ < 56) ? (56 - bufferLen_) : (120 - bufferLen_);
+  update({pad, padLen});
+
+  std::uint8_t lenBytes[8];
+  for (int i = 0; i < 8; ++i)
+    lenBytes[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  update({lenBytes, 8});
+
+  Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i]);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+Md5::Digest Md5::digest(std::span<const std::uint8_t> data) noexcept {
+  Md5 ctx;
+  ctx.update(data);
+  return ctx.finalize();
+}
+
+std::string Md5::toHex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(d.size() * 2);
+  for (std::uint8_t byte : d) {
+    s.push_back(kHex[byte >> 4]);
+    s.push_back(kHex[byte & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace avmon::hash

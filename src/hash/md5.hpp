@@ -1,0 +1,54 @@
+// MD5 message digest, implemented from RFC 1321.
+//
+// The paper's consistency condition hashes <IP,port> pairs with libSSL's
+// MD5 and keeps the first 64 bits (Section 5, default setting 4). We
+// implement MD5 from scratch to stay dependency-free; test vectors from
+// RFC 1321 Appendix A.5 are checked in tests/hash_test.cpp.
+//
+// MD5 is used here as a *mixing* function for monitor selection, not for
+// security against preimage attacks; the verifiability property only needs
+// all parties to agree on H.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace avmon::hash {
+
+/// Incremental MD5 context (init / update / final), RFC 1321.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() noexcept { reset(); }
+
+  /// Re-initializes to the empty-message state.
+  void reset() noexcept;
+
+  /// Absorbs more message bytes.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Pads, finalizes, and returns the 128-bit digest. The context must be
+  /// reset() before reuse.
+  Digest finalize() noexcept;
+
+  /// One-shot convenience.
+  static Digest digest(std::span<const std::uint8_t> data) noexcept;
+
+  /// Renders a digest as lowercase hex (for tests and debugging).
+  static std::string toHex(const Digest& d);
+
+ private:
+  void processBlock(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[4];
+  std::uint64_t bitCount_;
+  std::uint8_t buffer_[64];
+  std::size_t bufferLen_;
+};
+
+}  // namespace avmon::hash

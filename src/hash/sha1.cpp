@@ -1,0 +1,135 @@
+#include "hash/sha1.hpp"
+
+#include <cstring>
+
+namespace avmon::hash {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+  bitCount_ = 0;
+  bufferLen_ = 0;
+}
+
+void Sha1::processBlock(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  bitCount_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+
+  if (bufferLen_ > 0) {
+    const std::size_t need = 64 - bufferLen_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + bufferLen_, data.data(), take);
+    bufferLen_ += take;
+    offset = take;
+    if (bufferLen_ == 64) {
+      processBlock(buffer_);
+      bufferLen_ = 0;
+    }
+  }
+
+  while (offset + 64 <= data.size()) {
+    processBlock(data.data() + offset);
+    offset += 64;
+  }
+
+  if (offset < data.size()) {
+    bufferLen_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, bufferLen_);
+  }
+}
+
+Sha1::Digest Sha1::finalize() noexcept {
+  const std::uint64_t bits = bitCount_;
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t padLen =
+      (bufferLen_ < 56) ? (56 - bufferLen_) : (120 - bufferLen_);
+  update({pad, padLen});
+
+  // Length is appended big-endian in SHA-1 (unlike MD5).
+  std::uint8_t lenBytes[8];
+  for (int i = 0; i < 8; ++i)
+    lenBytes[i] = static_cast<std::uint8_t>(bits >> (8 * (7 - i)));
+  update({lenBytes, 8});
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha1::Digest Sha1::digest(std::span<const std::uint8_t> data) noexcept {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finalize();
+}
+
+std::string Sha1::toHex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(d.size() * 2);
+  for (std::uint8_t byte : d) {
+    s.push_back(kHex[byte >> 4]);
+    s.push_back(kHex[byte & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace avmon::hash

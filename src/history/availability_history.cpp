@@ -1,0 +1,76 @@
+#include "history/availability_history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avmon::history {
+
+void RawHistory::record(SimTime when, bool up) {
+  samples_.push_back({when, up});
+  if (up) ++upCount_;
+}
+
+double RawHistory::estimate() const {
+  if (samples_.empty()) return 0.0;
+  return static_cast<double>(upCount_) / static_cast<double>(samples_.size());
+}
+
+double RawHistory::estimateWindow(SimTime from, SimTime to) const {
+  // Samples are recorded in time order, so the window is a contiguous run.
+  const auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), from,
+      [](const Sample& s, SimTime t) { return s.when < t; });
+  const auto hi = std::lower_bound(
+      lo, samples_.end(), to,
+      [](const Sample& s, SimTime t) { return s.when < t; });
+  if (lo == hi) return 0.0;
+  std::size_t up = 0;
+  for (auto it = lo; it != hi; ++it) up += it->up ? 1 : 0;
+  return static_cast<double>(up) / static_cast<double>(hi - lo);
+}
+
+RecentHistory::RecentHistory(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("RecentHistory capacity 0");
+}
+
+void RecentHistory::record(SimTime when, bool up) {
+  window_.push_back({when, up});
+  if (up) ++upCount_;
+  if (window_.size() > capacity_) {
+    if (window_.front().up) --upCount_;
+    window_.pop_front();
+  }
+}
+
+double RecentHistory::estimate() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(upCount_) / static_cast<double>(window_.size());
+}
+
+AgedHistory::AgedHistory(double alpha) : alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0)
+    throw std::invalid_argument("AgedHistory alpha must be in (0,1]");
+}
+
+void AgedHistory::record(SimTime /*when*/, bool up) {
+  const double x = up ? 1.0 : 0.0;
+  ewma_ = count_ == 0 ? x : alpha_ * x + (1.0 - alpha_) * ewma_;
+  ++count_;
+}
+
+std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,
+                                                 double param) {
+  if (style == "raw") return std::make_unique<RawHistory>();
+  if (style == "recent") {
+    const std::size_t cap =
+        param > 0 ? static_cast<std::size_t>(param) : 512;
+    return std::make_unique<RecentHistory>(cap);
+  }
+  if (style == "aged") {
+    const double alpha = param > 0 ? param : 0.05;
+    return std::make_unique<AgedHistory>(alpha);
+  }
+  throw std::invalid_argument("unknown history style: " + style);
+}
+
+}  // namespace avmon::history

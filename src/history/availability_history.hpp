@@ -1,0 +1,110 @@
+// Availability-history maintenance (the paper's sub-problem II).
+//
+// "Any existing technique for availability history maintenance, such as
+// raw, aged, recent, etc., can be used orthogonally with any availability
+// monitoring overlay" (Section 1). These stores are what a monitor keeps
+// per target in its persistent storage; AVMON feeds them one sample per
+// monitoring ping (up = ping answered).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace avmon::history {
+
+/// One availability observation: the target's state at a ping instant.
+struct Sample {
+  SimTime when = 0;
+  bool up = false;
+};
+
+/// Per-target availability store kept by a monitor.
+class AvailabilityHistory {
+ public:
+  virtual ~AvailabilityHistory() = default;
+
+  /// Records the outcome of one monitoring ping.
+  virtual void record(SimTime when, bool up) = 0;
+
+  /// Current availability estimate in [0,1]; 0 if no samples yet.
+  virtual double estimate() const = 0;
+
+  /// Number of samples the estimate is based on.
+  virtual std::size_t sampleCount() const = 0;
+
+  /// Store style name ("raw", "recent", "aged").
+  virtual std::string name() const = 0;
+};
+
+/// Raw: remembers every sample; estimate is the all-time up fraction.
+/// Memory grows with observation length — the most faithful store, and the
+/// baseline the paper's availability-estimation experiment implies
+/// ("fraction of monitoring pings ... which receive a response back").
+class RawHistory final : public AvailabilityHistory {
+ public:
+  void record(SimTime when, bool up) override;
+  double estimate() const override;
+  std::size_t sampleCount() const override { return samples_.size(); }
+  std::string name() const override { return "raw"; }
+
+  /// Full sample log (read-only), e.g. for offline prediction models.
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// Up fraction within [from, to); 0 if no samples in the window.
+  double estimateWindow(SimTime from, SimTime to) const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::size_t upCount_ = 0;
+};
+
+/// Recent: sliding window over the last `capacity` samples.
+class RecentHistory final : public AvailabilityHistory {
+ public:
+  explicit RecentHistory(std::size_t capacity);
+
+  void record(SimTime when, bool up) override;
+  double estimate() const override;
+  std::size_t sampleCount() const override { return window_.size(); }
+  std::string name() const override { return "recent"; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Sample> window_;
+  std::size_t upCount_ = 0;
+};
+
+/// Aged: exponentially weighted moving average; newer samples dominate
+/// with decay factor `alpha` (weight of each new sample).
+class AgedHistory final : public AvailabilityHistory {
+ public:
+  /// Requires 0 < alpha <= 1.
+  explicit AgedHistory(double alpha);
+
+  void record(SimTime when, bool up) override;
+  double estimate() const override { return count_ == 0 ? 0.0 : ewma_; }
+  std::size_t sampleCount() const override { return count_; }
+  std::string name() const override { return "aged"; }
+
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double ewma_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Factory by style name ("raw" | "recent" | "aged"); throws
+/// std::invalid_argument otherwise. `recent` uses a 512-sample window and
+/// `aged` uses alpha = 0.05 unless configured via the optional parameter.
+std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,
+                                                 double param = 0.0);
+
+}  // namespace avmon::history

@@ -1,0 +1,126 @@
+#include "multicast/overlay_tree.hpp"
+
+#include <stdexcept>
+
+namespace avmon::multicast {
+
+std::string policyName(ParentPolicy p) {
+  switch (p) {
+    case ParentPolicy::kRandom: return "random";
+    case ParentPolicy::kMostAvailable: return "most-available";
+    case ParentPolicy::kBestPath: return "best-path";
+  }
+  throw std::logic_error("unreachable: bad ParentPolicy");
+}
+
+OverlayTree OverlayTree::build(const std::vector<Member>& members,
+                               ParentPolicy policy, std::size_t fanout,
+                               Rng& rng, std::size_t maxChildren) {
+  if (members.empty())
+    throw std::invalid_argument("OverlayTree: need at least a root");
+  if (fanout == 0)
+    throw std::invalid_argument("OverlayTree: fanout must be >= 1");
+
+  OverlayTree tree;
+  tree.members_ = members;
+  tree.entries_.reserve(members.size());
+
+  // Root.
+  Entry root;
+  root.member = members.front();
+  tree.entries_.push_back(root);
+  tree.index_[members.front().id] = 0;
+
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    // Sample `fanout` attach candidates among current members, skipping
+    // full ones; fall back to a linear scan if sampling only found full
+    // candidates (keeps the tree connected under tight degree caps).
+    std::optional<std::size_t> chosen;
+    for (std::size_t attempt = 0; attempt < fanout; ++attempt) {
+      const std::size_t cand = rng.index(tree.entries_.size());
+      const Entry& e = tree.entries_[cand];
+      if (maxChildren != 0 && e.children >= maxChildren) continue;
+      if (!chosen) {
+        chosen = cand;
+        continue;
+      }
+      const Entry& best = tree.entries_[*chosen];
+      switch (policy) {
+        case ParentPolicy::kRandom:
+          break;  // first sampled non-full candidate wins
+        case ParentPolicy::kMostAvailable:
+          if (e.member.availability > best.member.availability) chosen = cand;
+          break;
+        case ParentPolicy::kBestPath:
+          if (e.pathProbability * e.member.availability >
+              best.pathProbability * best.member.availability)
+            chosen = cand;
+          break;
+      }
+    }
+    if (!chosen) {
+      for (std::size_t cand = 0; cand < tree.entries_.size(); ++cand) {
+        if (maxChildren == 0 || tree.entries_[cand].children < maxChildren) {
+          chosen = cand;
+          break;
+        }
+      }
+    }
+    if (!chosen)
+      throw std::logic_error("OverlayTree: no attachable parent found");
+
+    Entry e;
+    e.member = members[i];
+    e.parentIndex = *chosen;
+    Entry& parent = tree.entries_[*chosen];
+    e.depth = parent.depth + 1;
+    e.pathProbability = parent.pathProbability * parent.member.availability;
+    parent.children += 1;
+    tree.index_[members[i].id] = tree.entries_.size();
+    tree.entries_.push_back(e);
+  }
+  return tree;
+}
+
+std::optional<NodeId> OverlayTree::parent(const NodeId& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  const Entry& e = entries_[it->second];
+  if (!e.parentIndex) return std::nullopt;
+  return entries_[*e.parentIndex].member.id;
+}
+
+std::size_t OverlayTree::childCount(const NodeId& id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : entries_[it->second].children;
+}
+
+std::optional<std::size_t> OverlayTree::depth(const NodeId& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].depth;
+}
+
+double OverlayTree::deliveryProbability(const NodeId& id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0.0 : entries_[it->second].pathProbability;
+}
+
+double OverlayTree::meanDeliveryProbability() const {
+  if (entries_.size() <= 1) return 1.0;
+  double sum = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    sum += entries_[i].pathProbability;
+  return sum / static_cast<double>(entries_.size() - 1);
+}
+
+double OverlayTree::fractionMeeting(double reliability) const {
+  if (entries_.size() <= 1) return 1.0;
+  std::size_t meeting = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    meeting += entries_[i].pathProbability >= reliability ? 1 : 0;
+  return static_cast<double>(meeting) /
+         static_cast<double>(entries_.size() - 1);
+}
+
+}  // namespace avmon::multicast

@@ -1,0 +1,88 @@
+// Availability-aware overlay multicast trees.
+//
+// AVCast (Pongthawornkamol & Gupta, SRDS 2006 — the paper's reference
+// [11], and the origin of AVMON's selection scheme) implements
+// availability-dependent reliability for multicast receivers: receivers
+// attach under parents chosen by availability so that the delivery
+// probability of the root-to-leaf path meets a reliability predicate.
+// This module builds such trees from AVMON-monitored availabilities and
+// computes the per-receiver delivery probabilities.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+
+namespace avmon::multicast {
+
+/// A prospective tree member with its monitored availability.
+struct Member {
+  NodeId id;
+  double availability = 0.0;
+};
+
+/// Parent-selection policies at attach time.
+enum class ParentPolicy {
+  kRandom,         ///< uniform over current members (availability-agnostic)
+  kMostAvailable,  ///< best availability among `fanout` sampled candidates
+  kBestPath,       ///< best root-to-candidate delivery probability among samples
+};
+
+std::string policyName(ParentPolicy p);
+
+/// A rooted overlay multicast tree over a member set.
+class OverlayTree {
+ public:
+  /// Builds a tree: the first member of `members` is the root (source);
+  /// the rest attach in order, choosing among `fanout` randomly sampled
+  /// existing members per the policy. `maxChildren` caps node degree
+  /// (candidates at capacity are skipped; 0 = unbounded).
+  static OverlayTree build(const std::vector<Member>& members,
+                           ParentPolicy policy, std::size_t fanout, Rng& rng,
+                           std::size_t maxChildren = 0);
+
+  std::size_t size() const noexcept { return members_.size(); }
+  const NodeId& root() const noexcept { return members_.front().id; }
+
+  /// Parent of a member (nullopt for the root or unknown ids).
+  std::optional<NodeId> parent(const NodeId& id) const;
+
+  /// Number of children of a member.
+  std::size_t childCount(const NodeId& id) const;
+
+  /// Tree depth of a member (root = 0); nullopt for unknown ids.
+  std::optional<std::size_t> depth(const NodeId& id) const;
+
+  /// Probability that a message from the root reaches this member: the
+  /// product of the availabilities of all strict ancestors (the member
+  /// must merely be up to count as delivered, per AVCast's receiver-side
+  /// accounting, so its own availability is excluded).
+  double deliveryProbability(const NodeId& id) const;
+
+  /// Mean deliveryProbability over all non-root members.
+  double meanDeliveryProbability() const;
+
+  /// Fraction of non-root members whose delivery probability meets
+  /// `reliability` — the AVCast-style reliability predicate.
+  double fractionMeeting(double reliability) const;
+
+ private:
+  struct Entry {
+    Member member;
+    std::optional<std::size_t> parentIndex;
+    std::size_t depth = 0;
+    std::size_t children = 0;
+    double pathProbability = 1.0;  ///< product of strict ancestors' availability
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<Member> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+};
+
+}  // namespace avmon::multicast

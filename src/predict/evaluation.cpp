@@ -1,0 +1,42 @@
+#include "predict/evaluation.hpp"
+
+namespace avmon::predict {
+
+Score evaluate(Predictor& predictor, const trace::NodeTrace& node,
+               SimTime traceEnd, const EvalConfig& config) {
+  Score score;
+  score.predictor = predictor.name();
+  for (SimTime t = config.start; t + config.horizon < traceEnd;
+       t += config.samplePeriod) {
+    predictor.observe(t, node.upAt(t));
+    if (t < config.trainUntil) continue;
+    const bool forecast = predictor.predictUp(t + config.horizon);
+    const bool truth = node.upAt(t + config.horizon);
+    ++score.predictions;
+    score.correct += forecast == truth ? 1 : 0;
+  }
+  return score;
+}
+
+std::vector<Score> evaluateAll(const std::vector<std::string>& names,
+                               const trace::AvailabilityTrace& trace,
+                               const EvalConfig& config) {
+  std::vector<Score> totals;
+  totals.reserve(names.size());
+  for (const std::string& name : names) {
+    Score total;
+    total.predictor = name;
+    for (const trace::NodeTrace& node : trace.nodes()) {
+      const auto predictor = makePredictor(name);
+      EvalConfig perNode = config;
+      perNode.start = std::max(config.start, node.birth);
+      const Score s = evaluate(*predictor, node, trace.horizon(), perNode);
+      total.predictions += s.predictions;
+      total.correct += s.correct;
+    }
+    totals.push_back(total);
+  }
+  return totals;
+}
+
+}  // namespace avmon::predict

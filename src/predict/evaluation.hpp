@@ -1,0 +1,51 @@
+// Offline evaluation of availability predictors against ground truth.
+//
+// Walks a node's true availability schedule, feeds each predictor the
+// samples a monitor would have seen up to time t, asks for a forecast at
+// t + horizon, and scores it against the trace. Used by tests and by the
+// prediction ablation bench to rank predictor families per workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "predict/predictors.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::predict {
+
+/// Accuracy of one predictor on one node.
+struct Score {
+  std::string predictor;
+  std::size_t predictions = 0;
+  std::size_t correct = 0;
+
+  double accuracy() const noexcept {
+    return predictions == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(predictions);
+  }
+};
+
+/// Evaluation settings.
+struct EvalConfig {
+  SimDuration samplePeriod = kMinute;  ///< monitoring ping cadence
+  SimDuration horizon = 30 * kMinute;  ///< how far ahead to forecast
+  SimTime start = 0;                   ///< first sample time
+  SimTime trainUntil = 0;  ///< score only predictions made after this
+};
+
+/// Scores `predictor` on `node`'s schedule: at every sample instant t the
+/// predictor observes the true state, then (for t >= trainUntil) forecasts
+/// the state at t + horizon; the forecast is scored against the trace.
+Score evaluate(Predictor& predictor, const trace::NodeTrace& node,
+               SimTime traceEnd, const EvalConfig& config);
+
+/// Evaluates a fresh instance of every named predictor over all nodes of
+/// a trace, aggregating per predictor.
+std::vector<Score> evaluateAll(const std::vector<std::string>& names,
+                               const trace::AvailabilityTrace& trace,
+                               const EvalConfig& config);
+
+}  // namespace avmon::predict

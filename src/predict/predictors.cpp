@@ -1,0 +1,105 @@
+#include "predict/predictors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace avmon::predict {
+
+void RightNowPredictor::observe(SimTime /*when*/, bool up) {
+  lastUp_ = up;
+  hasSample_ = true;
+}
+
+SaturatingCounterPredictor::SaturatingCounterPredictor(unsigned bits) {
+  if (bits < 1 || bits > 16)
+    throw std::invalid_argument("SaturatingCounter bits must be in [1,16]");
+  max_ = (1u << bits) - 1;
+  counter_ = max_ / 2;  // start undecided
+}
+
+void SaturatingCounterPredictor::observe(SimTime /*when*/, bool up) {
+  if (up) {
+    counter_ = std::min(counter_ + 1, max_);
+  } else if (counter_ > 0) {
+    --counter_;
+  }
+}
+
+bool SaturatingCounterPredictor::predictUp(SimTime /*at*/) const {
+  return counter_ > max_ / 2;
+}
+
+double SaturatingCounterPredictor::confidence(SimTime /*at*/) const {
+  // Distance from the midpoint, normalized to [0.5, 1].
+  const double mid = static_cast<double>(max_) / 2.0;
+  const double dist = std::abs(static_cast<double>(counter_) - mid) / mid;
+  return 0.5 + 0.5 * dist;
+}
+
+HistoryCountsPredictor::HistoryCountsPredictor(SimDuration slotLength)
+    : slotLength_(slotLength) {
+  if (slotLength_ <= 0 || slotLength_ > kDay)
+    throw std::invalid_argument(
+        "HistoryCounts slot length must be in (0, 1 day]");
+  slots_.resize(static_cast<std::size_t>((kDay + slotLength_ - 1) / slotLength_));
+}
+
+std::size_t HistoryCountsPredictor::slotOf(SimTime t) const noexcept {
+  const SimTime inDay = ((t % kDay) + kDay) % kDay;
+  return std::min(static_cast<std::size_t>(inDay / slotLength_),
+                  slots_.size() - 1);
+}
+
+void HistoryCountsPredictor::observe(SimTime when, bool up) {
+  Slot& slot = slots_[slotOf(when)];
+  slot.total += 1;
+  slot.up += up ? 1 : 0;
+}
+
+bool HistoryCountsPredictor::predictUp(SimTime at) const {
+  const Slot& slot = slots_[slotOf(at)];
+  if (slot.total == 0) return false;  // no evidence: conservative
+  return 2 * slot.up >= slot.total;
+}
+
+double HistoryCountsPredictor::confidence(SimTime at) const {
+  const Slot& slot = slots_[slotOf(at)];
+  if (slot.total == 0) return 0.5;
+  const double p =
+      static_cast<double>(slot.up) / static_cast<double>(slot.total);
+  return 0.5 + std::abs(p - 0.5);
+}
+
+LinearEwmaPredictor::LinearEwmaPredictor(double alpha) : alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0)
+    throw std::invalid_argument("LinearEwma alpha must be in (0,1]");
+}
+
+void LinearEwmaPredictor::observe(SimTime /*when*/, bool up) {
+  const double x = up ? 1.0 : 0.0;
+  ewma_ = hasSample_ ? alpha_ * x + (1.0 - alpha_) * ewma_ : x;
+  hasSample_ = true;
+}
+
+double LinearEwmaPredictor::confidence(SimTime /*at*/) const {
+  return 0.5 + std::abs(ewma_ - 0.5);
+}
+
+std::unique_ptr<Predictor> makePredictor(const std::string& name) {
+  if (name == "right-now") return std::make_unique<RightNowPredictor>();
+  if (name == "saturating-counter")
+    return std::make_unique<SaturatingCounterPredictor>();
+  if (name == "history-counts")
+    return std::make_unique<HistoryCountsPredictor>();
+  if (name == "linear-ewma") return std::make_unique<LinearEwmaPredictor>();
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+void replay(Predictor& predictor, const history::RawHistory& history) {
+  for (const history::Sample& s : history.samples()) {
+    predictor.observe(s.when, s.up);
+  }
+}
+
+}  // namespace avmon::predict

@@ -1,0 +1,130 @@
+// Availability prediction on top of monitored histories.
+//
+// The paper motivates AVMON with availability-aware strategies, including
+// "availability histories of nodes can even be used to predict
+// availability of individual nodes in the future" (Mickens & Noble,
+// NSDI 2006 — reference [9]). This module implements the standard
+// predictor family from that line of work, consuming the sample streams
+// AVMON monitors record (history::RawHistory):
+//
+//   RightNow        — predict the current state persists.
+//   SaturatingCounter — an n-bit saturating up/down counter (branch-
+//                     predictor style): robust to noise, slow to flip.
+//   HistoryCounts   — per-slot-of-day frequency table: captures diurnal
+//                     patterns (a node up every evening).
+//   LinearEwma      — exponentially weighted up-fraction thresholded.
+//
+// All predictors answer one question: will the node be up at (now + h)?
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "history/availability_history.hpp"
+
+namespace avmon::predict {
+
+/// Online binary availability predictor. Feed samples in time order via
+/// observe(); query the forecast for a horizon with predictUp().
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Consumes one monitored sample (ping outcome at `when`).
+  virtual void observe(SimTime when, bool up) = 0;
+
+  /// Forecast: will the node be up at time `at`? Implementations may use
+  /// `at` (e.g. time-of-day structure) or ignore it.
+  virtual bool predictUp(SimTime at) const = 0;
+
+  /// Confidence in [0,1] for the predictUp() answer (0.5 = coin flip).
+  virtual double confidence(SimTime at) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Predicts that whatever state was last observed will persist.
+class RightNowPredictor final : public Predictor {
+ public:
+  void observe(SimTime when, bool up) override;
+  bool predictUp(SimTime at) const override { return lastUp_; }
+  double confidence(SimTime) const override { return hasSample_ ? 0.7 : 0.5; }
+  std::string name() const override { return "right-now"; }
+
+ private:
+  bool lastUp_ = false;
+  bool hasSample_ = false;
+};
+
+/// n-bit saturating counter: increments on up samples, decrements on down;
+/// predicts up when the counter is in the upper half of its range.
+class SaturatingCounterPredictor final : public Predictor {
+ public:
+  /// `bits` in [1, 16]; 2 bits is the classic branch-predictor setting.
+  explicit SaturatingCounterPredictor(unsigned bits = 2);
+
+  void observe(SimTime when, bool up) override;
+  bool predictUp(SimTime at) const override;
+  double confidence(SimTime at) const override;
+  std::string name() const override { return "saturating-counter"; }
+
+  unsigned counter() const noexcept { return counter_; }
+  unsigned max() const noexcept { return max_; }
+
+ private:
+  unsigned max_;
+  unsigned counter_;
+};
+
+/// Slot-of-day frequency table: divides the day into fixed slots and
+/// tracks the up fraction seen in each; predicts by the slot of the query
+/// time. Captures diurnal availability (office machines, home PCs).
+class HistoryCountsPredictor final : public Predictor {
+ public:
+  /// `slotLength` must divide a day evenly for sensible slotting
+  /// (validated: > 0 and <= 1 day).
+  explicit HistoryCountsPredictor(SimDuration slotLength = kHour);
+
+  void observe(SimTime when, bool up) override;
+  bool predictUp(SimTime at) const override;
+  double confidence(SimTime at) const override;
+  std::string name() const override { return "history-counts"; }
+
+ private:
+  struct Slot {
+    std::uint64_t up = 0;
+    std::uint64_t total = 0;
+  };
+  std::size_t slotOf(SimTime t) const noexcept;
+
+  SimDuration slotLength_;
+  std::vector<Slot> slots_;
+};
+
+/// EWMA of the up indicator, thresholded at 1/2.
+class LinearEwmaPredictor final : public Predictor {
+ public:
+  explicit LinearEwmaPredictor(double alpha = 0.1);
+
+  void observe(SimTime when, bool up) override;
+  bool predictUp(SimTime at) const override { return ewma_ >= 0.5; }
+  double confidence(SimTime at) const override;
+  std::string name() const override { return "linear-ewma"; }
+
+ private:
+  double alpha_;
+  double ewma_ = 0.5;
+  bool hasSample_ = false;
+};
+
+/// Factory: "right-now" | "saturating-counter" | "history-counts" |
+/// "linear-ewma". Throws std::invalid_argument on unknown names.
+std::unique_ptr<Predictor> makePredictor(const std::string& name);
+
+/// Convenience: replays a recorded history into a fresh predictor.
+void replay(Predictor& predictor, const history::RawHistory& history);
+
+}  // namespace avmon::predict

@@ -1,0 +1,70 @@
+#include "replication/replica_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace avmon::replication {
+
+std::string strategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kRandom: return "random";
+    case Strategy::kMostAvailable: return "most-available";
+    case Strategy::kRandomAboveBar: return "random-above-bar";
+  }
+  throw std::logic_error("unreachable: bad Strategy");
+}
+
+std::vector<Candidate> place(const std::vector<Candidate>& candidates,
+                             std::size_t r, Strategy strategy, Rng& rng,
+                             double bar) {
+  std::vector<Candidate> pool = candidates;
+  switch (strategy) {
+    case Strategy::kRandom:
+      rng.shuffle(pool);
+      break;
+    case Strategy::kMostAvailable:
+      std::sort(pool.begin(), pool.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.availability > b.availability;
+                });
+      break;
+    case Strategy::kRandomAboveBar: {
+      std::vector<Candidate> above;
+      for (const Candidate& c : pool) {
+        if (c.availability >= bar) above.push_back(c);
+      }
+      if (above.size() >= r) {
+        pool = std::move(above);
+      }
+      rng.shuffle(pool);
+      break;
+    }
+  }
+  if (pool.size() > r) pool.resize(r);
+  return pool;
+}
+
+double groupAvailability(const std::vector<Candidate>& replicas) {
+  double allDown = 1.0;
+  for (const Candidate& c : replicas) allDown *= (1.0 - c.availability);
+  return 1.0 - allDown;
+}
+
+std::size_t replicasNeeded(double perNode, double target) {
+  if (perNode <= 0.0 || perNode >= 1.0)
+    throw std::invalid_argument("replicasNeeded: perNode must be in (0,1)");
+  if (target <= 0.0 || target >= 1.0)
+    throw std::invalid_argument("replicasNeeded: target must be in (0,1)");
+  const double r =
+      std::log(1.0 - target) / std::log(1.0 - perNode);
+  return static_cast<std::size_t>(std::ceil(r));
+}
+
+double expectedRepairsPerHour(std::size_t r, double failuresPerHour) {
+  if (failuresPerHour < 0)
+    throw std::invalid_argument("expectedRepairsPerHour: negative rate");
+  return static_cast<double>(r) * failuresPerHour;
+}
+
+}  // namespace avmon::replication

@@ -1,0 +1,57 @@
+// Availability-based replica placement.
+//
+// Godfrey, Shenker & Stoica (SIGCOMM 2006 — the paper's reference [7])
+// showed that with per-node availability histories one can build "smart"
+// replica-selection strategies that beat availability-agnostic ones. This
+// module provides those strategies over candidate lists whose
+// availabilities come from AVMON monitors (see examples/replica_selection
+// and bench_app_replication).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+
+namespace avmon::replication {
+
+/// One placement candidate: a host and its (monitored) availability.
+struct Candidate {
+  NodeId id;
+  double availability = 0.0;  ///< in [0,1], as reported by AVMON monitors
+};
+
+/// Placement strategies.
+enum class Strategy {
+  kRandom,          ///< availability-agnostic uniform choice
+  kMostAvailable,   ///< top-R by reported availability
+  kRandomAboveBar,  ///< uniform among candidates above an availability bar
+};
+
+std::string strategyName(Strategy s);
+
+/// Chooses `r` distinct replicas from `candidates` under a strategy.
+/// kRandomAboveBar uses `bar` (falling back to kRandom if fewer than r
+/// candidates clear it). Returns fewer than r only if candidates are few.
+std::vector<Candidate> place(const std::vector<Candidate>& candidates,
+                             std::size_t r, Strategy strategy, Rng& rng,
+                             double bar = 0.9);
+
+/// P(at least one replica up) assuming independent availabilities.
+double groupAvailability(const std::vector<Candidate>& replicas);
+
+/// Smallest replica count r such that a group of nodes with availability
+/// `perNode` reaches `target` group availability: the provisioning rule
+///   r = ceil( log(1-target) / log(1-perNode) ).
+/// Requires 0 < perNode < 1 and 0 < target < 1.
+std::size_t replicasNeeded(double perNode, double target);
+
+/// Expected number of replica *transfers* per unit time when maintaining
+/// r replicas over nodes of availability `a` under churn rate
+/// `failuresPerHour` per node: the repair bandwidth argument of [7]
+/// (agnostic placement on flaky nodes repairs more often).
+double expectedRepairsPerHour(std::size_t r, double failuresPerHour);
+
+}  // namespace avmon::replication

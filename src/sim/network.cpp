@@ -1,0 +1,78 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace avmon::sim {
+
+void Network::attach(const NodeId& id, Endpoint& endpoint) {
+  nodes_[id].endpoint = &endpoint;
+}
+
+void Network::detach(const NodeId& id) {
+  if (auto it = nodes_.find(id); it != nodes_.end()) {
+    it->second.endpoint = nullptr;
+    it->second.up = false;
+  }
+}
+
+void Network::setUp(const NodeId& id, bool up) { nodes_[id].up = up; }
+
+bool Network::isUp(const NodeId& id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.up && it->second.endpoint != nullptr;
+}
+
+void Network::charge(const NodeId& id, std::size_t bytes) {
+  auto& t = nodes_[id].traffic;
+  t.bytesSent += bytes;
+  t.messagesSent += 1;
+}
+
+void Network::send(const NodeId& from, const NodeId& to, std::any payload,
+                   std::size_t bytes) {
+  charge(from, bytes);
+  if (config_.messageDropProbability > 0 &&
+      rng_.chance(config_.messageDropProbability)) {
+    ++lost_;
+    return;
+  }
+  const SimDuration latency =
+      config_.minLatency +
+      static_cast<SimDuration>(rng_.below(static_cast<std::uint64_t>(
+          config_.maxLatency - config_.minLatency + 1)));
+  sim_.after(latency, [this, from, to, payload = std::move(payload)]() {
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
+      ++lost_;
+      return;
+    }
+    ++delivered_;
+    it->second.endpoint->onMessage(from, payload);
+  });
+}
+
+Endpoint* Network::rpc(const NodeId& from, const NodeId& to,
+                       std::size_t requestBytes, std::size_t responseBytes) {
+  charge(from, requestBytes);
+  if (config_.rpcFailProbability > 0 &&
+      rng_.chance(config_.rpcFailProbability)) {
+    return nullptr;  // injected timeout; request bytes already spent
+  }
+  const auto it = nodes_.find(to);
+  if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
+    return nullptr;
+  }
+  charge(to, responseBytes);
+  return it->second.endpoint;
+}
+
+TrafficCounters Network::traffic(const NodeId& id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? TrafficCounters{} : it->second.traffic;
+}
+
+void Network::resetTraffic() {
+  for (auto& [id, state] : nodes_) state.traffic = TrafficCounters{};
+}
+
+}  // namespace avmon::sim

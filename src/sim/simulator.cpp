@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace avmon::sim {
+
+void Simulator::at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+void Simulator::every(SimTime firstAt, SimDuration period,
+                      std::function<bool()> keepGoing) {
+  at(firstAt, [this, period, fn = std::move(keepGoing)]() mutable {
+    if (!fn()) return;
+    every(now_ + period, period, std::move(fn));
+  });
+}
+
+void Simulator::runUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping; pop invalidates the reference.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+}  // namespace avmon::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a time-ordered queue of closures. Events scheduled for
+// the same instant run in scheduling order (a monotonically increasing
+// sequence number breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace avmon::sim {
+
+/// Deterministic single-threaded discrete-event scheduler.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+
+  // The queue stores closures that may capture `this`; moving the simulator
+  // would dangle them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when`. Scheduling in the past is
+  /// clamped to `now()` (runs as soon as the current event finishes).
+  void at(SimTime when, Action action);
+
+  /// Schedules `action` after the given delay from `now()`.
+  void after(SimDuration delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  /// Schedules `action` every `period`, first firing at `firstAt`. The
+  /// callback receives no arguments; cancel by returning false from `keepGoing`.
+  void every(SimTime firstAt, SimDuration period,
+             std::function<bool()> keepGoing);
+
+  /// Runs events until the queue is empty or simulated time would exceed
+  /// `until`. Events exactly at `until` are executed.
+  void runUntil(SimTime until);
+
+  /// Executes the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Number of pending events (for tests).
+  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+
+  /// Total events executed so far (for tests and sanity checks).
+  std::uint64_t executedEvents() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace avmon::sim

@@ -1,0 +1,38 @@
+// Streaming summary statistics (Welford's online algorithm) — every bench
+// reports mean ± stddev the way the paper's error bars do.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace avmon::stats {
+
+/// Accumulates count/mean/variance/min/max in one pass, numerically stable.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another summary into this one (parallel Welford combine).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace avmon::stats

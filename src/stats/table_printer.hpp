@@ -1,0 +1,33 @@
+// Aligned-column text output for bench results: every bench prints the
+// rows/series of its paper table or figure through this one printer so
+// output formatting is uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace avmon::stats {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass the paper artifact id, e.g.
+  /// "Figure 3: average discovery time of first monitor (minutes)".
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace avmon::stats

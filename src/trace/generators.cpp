@@ -1,0 +1,224 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace avmon::trace {
+namespace {
+
+/// Builder state for one node during event-driven generation.
+struct NodeBuild {
+  NodeTrace trace;
+  bool up = false;
+  SimTime sessionStart = 0;
+};
+
+/// Event kinds in the churn generator's timeline.
+enum class EventKind { Toggle, Birth, Death };
+
+struct GenEvent {
+  SimTime when;
+  EventKind kind;
+  std::size_t node;  // Toggle only
+};
+
+struct LaterEvent {
+  bool operator()(const GenEvent& a, const GenEvent& b) const noexcept {
+    return a.when > b.when;
+  }
+};
+
+SimDuration expDuration(Rng& rng, double ratePerHour) {
+  const double hours = rng.exponential(ratePerHour);
+  return std::max<SimDuration>(
+      1, static_cast<SimDuration>(std::llround(hours * kHour)));
+}
+
+}  // namespace
+
+AvailabilityTrace generateStat(const SynthParams& params) {
+  std::vector<NodeTrace> nodes;
+  const auto n = params.stableSize;
+  nodes.reserve(n + static_cast<std::size_t>(
+                        std::ceil(params.controlFraction * n)));
+  std::uint32_t nextIndex = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeTrace t;
+    t.id = NodeId::fromIndex(nextIndex++);
+    t.birth = 0;
+    t.sessions.push_back({0, params.horizon});
+    nodes.push_back(std::move(t));
+  }
+  const auto controlCount =
+      static_cast<std::size_t>(std::llround(params.controlFraction * n));
+  for (std::size_t i = 0; i < controlCount; ++i) {
+    NodeTrace t;
+    t.id = NodeId::fromIndex(nextIndex++);
+    t.birth = params.controlJoinTime;
+    t.sessions.push_back({params.controlJoinTime, params.horizon});
+    t.isControl = true;
+    nodes.push_back(std::move(t));
+  }
+  return AvailabilityTrace(params.horizon, std::move(nodes));
+}
+
+AvailabilityTrace generateSynth(const SynthParams& params) {
+  Rng rng(params.seed);
+  const auto n = params.stableSize;
+  const double ratePerHour = params.churnPerHour;  // per-node toggle rate
+  const SimDuration horizon = params.horizon;
+
+  std::vector<NodeBuild> builds;
+  std::priority_queue<GenEvent, std::vector<GenEvent>, LaterEvent> events;
+  std::uint32_t nextIndex = 0;
+
+  const auto addNode = [&](SimTime birth, bool startUp, bool isControl) {
+    NodeBuild b;
+    b.trace.id = NodeId::fromIndex(nextIndex++);
+    b.trace.birth = birth;
+    b.trace.isControl = isControl;
+    b.up = startUp;
+    b.sessionStart = birth;
+    builds.push_back(std::move(b));
+    const std::size_t idx = builds.size() - 1;
+    events.push({birth + expDuration(rng, ratePerHour), EventKind::Toggle, idx});
+    return idx;
+  };
+
+  // Base population: 2N nodes, half up, half down — the stationary split of
+  // a symmetric alternating renewal process, so the alive count starts (and
+  // stays) at ~N.
+  for (std::size_t i = 0; i < n; ++i) addNode(0, /*startUp=*/true, false);
+  for (std::size_t i = 0; i < n; ++i) addNode(0, /*startUp=*/false, false);
+
+  // Control group: fresh nodes all joining at controlJoinTime, then
+  // churning like everyone else.
+  const auto controlCount =
+      static_cast<std::size_t>(std::llround(params.controlFraction * n));
+  for (std::size_t i = 0; i < controlCount; ++i)
+    addNode(params.controlJoinTime, /*startUp=*/true, /*isControl=*/true);
+
+  // Birth/death processes (SYNTH-BD / SYNTH-BD2): global Poisson streams at
+  // birthDeathPerDay * N per day each.
+  const double bdPerHour =
+      params.birthDeathPerDay * static_cast<double>(n) / 24.0;
+  if (bdPerHour > 0) {
+    events.push({expDuration(rng, bdPerHour), EventKind::Birth, 0});
+    events.push({expDuration(rng, bdPerHour), EventKind::Death, 0});
+  }
+
+  std::vector<std::size_t> aliveList;  // indices with up==true (lazy-compacted)
+
+  const auto closeSession = [&](NodeBuild& b, SimTime at) {
+    if (at > b.sessionStart)
+      b.trace.sessions.push_back({b.sessionStart, at});
+    b.up = false;
+  };
+
+  while (!events.empty() && events.top().when < horizon) {
+    const GenEvent ev = events.top();
+    events.pop();
+    switch (ev.kind) {
+      case EventKind::Toggle: {
+        NodeBuild& b = builds[ev.node];
+        if (b.trace.death) break;  // dead nodes stop toggling
+        if (b.up) {
+          closeSession(b, ev.when);
+        } else {
+          b.up = true;
+          b.sessionStart = ev.when;
+        }
+        events.push({ev.when + expDuration(rng, ratePerHour),
+                     EventKind::Toggle, ev.node});
+        break;
+      }
+      case EventKind::Birth: {
+        addNode(ev.when, /*startUp=*/true, /*isControl=*/false);
+        events.push({ev.when + expDuration(rng, bdPerHour), EventKind::Birth, 0});
+        break;
+      }
+      case EventKind::Death: {
+        // Kill a uniformly random currently-alive node (deaths are silent;
+        // the victim simply never returns).
+        aliveList.clear();
+        for (std::size_t i = 0; i < builds.size(); ++i) {
+          if (builds[i].up && !builds[i].trace.death) aliveList.push_back(i);
+        }
+        if (!aliveList.empty()) {
+          NodeBuild& victim = builds[aliveList[rng.index(aliveList.size())]];
+          closeSession(victim, ev.when);
+          victim.trace.death = ev.when;
+        }
+        events.push({ev.when + expDuration(rng, bdPerHour), EventKind::Death, 0});
+        break;
+      }
+    }
+  }
+
+  // Close sessions still open at the horizon.
+  std::vector<NodeTrace> nodes;
+  nodes.reserve(builds.size());
+  for (NodeBuild& b : builds) {
+    if (b.up && horizon > b.sessionStart)
+      b.trace.sessions.push_back({b.sessionStart, horizon});
+    nodes.push_back(std::move(b.trace));
+  }
+  return AvailabilityTrace(horizon, std::move(nodes));
+}
+
+AvailabilityTrace generatePlanetLabLike(const PlanetLabParams& params) {
+  Rng rng(params.seed);
+  std::vector<NodeTrace> nodes;
+  nodes.reserve(params.nodes);
+
+  const double cycleHours = toSeconds(params.meanCycle) / 3600.0;
+
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    // Availability mix: ~60% of hosts are highly available (0.92-0.999),
+    // the rest form a flakier tail (0.55-0.92). Mean lands near 0.85,
+    // consistent with published PlanetLab all-pairs-ping studies.
+    const double avail = rng.chance(0.6) ? rng.uniformReal(0.92, 0.999)
+                                         : rng.uniformReal(0.55, 0.92);
+    const double upRate = 1.0 / (cycleHours * avail);          // per hour
+    const double downRate = 1.0 / (cycleHours * (1.0 - avail));  // per hour
+
+    NodeTrace t;
+    t.id = NodeId::fromIndex(static_cast<std::uint32_t>(i));
+    t.birth = 0;
+    bool up = rng.chance(avail);  // stationary start
+    SimTime now = 0;
+    while (now < params.horizon) {
+      if (up) {
+        const SimTime end =
+            std::min<SimTime>(params.horizon, now + expDuration(rng, upRate));
+        t.sessions.push_back({now, end});
+        now = end;
+      } else {
+        now += expDuration(rng, downRate);
+      }
+      up = !up;
+    }
+    nodes.push_back(std::move(t));
+  }
+  return AvailabilityTrace(params.horizon, std::move(nodes));
+}
+
+AvailabilityTrace generateOvernetLike(const OvernetParams& params) {
+  SynthParams synth;
+  synth.stableSize = params.stableSize;
+  synth.churnPerHour = params.churnPerHour;
+  synth.birthDeathPerDay = params.birthDeathPerDay;
+  synth.horizon = params.horizon;
+  synth.controlFraction = 0.0;
+  synth.seed = params.seed;
+  AvailabilityTrace t = generateSynth(synth);
+  t.quantize(params.samplingGrain);
+  return t;
+}
+
+}  // namespace avmon::trace

@@ -1,0 +1,86 @@
+// Workload generators: the five availability models of the paper's
+// evaluation (Section 5), all emitted as AvailabilityTrace schedules.
+//
+//  STAT      static network, no churn.
+//  SYNTH     Poisson join/leave (exponential session/downtime), no
+//            births/deaths; default churn 20%/hour of the stable size,
+//            matching the Overnet-derived rate the paper targets.
+//  SYNTH-BD  SYNTH plus Poisson births and silent deaths, default 20%/day.
+//  SYNTH-BD2 SYNTH-BD with the birth/death rate doubled (Section 5.3).
+//  PL        PlanetLab-like: substitution for the paper's all-pairs-ping
+//            traces — 239 long-lived nodes with high, heterogeneous
+//            availability at 1-second granularity, no births/deaths.
+//  OV        Overnet-like: substitution for the Bhagwan et al. traces —
+//            ~550 stable alive nodes, 20%/hour churn, births/deaths sized
+//            so N_longterm after 2 days matches the paper (~1319), and all
+//            transitions quantized to the traces' 20-minute sampling grain.
+//
+// See DESIGN.md "Substitutions" for why these preserve the evaluated
+// behaviour. All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::trace {
+
+/// Parameters for the synthetic family (STAT / SYNTH / SYNTH-BD / -BD2).
+struct SynthParams {
+  std::size_t stableSize = 1000;  ///< N, the stable number of alive nodes
+  double churnPerHour = 0.2;      ///< per-hour fraction of N joining/leaving
+  double birthDeathPerDay = 0.0;  ///< per-day fraction of N born/dying
+  SimDuration horizon = 48 * kHour;
+
+  /// Fraction of N forming the paper's control group: new nodes that all
+  /// join simultaneously at `controlJoinTime` and then follow the model.
+  /// (Used for STAT and SYNTH; for SYNTH-BD the control group is implicit —
+  /// nodes born after the warm-up.)
+  double controlFraction = 0.0;
+  SimTime controlJoinTime = 1 * kHour;
+
+  std::uint64_t seed = 1;
+};
+
+/// STAT: `stableSize` nodes up for the whole horizon (plus the optional
+/// control group, which joins at controlJoinTime and never leaves).
+AvailabilityTrace generateStat(const SynthParams& params);
+
+/// SYNTH / SYNTH-BD / SYNTH-BD2 depending on birthDeathPerDay. Maintains a
+/// stationary alive count of ~stableSize: the base population is
+/// 2*stableSize nodes alternating exponentially distributed up and down
+/// periods with per-node rate churnPerHour (so the global churn rate is
+/// churnPerHour * stableSize per hour); births inject fresh nodes and
+/// deaths silently remove a uniformly random alive node at matched rates.
+AvailabilityTrace generateSynth(const SynthParams& params);
+
+/// Parameters for the PlanetLab-like trace.
+struct PlanetLabParams {
+  std::size_t nodes = 239;  ///< the paper's PL stable size
+  SimDuration horizon = 48 * kHour;
+  /// Mean up/down cycle length; per-node availability sets the split.
+  SimDuration meanCycle = 6 * kHour;
+  std::uint64_t seed = 1;
+};
+
+/// PlanetLab-like availability: every node born at t=0, no deaths,
+/// heterogeneous per-node availability (mix of highly available nodes and
+/// a flakier tail, mean ≈ 0.85), exponential session/downtime lengths.
+AvailabilityTrace generatePlanetLabLike(const PlanetLabParams& params);
+
+/// Parameters for the Overnet-like trace.
+struct OvernetParams {
+  std::size_t stableSize = 550;  ///< the paper's OV stable size
+  double churnPerHour = 0.2;
+  double birthDeathPerDay = 0.2;
+  SimDuration horizon = 48 * kHour;
+  SimDuration samplingGrain = 20 * kMinute;  ///< measurement quantization
+  std::uint64_t seed = 1;
+};
+
+/// Overnet-like availability: the SYNTH-BD engine at Overnet scale with
+/// all transitions quantized to the 20-minute measurement grain.
+AvailabilityTrace generateOvernetLike(const OvernetParams& params);
+
+}  // namespace avmon::trace

@@ -1,0 +1,99 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace avmon::trace {
+namespace {
+
+constexpr const char* kMagic = "avmon-trace-v1";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed trace: " + what);
+}
+
+}  // namespace
+
+void saveCsv(const AvailabilityTrace& trace, std::ostream& out) {
+  out << kMagic << ',' << trace.horizon() << '\n';
+  for (const NodeTrace& node : trace.nodes()) {
+    out << node.id.ip() << ',' << node.id.port() << ',' << node.birth << ','
+        << (node.death ? *node.death : SimTime{-1}) << ','
+        << (node.isControl ? 1 : 0) << ',';
+    for (std::size_t i = 0; i < node.sessions.size(); ++i) {
+      if (i > 0) out << '|';
+      out << node.sessions[i].start << ':' << node.sessions[i].end;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("trace write failed");
+}
+
+void saveCsvFile(const AvailabilityTrace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  saveCsv(trace, f);
+}
+
+AvailabilityTrace loadCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) malformed("empty input");
+
+  std::istringstream header(line);
+  std::string magic;
+  if (!std::getline(header, magic, ',') || magic != kMagic)
+    malformed("bad magic (expected avmon-trace-v1)");
+  SimDuration horizon = 0;
+  if (!(header >> horizon)) malformed("bad horizon");
+
+  AvailabilityTrace trace;
+  trace.setHorizon(horizon);
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+
+    const auto nextField = [&](const char* name) {
+      if (!std::getline(row, field, ',')) malformed(std::string("missing ") + name);
+      return field;
+    };
+
+    NodeTrace node;
+    const auto ip = static_cast<std::uint32_t>(std::stoul(nextField("ip")));
+    const auto port =
+        static_cast<std::uint16_t>(std::stoul(nextField("port")));
+    node.id = NodeId(ip, port);
+    node.birth = std::stoll(nextField("birth"));
+    const SimTime death = std::stoll(nextField("death"));
+    if (death >= 0) node.death = death;
+    node.isControl = nextField("control") == "1";
+
+    std::string sessions;
+    std::getline(row, sessions);  // remainder of line
+    std::istringstream sess(sessions);
+    std::string span;
+    while (std::getline(sess, span, '|')) {
+      const auto colon = span.find(':');
+      if (colon == std::string::npos) malformed("bad session span: " + span);
+      Interval iv;
+      iv.start = std::stoll(span.substr(0, colon));
+      iv.end = std::stoll(span.substr(colon + 1));
+      node.sessions.push_back(iv);
+    }
+    trace.add(std::move(node));
+  }
+
+  std::string why;
+  if (!trace.validate(&why)) malformed(why);
+  return trace;
+}
+
+AvailabilityTrace loadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  return loadCsv(f);
+}
+
+}  // namespace avmon::trace

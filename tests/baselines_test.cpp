@@ -1,0 +1,285 @@
+// Baseline scheme tests: Broadcast, Central, Self-report, DHT ring — and
+// the property violations the paper attributes to them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/broadcast.hpp"
+#include "baselines/central.hpp"
+#include "baselines/dht_ring.hpp"
+#include "baselines/self_report.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_function.hpp"
+
+namespace avmon::baselines {
+namespace {
+
+// ---- Broadcast ----
+
+class BroadcastFixture : public ::testing::Test {
+ protected:
+  BroadcastFixture()
+      : selector_(md5_, 8, 64), net_(sim_, sim::NetworkConfig{}, Rng(3)) {}
+
+  void makeNodes(std::size_t count) {
+    const auto directory = [this] {
+      std::vector<NodeId> alive;
+      for (const auto& n : nodes_) {
+        if (n->isAlive()) alive.push_back(n->id());
+      }
+      return alive;
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes_.push_back(std::make_unique<BroadcastNode>(
+          NodeId::fromIndex(static_cast<std::uint32_t>(i)), selector_, sim_,
+          net_, directory));
+    }
+  }
+
+  hash::Md5HashFunction md5_;
+  HashMonitorSelector selector_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<BroadcastNode>> nodes_;
+};
+
+TEST_F(BroadcastFixture, JoinersLearnFullMembership) {
+  makeNodes(30);
+  for (auto& n : nodes_) n->join();
+  sim_.runUntil(kMinute);
+  for (const auto& n : nodes_) {
+    EXPECT_EQ(n->membership().size(), nodes_.size() - 1) << n->id().toString();
+  }
+}
+
+TEST_F(BroadcastFixture, MonitorsMatchSelectorExactly) {
+  makeNodes(40);
+  for (auto& n : nodes_) n->join();
+  sim_.runUntil(kMinute);
+
+  for (const auto& x : nodes_) {
+    for (const auto& y : nodes_) {
+      if (x->id() == y->id()) continue;
+      EXPECT_EQ(x->pingingSet().contains(y->id()),
+                selector_.isMonitor(y->id(), x->id()));
+      EXPECT_EQ(x->targetSet().contains(y->id()),
+                selector_.isMonitor(x->id(), y->id()));
+    }
+  }
+}
+
+TEST_F(BroadcastFixture, DiscoveryIsNearInstant) {
+  makeNodes(40);
+  for (auto& n : nodes_) n->join();
+  sim_.runUntil(kMinute);
+  for (const auto& n : nodes_) {
+    if (const auto d = n->firstMonitorDelay()) {
+      EXPECT_LE(*d, kSecond);  // one broadcast latency
+    }
+  }
+}
+
+TEST_F(BroadcastFixture, MemoryIsOrderN) {
+  makeNodes(50);
+  for (auto& n : nodes_) n->join();
+  sim_.runUntil(kMinute);
+  for (const auto& n : nodes_) {
+    EXPECT_GE(n->memoryEntries(), nodes_.size() - 1);
+  }
+}
+
+TEST_F(BroadcastFixture, JoinCostIsOrderNMessages) {
+  makeNodes(30);
+  for (auto& n : nodes_) n->join();
+  sim_.runUntil(kMinute);
+  // The last joiner alone sent >= N-1 presence messages.
+  const auto traffic = net_.traffic(nodes_.back()->id());
+  EXPECT_GE(traffic.messagesSent, nodes_.size() - 1);
+}
+
+// ---- Central ----
+
+TEST(CentralTest, ServerMonitorsEveryRegisteredMember) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetworkConfig{}, Rng(4));
+  const NodeId serverId = NodeId::fromIndex(1000);
+  CentralServer server(serverId, sim, net, kMinute);
+  server.start();
+
+  std::vector<std::unique_ptr<CentralMember>> members;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    members.push_back(std::make_unique<CentralMember>(
+        NodeId::fromIndex(i), serverId, net));
+    members.back()->join();
+  }
+  sim.runUntil(30 * kMinute);
+
+  EXPECT_EQ(server.memberCount(), 20u);
+  for (const auto& m : members) {
+    EXPECT_DOUBLE_EQ(server.estimateOf(m->id()), 1.0);
+  }
+}
+
+TEST(CentralTest, EstimateTracksDowntime) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetworkConfig{}, Rng(4));
+  const NodeId serverId = NodeId::fromIndex(1000);
+  CentralServer server(serverId, sim, net, kMinute);
+  server.start();
+
+  CentralMember m(NodeId::fromIndex(1), serverId, net);
+  m.join();
+  sim.runUntil(10 * kMinute);
+  m.leave();
+  sim.runUntil(20 * kMinute);
+
+  const double est = server.estimateOf(m.id());
+  EXPECT_GT(est, 0.2);
+  EXPECT_LT(est, 0.8);
+}
+
+TEST(CentralTest, ServerLoadIsOrderNPerPeriod) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetworkConfig{}, Rng(4));
+  const NodeId serverId = NodeId::fromIndex(1000);
+  CentralServer server(serverId, sim, net, kMinute);
+  server.start();
+
+  std::vector<std::unique_ptr<CentralMember>> members;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    members.push_back(std::make_unique<CentralMember>(
+        NodeId::fromIndex(i), serverId, net));
+    members.back()->join();
+  }
+  sim.runUntil(10 * kMinute + kSecond);
+  // ~10 periods × 50 members: the load-balance failure in one number.
+  EXPECT_GE(server.pingsSent(), 450u);
+}
+
+// ---- Self-report ----
+
+TEST(SelfReportTest, HonestNodeReportsTruth) {
+  SelfReportNode n(NodeId::fromIndex(1));
+  n.join(0);
+  n.leave(60);
+  n.join(120);
+  // At t=180: up 60+60 of 180.
+  EXPECT_NEAR(n.trueAvailability(180), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(n.reportedAvailability(180), 2.0 / 3.0, 1e-9);
+}
+
+TEST(SelfReportTest, SelfishNodeLiesFreely) {
+  SelfReportNode n(NodeId::fromIndex(2));
+  n.join(0);
+  n.leave(10);
+  n.setSelfish(true);
+  // Actual availability is 10%, reported is 100% — the failure mode that
+  // motivates AVMON's randomness requirement.
+  EXPECT_NEAR(n.trueAvailability(100), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(n.reportedAvailability(100), 1.0);
+}
+
+TEST(SelfReportTest, NeverJoinedIsZero) {
+  SelfReportNode n(NodeId::fromIndex(3));
+  EXPECT_DOUBLE_EQ(n.trueAvailability(1000), 0.0);
+}
+
+// ---- DHT ring ----
+
+class DhtFixture : public ::testing::Test {
+ protected:
+  DhtFixture() : ring_(md5_, 5) {
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      ids_.push_back(NodeId::fromIndex(i));
+      ring_.join(ids_.back());
+    }
+  }
+  hash::Md5HashFunction md5_;
+  DhtRing ring_;
+  std::vector<NodeId> ids_;
+};
+
+TEST_F(DhtFixture, PingingSetHasKMembers) {
+  for (const NodeId& id : ids_) {
+    const auto ps = ring_.pingingSet(id);
+    EXPECT_EQ(ps.size(), 5u);
+    EXPECT_EQ(std::count(ps.begin(), ps.end(), id), 0);
+  }
+}
+
+TEST_F(DhtFixture, JoinNearTargetChangesMonitorSet) {
+  // The consistency violation: a churn event (new node joining) displaces
+  // an existing monitor of an unrelated node.
+  const NodeId victim = ids_[0];
+  const auto before = ring_.pingingSet(victim);
+
+  std::size_t changes = 0;
+  for (std::uint32_t i = 100; i < 400; ++i) {
+    const NodeId fresh = NodeId::fromIndex(i);
+    ring_.join(fresh);
+    const auto after = ring_.pingingSet(victim);
+    if (after != before) ++changes;
+    ring_.leave(fresh);
+  }
+  EXPECT_GT(changes, 0u);  // some joins landed inside the replica window
+}
+
+TEST_F(DhtFixture, AvmonSelectionIsChurnImmuneWhereDhtIsNot) {
+  // Contrast property: under the same churn, AVMON's hash-based relation
+  // between two fixed nodes never changes (it ignores membership).
+  HashMonitorSelector avmon(md5_, 5, 100);
+  const NodeId a = ids_[1], b = ids_[2];
+  const bool verdict = avmon.isMonitor(a, b);
+  for (std::uint32_t i = 100; i < 200; ++i) {
+    ring_.join(NodeId::fromIndex(i));  // churn that would perturb the DHT
+    EXPECT_EQ(avmon.isMonitor(a, b), verdict);
+  }
+}
+
+TEST_F(DhtFixture, MonitorsAreCorrelatedAcrossTargets) {
+  // Randomness violation 3(b): monitors of x are ring-adjacent, so pairs
+  // of them co-occur in other pinging sets far more often than random.
+  std::size_t cooccur = 0, trials = 0;
+  for (std::size_t i = 0; i + 1 < ids_.size(); ++i) {
+    const auto ps = ring_.pingingSet(ids_[i]);
+    if (ps.size() < 2) continue;
+    // Check whether the first two monitors of ids_[i] appear together in
+    // any other node's pinging set.
+    for (std::size_t j = 0; j < ids_.size(); ++j) {
+      if (j == i) continue;
+      const auto other = ring_.pingingSet(ids_[j]);
+      const bool hasA = std::find(other.begin(), other.end(), ps[0]) != other.end();
+      const bool hasB = std::find(other.begin(), other.end(), ps[1]) != other.end();
+      ++trials;
+      if (hasA && hasB) ++cooccur;
+    }
+  }
+  ASSERT_GT(trials, 0u);
+  const double rate = static_cast<double>(cooccur) / static_cast<double>(trials);
+  // Under uncorrelated selection the co-occurrence rate would be ~(K/N)²
+  // = 0.25%; ring adjacency makes it over an order of magnitude higher.
+  EXPECT_GT(rate, 0.025);
+}
+
+TEST_F(DhtFixture, LeaveRemovesFromRing) {
+  const NodeId gone = ids_[10];
+  ring_.leave(gone);
+  EXPECT_EQ(ring_.size(), 99u);
+  for (const NodeId& id : ids_) {
+    if (id == gone) continue;
+    const auto ps = ring_.pingingSet(id);
+    EXPECT_EQ(std::count(ps.begin(), ps.end(), gone), 0);
+  }
+}
+
+TEST_F(DhtFixture, SmallRingReturnsFewerMonitors) {
+  DhtRing tiny(md5_, 5);
+  tiny.join(ids_[0]);
+  tiny.join(ids_[1]);
+  EXPECT_EQ(tiny.pingingSet(ids_[0]).size(), 1u);
+}
+
+}  // namespace
+}  // namespace avmon::baselines

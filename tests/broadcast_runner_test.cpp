@@ -1,0 +1,72 @@
+// BroadcastRunner integration tests: the AVCast baseline measured under
+// the shared workloads — instant discovery, O(N) costs.
+#include <gtest/gtest.h>
+
+#include "experiments/broadcast_runner.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+BroadcastScenario smallScenario(churn::Model model) {
+  BroadcastScenario s;
+  s.model = model;
+  s.stableSize = 100;
+  s.horizon = 80 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.controlFraction = 0.1;
+  s.seed = 21;
+  return s;
+}
+
+TEST(BroadcastRunnerTest, DiscoveryIsNearInstant) {
+  BroadcastRunner runner(smallScenario(churn::Model::kStat));
+  runner.run();
+  const auto delays = runner.discoveryDelaysSeconds();
+  ASSERT_FALSE(delays.empty());
+  for (double d : delays) EXPECT_LT(d, 1.0);  // one broadcast latency
+}
+
+TEST(BroadcastRunnerTest, MemoryIsOrderN) {
+  BroadcastRunner runner(smallScenario(churn::Model::kStat));
+  runner.run();
+  double sum = 0;
+  const auto entries = runner.memoryEntries();
+  ASSERT_FALSE(entries.empty());
+  for (double e : entries) sum += e;
+  // Full membership (~N) plus PS/TS.
+  EXPECT_GT(sum / static_cast<double>(entries.size()), 90.0);
+}
+
+TEST(BroadcastRunnerTest, JoinCostIsOrderNBytes) {
+  BroadcastRunner runner(smallScenario(churn::Model::kStat));
+  runner.run();
+  const auto cost = runner.bytesPerJoin();
+  ASSERT_FALSE(cost.empty());
+  double sum = 0, maxCost = 0;
+  for (double c : cost) {
+    sum += c;
+    maxCost = std::max(maxCost, c);
+  }
+  // The initial population joins simultaneously (node i broadcasts to the
+  // i-1 earlier joiners: mean ~N/2 messages x 10 B); control nodes joining
+  // into the full system pay the full (N-1) x 10 B.
+  EXPECT_GT(sum / static_cast<double>(cost.size()), 400.0);
+  EXPECT_GT(maxCost, 1000.0);
+}
+
+TEST(BroadcastRunnerTest, SurvivesChurn) {
+  BroadcastRunner runner(smallScenario(churn::Model::kSynth));
+  runner.run();
+  EXPECT_GT(runner.totalMessages(), 0u);
+  // Rebroadcasting on every rejoin keeps working; control nodes discover.
+  EXPECT_FALSE(runner.discoveryDelaysSeconds().empty());
+}
+
+TEST(BroadcastRunnerTest, RunTwiceThrows) {
+  BroadcastRunner runner(smallScenario(churn::Model::kStat));
+  runner.run();
+  EXPECT_THROW(runner.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -1,0 +1,152 @@
+// Trace player and churn-model registry tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "churn/trace_player.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::churn {
+namespace {
+
+struct Event {
+  enum Kind { kJoin, kRejoin, kLeave, kDeath } kind;
+  NodeId id;
+  SimTime when;
+};
+
+class RecordingListener final : public LifecycleListener {
+ public:
+  explicit RecordingListener(sim::Simulator& sim) : sim_(sim) {}
+
+  void onJoin(const NodeId& id, bool firstJoin) override {
+    events.push_back({firstJoin ? Event::kJoin : Event::kRejoin, id, sim_.now()});
+  }
+  void onLeave(const NodeId& id) override {
+    events.push_back({Event::kLeave, id, sim_.now()});
+  }
+  void onDeath(const NodeId& id) override {
+    events.push_back({Event::kDeath, id, sim_.now()});
+  }
+
+  std::vector<Event> events;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+TEST(TracePlayerTest, EmitsJoinLeaveDeathAtScheduledTimes) {
+  trace::AvailabilityTrace tr(100 * kMinute, {});
+  trace::NodeTrace n;
+  n.id = NodeId::fromIndex(1);
+  n.birth = 0;
+  n.sessions = {{5 * kMinute, 10 * kMinute}, {20 * kMinute, 30 * kMinute}};
+  n.death = 30 * kMinute;
+  tr.add(n);
+
+  sim::Simulator sim;
+  RecordingListener listener(sim);
+  TracePlayer player(sim, tr);
+  player.schedule(listener);
+  sim.runUntil(tr.horizon());
+
+  ASSERT_EQ(listener.events.size(), 5u);
+  EXPECT_EQ(listener.events[0].kind, Event::kJoin);
+  EXPECT_EQ(listener.events[0].when, 5 * kMinute);
+  EXPECT_EQ(listener.events[1].kind, Event::kLeave);
+  EXPECT_EQ(listener.events[1].when, 10 * kMinute);
+  EXPECT_EQ(listener.events[2].kind, Event::kRejoin);  // not the first join
+  EXPECT_EQ(listener.events[2].when, 20 * kMinute);
+  EXPECT_EQ(listener.events[3].kind, Event::kLeave);
+  EXPECT_EQ(listener.events[4].kind, Event::kDeath);
+  EXPECT_EQ(listener.events[4].when, 30 * kMinute);
+}
+
+TEST(TracePlayerTest, FirstJoinFlagOnlyOnFirstSession) {
+  trace::AvailabilityTrace tr(kHour, {});
+  trace::NodeTrace n;
+  n.id = NodeId::fromIndex(2);
+  n.sessions = {{0, kMinute}, {2 * kMinute, 3 * kMinute}, {4 * kMinute, 5 * kMinute}};
+  tr.add(n);
+
+  sim::Simulator sim;
+  RecordingListener listener(sim);
+  TracePlayer player(sim, tr);
+  player.schedule(listener);
+  sim.runUntil(tr.horizon());
+
+  int firstJoins = 0, rejoins = 0;
+  for (const Event& e : listener.events) {
+    firstJoins += e.kind == Event::kJoin ? 1 : 0;
+    rejoins += e.kind == Event::kRejoin ? 1 : 0;
+  }
+  EXPECT_EQ(firstJoins, 1);
+  EXPECT_EQ(rejoins, 2);
+}
+
+TEST(ChurnModelTest, NamesAreThePaperLabels) {
+  EXPECT_EQ(modelName(Model::kStat), "STAT");
+  EXPECT_EQ(modelName(Model::kSynth), "SYNTH");
+  EXPECT_EQ(modelName(Model::kSynthBD), "SYNTH-BD");
+  EXPECT_EQ(modelName(Model::kSynthBD2), "SYNTH-BD2");
+  EXPECT_EQ(modelName(Model::kPlanetLab), "PL");
+  EXPECT_EQ(modelName(Model::kOvernet), "OV");
+}
+
+TEST(ChurnModelTest, EffectiveStableSizeMatchesPaper) {
+  WorkloadParams p;
+  p.stableSize = 2000;
+  EXPECT_EQ(effectiveStableSize(Model::kStat, p), 2000u);
+  EXPECT_EQ(effectiveStableSize(Model::kSynthBD, p), 2000u);
+  EXPECT_EQ(effectiveStableSize(Model::kPlanetLab, p), 239u);
+  EXPECT_EQ(effectiveStableSize(Model::kOvernet, p), 550u);
+}
+
+TEST(ChurnModelTest, Bd2DoublesBirthRate) {
+  WorkloadParams p;
+  p.stableSize = 500;
+  p.horizon = 48 * kHour;
+  p.seed = 11;
+  const auto bd = generate(Model::kSynthBD, p);
+  const auto bd2 = generate(Model::kSynthBD2, p);
+  const auto bornBd = bd.bornBy(p.horizon) - 2 * p.stableSize;
+  const auto bornBd2 = bd2.bornBy(p.horizon) - 2 * p.stableSize;
+  EXPECT_NEAR(static_cast<double>(bornBd2),
+              2.0 * static_cast<double>(bornBd),
+              0.5 * static_cast<double>(bornBd));
+}
+
+TEST(ChurnModelTest, StatHasControlGroupSynthBDDoesNot) {
+  WorkloadParams p;
+  p.stableSize = 100;
+  p.horizon = 2 * kHour;
+  p.controlFraction = 0.1;
+
+  std::size_t statControls = 0;
+  for (const auto& n : generate(Model::kStat, p).nodes())
+    statControls += n.isControl ? 1 : 0;
+  EXPECT_EQ(statControls, 10u);
+
+  std::size_t bdControls = 0;
+  for (const auto& n : generate(Model::kSynthBD, p).nodes())
+    bdControls += n.isControl ? 1 : 0;
+  EXPECT_EQ(bdControls, 0u);  // implicit control group (born after warm-up)
+}
+
+TEST(ChurnModelTest, AllModelsProduceValidTraces) {
+  WorkloadParams p;
+  p.stableSize = 80;
+  p.horizon = 3 * kHour;
+  p.seed = 21;
+  for (Model m : {Model::kStat, Model::kSynth, Model::kSynthBD,
+                  Model::kSynthBD2, Model::kPlanetLab, Model::kOvernet}) {
+    const auto tr = generate(m, p);
+    std::string why;
+    EXPECT_TRUE(tr.validate(&why)) << modelName(m) << ": " << why;
+    EXPECT_GT(tr.nodes().size(), 0u) << modelName(m);
+  }
+}
+
+}  // namespace
+}  // namespace avmon::churn

@@ -1,0 +1,200 @@
+// NodeId and Rng unit/property tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace avmon {
+namespace {
+
+TEST(NodeIdTest, RoundTripsThroughBytes) {
+  const NodeId id(0xC0A80101u, 8080);  // 192.168.1.1:8080
+  EXPECT_EQ(NodeId::fromBytes(id.toBytes()), id);
+}
+
+TEST(NodeIdTest, BytesAreBigEndian) {
+  const NodeId id(0x01020304u, 0x0506);
+  const auto b = id.toBytes();
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+  EXPECT_EQ(b[4], 0x05);
+  EXPECT_EQ(b[5], 0x06);
+}
+
+TEST(NodeIdTest, ToStringFormatsDottedQuad) {
+  EXPECT_EQ(NodeId(0xC0A80101u, 8080).toString(), "192.168.1.1:8080");
+  EXPECT_EQ(NodeId().toString(), "0.0.0.0:0");
+}
+
+TEST(NodeIdTest, NilDetection) {
+  EXPECT_TRUE(NodeId().isNil());
+  EXPECT_FALSE(NodeId(1, 0).isNil());
+  EXPECT_FALSE(NodeId(0, 1).isNil());
+}
+
+TEST(NodeIdTest, FromIndexIsInjectiveForSimulationSizes) {
+  std::set<NodeId> seen;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    EXPECT_TRUE(seen.insert(NodeId::fromIndex(i)).second) << "index " << i;
+  }
+}
+
+TEST(NodeIdTest, OrderingIsTotal) {
+  const NodeId a(1, 1), b(1, 2), c(2, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(NodeIdTest, StdHashSpreadsDenseIndices) {
+  // Synthetic simulation ids are dense; the hash must still spread them.
+  std::unordered_set<std::size_t> buckets;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    buckets.insert(std::hash<NodeId>{}(NodeId::fromIndex(i)) % 256);
+  }
+  EXPECT_GT(buckets.size(), 200u);  // near-all buckets touched
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsIndependentOfParent) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // The child's stream must not reproduce the parent's.
+  Rng parentCopy = parent;
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child() == parentCopy()) ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, SuccessiveForksDiffer) {
+  Rng parent(7);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1() == c2()) ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsHalf) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);  // mean = 1/rate
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto s = rng.sample(v, 3);
+  ASSERT_EQ(s.size(), 3u);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(RngTest, SampleMoreThanSizeReturnsAll) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3};
+  const auto s = rng.sample(v, 10);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_DOUBLE_EQ(toSeconds(1500), 1.5);
+  EXPECT_DOUBLE_EQ(toMinutes(90 * kSecond), 1.5);
+}
+
+}  // namespace
+}  // namespace avmon

@@ -1,0 +1,107 @@
+// AvmonConfig and cvs-variant tests.
+#include <gtest/gtest.h>
+
+#include "avmon/config.hpp"
+
+namespace avmon {
+namespace {
+
+TEST(VariantTest, NamesAreStable) {
+  EXPECT_EQ(variantName(CvsVariant::kLogN), "logN");
+  EXPECT_EQ(variantName(CvsVariant::kOptimalMD), "MD");
+  EXPECT_EQ(variantName(CvsVariant::kOptimalMDC), "MDC");
+  EXPECT_EQ(variantName(CvsVariant::kOptimalDC), "DC");
+  EXPECT_EQ(variantName(CvsVariant::kPaperEval), "4*MDC");
+}
+
+TEST(VariantTest, PaperNumbersAtOneMillion) {
+  // Section 4.2 "In practice": N = 1M gives cvs = ⁴√N ≈ 32, K = log2 N = 20.
+  EXPECT_EQ(cvsForVariant(CvsVariant::kOptimalMDC, 1000000), 32u);
+  EXPECT_EQ(defaultK(1000000), 20u);
+}
+
+TEST(VariantTest, PaperNumbersAtTwoThousand) {
+  // Section 5.1: N = 2000 gives K = 11, cvs = 4·⁴√N ≈ 27.
+  EXPECT_EQ(defaultK(2000), 11u);
+  EXPECT_EQ(cvsForVariant(CvsVariant::kPaperEval, 2000), 27u);
+}
+
+TEST(VariantTest, MdGrowsFasterThanMdc) {
+  for (std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    EXPECT_GE(cvsForVariant(CvsVariant::kOptimalMD, n),
+              cvsForVariant(CvsVariant::kOptimalMDC, n))
+        << "N=" << n;
+  }
+}
+
+TEST(VariantTest, DcEqualsMdc) {
+  for (std::size_t n : {64u, 500u, 2000u, 50000u}) {
+    EXPECT_EQ(cvsForVariant(CvsVariant::kOptimalDC, n),
+              cvsForVariant(CvsVariant::kOptimalMDC, n));
+  }
+}
+
+TEST(VariantTest, MinimumCvsIsTwo) {
+  EXPECT_GE(cvsForVariant(CvsVariant::kOptimalMDC, 2), 2u);
+  EXPECT_GE(cvsForVariant(CvsVariant::kLogN, 2), 2u);
+}
+
+TEST(ConfigTest, PaperDefaultsValidate) {
+  for (std::size_t n : {100u, 239u, 550u, 2000u}) {
+    const AvmonConfig cfg = AvmonConfig::paperDefaults(n);
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.systemSize, n);
+    EXPECT_EQ(cfg.k, defaultK(n));
+    EXPECT_EQ(cfg.cvs, cvsForVariant(CvsVariant::kPaperEval, n));
+    EXPECT_EQ(cfg.protocolPeriod, kMinute);
+    EXPECT_EQ(cfg.monitoringPeriod, kMinute);
+    EXPECT_TRUE(cfg.forgetful.enabled);
+    EXPECT_EQ(cfg.forgetful.tau, 2 * kMinute);
+    EXPECT_DOUBLE_EQ(cfg.forgetful.c, 1.0);
+  }
+}
+
+TEST(ConfigTest, ValidateRejectsBadFields) {
+  AvmonConfig cfg = AvmonConfig::paperDefaults(1000);
+  cfg.systemSize = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AvmonConfig::paperDefaults(1000);
+  cfg.k = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AvmonConfig::paperDefaults(1000);
+  cfg.protocolPeriod = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AvmonConfig::paperDefaults(1000);
+  cfg.forgetful.c = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = AvmonConfig::paperDefaults(1000);
+  cfg.bytesPerEntry = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// Parameterized sweep: forVariant must produce a valid config across sizes.
+class VariantSweepTest
+    : public ::testing::TestWithParam<std::tuple<CvsVariant, std::size_t>> {};
+
+TEST_P(VariantSweepTest, ProducesValidConfig) {
+  const auto [variant, n] = GetParam();
+  const AvmonConfig cfg = AvmonConfig::forVariant(variant, n);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_GE(cfg.cvs, 2u);
+  EXPECT_GE(cfg.k, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAndSizes, VariantSweepTest,
+    ::testing::Combine(
+        ::testing::Values(CvsVariant::kLogN, CvsVariant::kOptimalMD,
+                          CvsVariant::kOptimalMDC, CvsVariant::kOptimalDC,
+                          CvsVariant::kPaperEval),
+        ::testing::Values<std::size_t>(10, 100, 1000, 100000, 1000000)));
+
+}  // namespace
+}  // namespace avmon

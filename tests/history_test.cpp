@@ -1,0 +1,109 @@
+// Availability-history store tests (raw / recent / aged).
+#include <gtest/gtest.h>
+
+#include "history/availability_history.hpp"
+
+namespace avmon::history {
+namespace {
+
+TEST(RawHistoryTest, EstimateIsUpFraction) {
+  RawHistory h;
+  EXPECT_DOUBLE_EQ(h.estimate(), 0.0);
+  h.record(1, true);
+  h.record(2, true);
+  h.record(3, false);
+  h.record(4, true);
+  EXPECT_DOUBLE_EQ(h.estimate(), 0.75);
+  EXPECT_EQ(h.sampleCount(), 4u);
+}
+
+TEST(RawHistoryTest, WindowedEstimate) {
+  RawHistory h;
+  for (SimTime t = 0; t < 10; ++t) h.record(t, t >= 5);
+  EXPECT_DOUBLE_EQ(h.estimateWindow(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(h.estimateWindow(5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(h.estimateWindow(0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(h.estimateWindow(20, 30), 0.0);  // empty window
+}
+
+TEST(RawHistoryTest, KeepsFullSampleLog) {
+  RawHistory h;
+  h.record(10, true);
+  h.record(20, false);
+  ASSERT_EQ(h.samples().size(), 2u);
+  EXPECT_EQ(h.samples()[0].when, 10);
+  EXPECT_TRUE(h.samples()[0].up);
+  EXPECT_FALSE(h.samples()[1].up);
+}
+
+TEST(RecentHistoryTest, SlidingWindowEvictsOldest) {
+  RecentHistory h(3);
+  h.record(1, false);
+  h.record(2, false);
+  h.record(3, true);
+  EXPECT_NEAR(h.estimate(), 1.0 / 3.0, 1e-12);
+  h.record(4, true);  // evicts the first false
+  EXPECT_NEAR(h.estimate(), 2.0 / 3.0, 1e-12);
+  h.record(5, true);  // evicts the second false
+  EXPECT_DOUBLE_EQ(h.estimate(), 1.0);
+  EXPECT_EQ(h.sampleCount(), 3u);
+}
+
+TEST(RecentHistoryTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RecentHistory h(0), std::invalid_argument);
+}
+
+TEST(AgedHistoryTest, ConvergesTowardRecentValue) {
+  AgedHistory h(0.5);
+  h.record(1, true);
+  EXPECT_DOUBLE_EQ(h.estimate(), 1.0);  // first sample initializes
+  h.record(2, false);
+  EXPECT_DOUBLE_EQ(h.estimate(), 0.5);
+  h.record(3, false);
+  EXPECT_DOUBLE_EQ(h.estimate(), 0.25);
+  for (int i = 0; i < 30; ++i) h.record(10 + i, false);
+  EXPECT_LT(h.estimate(), 0.01);
+}
+
+TEST(AgedHistoryTest, RejectsBadAlpha) {
+  EXPECT_THROW(AgedHistory h(0.0), std::invalid_argument);
+  EXPECT_THROW(AgedHistory h(-1.0), std::invalid_argument);
+  EXPECT_THROW(AgedHistory h(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(AgedHistory h(1.0));
+}
+
+TEST(HistoryFactoryTest, BuildsAllStyles) {
+  EXPECT_EQ(makeHistory("raw")->name(), "raw");
+  EXPECT_EQ(makeHistory("recent")->name(), "recent");
+  EXPECT_EQ(makeHistory("aged")->name(), "aged");
+  EXPECT_THROW(makeHistory("bogus"), std::invalid_argument);
+}
+
+TEST(HistoryFactoryTest, HonorsParameters) {
+  const auto recent = makeHistory("recent", 7);
+  auto* r = dynamic_cast<RecentHistory*>(recent.get());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->capacity(), 7u);
+
+  const auto aged = makeHistory("aged", 0.25);
+  auto* a = dynamic_cast<AgedHistory*>(aged.get());
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->alpha(), 0.25);
+}
+
+// Property: all stores agree on a constant signal.
+class HistoryAgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HistoryAgreementTest, ConstantSignalEstimatesExactly) {
+  for (bool value : {true, false}) {
+    const auto h = makeHistory(GetParam());
+    for (SimTime t = 0; t < 100; ++t) h->record(t, value);
+    EXPECT_DOUBLE_EQ(h->estimate(), value ? 1.0 : 0.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, HistoryAgreementTest,
+                         ::testing::Values("raw", "recent", "aged"));
+
+}  // namespace
+}  // namespace avmon::history

@@ -1,0 +1,147 @@
+// Join-weight semantics (Figure 1): a freshly born node spreads a JOIN of
+// weight cvs; a node rejoining after downtime d spreads weight
+// min(cvs, d/protocolPeriod) — it only replaces the coarse-view entries
+// that the once-per-period pinging deleted while it was gone.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "avmon/node.hpp"
+#include "common/rng.hpp"
+#include "hash/hash_function.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon {
+namespace {
+
+class JoinWeightFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kCount = 50;
+
+  JoinWeightFixture()
+      : config_(makeConfig()),
+        selector_(hashFn_, config_.k, config_.systemSize),
+        net_(sim_, sim::NetworkConfig{}, Rng(9)),
+        root_(10) {
+    const auto bootstrap = [this](const NodeId& self) {
+      for (int i = 0; i < 4; ++i) {
+        if (alive_.empty()) return NodeId{};
+        const NodeId pick = alive_[root_.index(alive_.size())];
+        if (pick != self) return pick;
+      }
+      return NodeId{};
+    };
+    for (std::size_t i = 0; i < kCount; ++i) {
+      nodes_.push_back(std::make_unique<AvmonNode>(
+          NodeId::fromIndex(static_cast<std::uint32_t>(i)), config_,
+          selector_, sim_, net_, bootstrap, root_.fork()));
+    }
+  }
+
+  static AvmonConfig makeConfig() {
+    AvmonConfig cfg = AvmonConfig::paperDefaults(kCount);
+    cfg.protocolPeriod = 10 * kSecond;
+    cfg.monitoringPeriod = 10 * kSecond;
+    return cfg;
+  }
+
+  void joinAll() {
+    for (auto& n : nodes_) {
+      n->join(true);
+      alive_.push_back(n->id());
+    }
+  }
+
+  std::uint64_t totalJoinAdds() const {
+    std::uint64_t adds = 0;
+    for (const auto& n : nodes_) adds += n->metrics().joinAdds;
+    return adds;
+  }
+
+  AvmonConfig config_;
+  sim::Simulator sim_;
+  hash::SplitMix64HashFunction hashFn_;
+  HashMonitorSelector selector_;
+  sim::Network net_;
+  Rng root_;
+  std::vector<NodeId> alive_;
+  std::vector<std::unique_ptr<AvmonNode>> nodes_;
+};
+
+TEST_F(JoinWeightFixture, BirthJoinAddsUpToCvsEntries) {
+  joinAll();
+  sim_.runUntil(20 * kMinute);
+
+  const std::uint64_t before = totalJoinAdds();
+  // A brand-new node is born.
+  auto fresh = std::make_unique<AvmonNode>(
+      NodeId::fromIndex(1000), config_, selector_, sim_, net_,
+      [this](const NodeId&) { return alive_[0]; }, root_.fork());
+  fresh->join(true);
+  sim_.runUntil(20 * kMinute + 5 * kSecond);  // before any protocol tick
+
+  const std::uint64_t adds = totalJoinAdds() - before;
+  EXPECT_GT(adds, config_.cvs / 2);  // most of the weight lands
+  EXPECT_LE(adds, config_.cvs);      // never more than the initial weight
+}
+
+TEST_F(JoinWeightFixture, QuickRejoinSpreadsProportionallyToDowntime) {
+  joinAll();
+  sim_.runUntil(20 * kMinute);
+
+  AvmonNode& bouncer = *nodes_[0];
+  bouncer.leave();
+  std::erase(alive_, bouncer.id());
+
+  // Down for exactly 3 protocol periods.
+  sim_.runUntil(20 * kMinute + 3 * config_.protocolPeriod);
+  const std::uint64_t before = totalJoinAdds();
+  bouncer.join(false);
+  alive_.push_back(bouncer.id());
+  sim_.runUntil(20 * kMinute + 3 * config_.protocolPeriod + 5 * kSecond);
+
+  // Rejoin weight = min(cvs, 3) = 3: at most 3 coarse views gain it via
+  // the JOIN (the inherit-view shuffle does not count as joinAdds).
+  EXPECT_LE(totalJoinAdds() - before, 3u);
+}
+
+TEST_F(JoinWeightFixture, LongDowntimeRestoresFullWeight) {
+  joinAll();
+  sim_.runUntil(20 * kMinute);
+
+  AvmonNode& bouncer = *nodes_[0];
+  bouncer.leave();
+  std::erase(alive_, bouncer.id());
+
+  // Down far longer than cvs periods: weight is capped at cvs again.
+  sim_.runUntil(20 * kMinute + 3 * static_cast<SimDuration>(config_.cvs) *
+                                    config_.protocolPeriod);
+  const std::uint64_t before = totalJoinAdds();
+  bouncer.join(false);
+  alive_.push_back(bouncer.id());
+  sim_.runUntil(sim_.now() + 5 * kSecond);
+
+  // Adds never exceed the JOIN weight; the *total* representation (stale
+  // surviving pointers + fresh JOIN adds) lands back near cvs — the
+  // protocol's steady-state target of "expected cvs views know x".
+  EXPECT_LE(totalJoinAdds() - before, config_.cvs);
+  std::size_t holders = 0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    for (const NodeId& id : nodes_[i]->coarseView()) {
+      if (id == bouncer.id()) {
+        ++holders;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(holders, config_.cvs / 2);
+  // No tight upper bound here: at this toy scale cvs is not o(sqrt N), so
+  // stale pointers can replicate via shuffling well beyond cvs before the
+  // once-per-period pinging reaps them (Section 4.1's regime assumption).
+  EXPECT_LE(holders, nodes_.size());
+}
+
+}  // namespace
+}  // namespace avmon

@@ -1,0 +1,88 @@
+// Cross-model invariant sweep: every churn model × several seeds, one
+// compact scenario each, asserting the protocol's universal invariants.
+// This is the broad-coverage safety net; figure-specific behaviour lives
+// in the dedicated tests and benches.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_set>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+class ModelSeedSweep
+    : public ::testing::TestWithParam<std::tuple<churn::Model, std::uint64_t>> {
+};
+
+TEST_P(ModelSeedSweep, UniversalInvariantsHold) {
+  const auto [model, seed] = GetParam();
+
+  Scenario s;
+  s.model = model;
+  s.stableSize = 120;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.controlFraction = 0.1;
+  s.seed = seed;
+  s.hashName = "splitmix64";
+  ScenarioRunner runner(s);
+  runner.run();
+
+  // The generated schedule is internally consistent.
+  std::string why;
+  ASSERT_TRUE(runner.schedule().validate(&why)) << why;
+
+  hash::SplitMix64HashFunction hashFn;
+  HashMonitorSelector selector(hashFn, runner.config().k, runner.effectiveN());
+
+  std::size_t totalPs = 0;
+  for (const auto& nt : runner.schedule().nodes()) {
+    const AvmonNode& node = runner.node(nt.id);
+
+    // Coarse view: bounded, unique, never self.
+    EXPECT_LE(node.coarseView().size(), runner.config().cvs);
+    std::unordered_set<NodeId> unique(node.coarseView().begin(),
+                                      node.coarseView().end());
+    EXPECT_EQ(unique.size(), node.coarseView().size());
+    EXPECT_FALSE(unique.contains(node.id()));
+
+    // PS/TS: sound (verified against the public scheme), never self.
+    for (const NodeId& m : node.pingingSet()) {
+      ASSERT_TRUE(selector.isMonitor(m, node.id()))
+          << churn::modelName(model) << " seed " << seed;
+    }
+    for (const auto& [t, rec] : node.targetSet()) {
+      ASSERT_TRUE(selector.isMonitor(node.id(), t));
+      ASSERT_NE(rec.history, nullptr);
+    }
+    totalPs += node.pingingSet().size();
+
+    // Memory identity.
+    EXPECT_EQ(node.memoryEntries(),
+              node.coarseView().size() + node.pingingSet().size() +
+                  node.targetSet().size());
+  }
+  // The system did discover monitoring relations under every model.
+  EXPECT_GT(totalPs, 0u) << churn::modelName(model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelSeedSweep,
+    ::testing::Combine(
+        ::testing::Values(churn::Model::kStat, churn::Model::kSynth,
+                          churn::Model::kSynthBD, churn::Model::kSynthBD2,
+                          churn::Model::kPlanetLab, churn::Model::kOvernet),
+        ::testing::Values<std::uint64_t>(1, 42)),
+    [](const ::testing::TestParamInfo<ModelSeedSweep::ParamType>& info) {
+      std::string name = churn::modelName(std::get<0>(info.param)) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -1,0 +1,115 @@
+// Fault-model tests for the simulated network: injected message drops and
+// RPC timeouts behave statistically as configured and account bytes the
+// way the bandwidth figures expect.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::sim {
+namespace {
+
+class CountingEndpoint final : public Endpoint {
+ public:
+  void onMessage(const NodeId&, const std::any&) override { ++received; }
+  int received = 0;
+};
+
+TEST(NetworkFaultTest, DropProbabilityIsHonored) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.messageDropProbability = 0.5;
+  Network net(sim, cfg, Rng(1));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+
+  constexpr int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(idA, idB, std::string("m"), 1);
+  }
+  sim.runUntil(kSecond);
+  EXPECT_NEAR(static_cast<double>(b.received) / kSends, 0.5, 0.05);
+  // Dropped messages still count as lost for diagnostics.
+  EXPECT_EQ(net.lost() + static_cast<std::uint64_t>(b.received), kSends);
+}
+
+TEST(NetworkFaultTest, DroppedSendsStillChargeSender) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.messageDropProbability = 1.0;
+  Network net(sim, cfg, Rng(2));
+
+  CountingEndpoint a;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.setUp(idA, true);
+  net.send(idA, idB, std::string("m"), 42);
+  EXPECT_EQ(net.traffic(idA).bytesSent, 42u);
+}
+
+TEST(NetworkFaultTest, RpcFailProbabilityIsHonored) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.rpcFailProbability = 0.3;
+  Network net(sim, cfg, Rng(3));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+
+  constexpr int kCalls = 2000;
+  int ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    ok += net.rpc(idA, idB, 8, 8) != nullptr ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ok) / kCalls, 0.7, 0.05);
+}
+
+TEST(NetworkFaultTest, FailedRpcChargesOnlyRequest) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.rpcFailProbability = 1.0;
+  Network net(sim, cfg, Rng(4));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+
+  EXPECT_EQ(net.rpc(idA, idB, 8, 100), nullptr);
+  EXPECT_EQ(net.traffic(idA).bytesSent, 8u);
+  EXPECT_EQ(net.traffic(idB).bytesSent, 0u);  // no response produced
+}
+
+TEST(NetworkFaultTest, ZeroProbabilityIsFaultless) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{}, Rng(5));
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+  for (int i = 0; i < 500; ++i) {
+    net.send(idA, idB, std::string("m"), 1);
+    EXPECT_NE(net.rpc(idA, idB, 1, 1), nullptr);
+  }
+  sim.runUntil(kSecond);
+  EXPECT_EQ(b.received, 500);
+}
+
+}  // namespace
+}  // namespace avmon::sim

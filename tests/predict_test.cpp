@@ -1,0 +1,175 @@
+// Availability-predictor tests: per-predictor behaviour plus offline
+// evaluation against synthetic schedules with known structure.
+#include <gtest/gtest.h>
+
+#include "predict/evaluation.hpp"
+#include "predict/predictors.hpp"
+#include "trace/generators.hpp"
+
+namespace avmon::predict {
+namespace {
+
+TEST(RightNowTest, TracksLastSample) {
+  RightNowPredictor p;
+  EXPECT_FALSE(p.predictUp(0));  // no evidence: down
+  p.observe(1, true);
+  EXPECT_TRUE(p.predictUp(100));
+  p.observe(2, false);
+  EXPECT_FALSE(p.predictUp(100));
+  EXPECT_GT(p.confidence(100), 0.5);
+}
+
+TEST(SaturatingCounterTest, NeedsRepeatedEvidenceToFlip) {
+  SaturatingCounterPredictor p(2);  // states 0..3, starts at 1 (down-ish)
+  p.observe(0, true);
+  p.observe(1, true);  // counter 3
+  EXPECT_TRUE(p.predictUp(2));
+  p.observe(2, false);  // counter 2: still up (hysteresis)
+  EXPECT_TRUE(p.predictUp(3));
+  p.observe(3, false);  // counter 1: flips down
+  EXPECT_FALSE(p.predictUp(4));
+}
+
+TEST(SaturatingCounterTest, SaturatesAtBounds) {
+  SaturatingCounterPredictor p(2);
+  for (int i = 0; i < 100; ++i) p.observe(i, true);
+  EXPECT_EQ(p.counter(), p.max());
+  for (int i = 0; i < 100; ++i) p.observe(100 + i, false);
+  EXPECT_EQ(p.counter(), 0u);
+}
+
+TEST(SaturatingCounterTest, RejectsBadBits) {
+  EXPECT_THROW(SaturatingCounterPredictor p(0), std::invalid_argument);
+  EXPECT_THROW(SaturatingCounterPredictor p(17), std::invalid_argument);
+}
+
+TEST(SaturatingCounterTest, ConfidenceGrowsTowardSaturation) {
+  SaturatingCounterPredictor p(3);
+  const double undecided = p.confidence(0);
+  for (int i = 0; i < 10; ++i) p.observe(i, true);
+  EXPECT_GT(p.confidence(0), undecided);
+}
+
+TEST(HistoryCountsTest, LearnsDiurnalPattern) {
+  // Node up 08:00-20:00, down otherwise, every day for a week.
+  HistoryCountsPredictor p(kHour);
+  for (int day = 0; day < 7; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const SimTime t = day * kDay + hour * kHour + 30 * kMinute;
+      p.observe(t, hour >= 8 && hour < 20);
+    }
+  }
+  // Forecast a fresh day.
+  EXPECT_TRUE(p.predictUp(10 * kDay + 12 * kHour));   // noon: up
+  EXPECT_FALSE(p.predictUp(10 * kDay + 3 * kHour));   // 3 am: down
+  EXPECT_GT(p.confidence(10 * kDay + 12 * kHour), 0.9);
+}
+
+TEST(HistoryCountsTest, NoEvidenceIsConservative) {
+  HistoryCountsPredictor p(kHour);
+  EXPECT_FALSE(p.predictUp(5 * kHour));
+  EXPECT_DOUBLE_EQ(p.confidence(5 * kHour), 0.5);
+}
+
+TEST(HistoryCountsTest, RejectsBadSlotLength) {
+  EXPECT_THROW(HistoryCountsPredictor p(0), std::invalid_argument);
+  EXPECT_THROW(HistoryCountsPredictor p(2 * kDay), std::invalid_argument);
+}
+
+TEST(LinearEwmaTest, ConvergesToSteadySignal) {
+  LinearEwmaPredictor p(0.2);
+  for (int i = 0; i < 50; ++i) p.observe(i, true);
+  EXPECT_TRUE(p.predictUp(100));
+  EXPECT_GT(p.confidence(100), 0.9);
+  for (int i = 0; i < 50; ++i) p.observe(100 + i, false);
+  EXPECT_FALSE(p.predictUp(200));
+}
+
+TEST(LinearEwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(LinearEwmaPredictor p(0.0), std::invalid_argument);
+  EXPECT_THROW(LinearEwmaPredictor p(1.5), std::invalid_argument);
+}
+
+TEST(PredictorFactoryTest, BuildsAllAndRejectsUnknown) {
+  for (const char* name : {"right-now", "saturating-counter",
+                           "history-counts", "linear-ewma"}) {
+    EXPECT_EQ(makePredictor(name)->name(), name);
+  }
+  EXPECT_THROW(makePredictor("oracle"), std::invalid_argument);
+}
+
+TEST(ReplayTest, FeedsHistoryInOrder) {
+  history::RawHistory h;
+  h.record(1, true);
+  h.record(2, true);
+  h.record(3, false);
+  RightNowPredictor p;
+  replay(p, h);
+  EXPECT_FALSE(p.predictUp(10));  // last sample was down
+}
+
+// ---- offline evaluation ----
+
+TEST(EvaluationTest, PerfectOnStaticNode) {
+  trace::NodeTrace node;
+  node.id = NodeId::fromIndex(1);
+  node.sessions = {{0, 10 * kHour}};
+
+  RightNowPredictor p;
+  EvalConfig cfg;
+  cfg.samplePeriod = kMinute;
+  cfg.horizon = 10 * kMinute;
+  cfg.trainUntil = kHour;
+  const Score s = evaluate(p, node, 10 * kHour, cfg);
+  ASSERT_GT(s.predictions, 0u);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(EvaluationTest, HistoryCountsBeatsRightNowOnDiurnal) {
+  // Build a strongly diurnal trace: up 09:00-21:00 daily.
+  trace::NodeTrace node;
+  node.id = NodeId::fromIndex(2);
+  for (int day = 0; day < 4; ++day) {
+    node.sessions.push_back(
+        {day * kDay + 9 * kHour, day * kDay + 21 * kHour});
+  }
+  const SimTime end = 4 * kDay;
+
+  EvalConfig cfg;
+  cfg.samplePeriod = 10 * kMinute;
+  cfg.horizon = 6 * kHour;  // long horizon: state will have flipped
+  cfg.trainUntil = kDay;    // one day of training
+
+  HistoryCountsPredictor diurnal(kHour);
+  const Score sd = evaluate(diurnal, node, end, cfg);
+  RightNowPredictor naive;
+  const Score sn = evaluate(naive, node, end, cfg);
+
+  EXPECT_GT(sd.accuracy(), 0.9);
+  EXPECT_GT(sd.accuracy(), sn.accuracy());
+}
+
+TEST(EvaluationTest, EvaluateAllAggregatesOverTrace) {
+  trace::SynthParams params;
+  params.stableSize = 30;
+  params.horizon = 12 * kHour;
+  params.seed = 4;
+  const auto tr = trace::generateSynth(params);
+
+  EvalConfig cfg;
+  cfg.samplePeriod = 5 * kMinute;
+  cfg.horizon = 30 * kMinute;
+  cfg.trainUntil = 2 * kHour;
+
+  const auto scores = evaluateAll(
+      {"right-now", "saturating-counter", "linear-ewma"}, tr, cfg);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const Score& s : scores) {
+    EXPECT_GT(s.predictions, 100u) << s.predictor;
+    // Any sane predictor beats a coin on sticky exponential sessions.
+    EXPECT_GT(s.accuracy(), 0.55) << s.predictor;
+  }
+}
+
+}  // namespace
+}  // namespace avmon::predict

@@ -1,0 +1,119 @@
+// Replica-planner tests: strategy behaviour, provisioning math, and the
+// smart-beats-agnostic property that motivates availability monitoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "replication/replica_planner.hpp"
+
+namespace avmon::replication {
+namespace {
+
+std::vector<Candidate> makeCandidates() {
+  std::vector<Candidate> c;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    c.push_back({NodeId::fromIndex(i), 0.05 * static_cast<double>(i)});
+  }
+  return c;  // availabilities 0.00 .. 0.95
+}
+
+TEST(PlaceTest, MostAvailablePicksTop) {
+  Rng rng(1);
+  const auto replicas = place(makeCandidates(), 3, Strategy::kMostAvailable, rng);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_DOUBLE_EQ(replicas[0].availability, 0.95);
+  EXPECT_DOUBLE_EQ(replicas[1].availability, 0.90);
+  EXPECT_DOUBLE_EQ(replicas[2].availability, 0.85);
+}
+
+TEST(PlaceTest, RandomReturnsDistinctNodes) {
+  Rng rng(2);
+  const auto replicas = place(makeCandidates(), 5, Strategy::kRandom, rng);
+  ASSERT_EQ(replicas.size(), 5u);
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      EXPECT_NE(replicas[i].id, replicas[j].id);
+    }
+  }
+}
+
+TEST(PlaceTest, AboveBarRespectsBarWhenPossible) {
+  Rng rng(3);
+  const auto replicas =
+      place(makeCandidates(), 2, Strategy::kRandomAboveBar, rng, 0.8);
+  ASSERT_EQ(replicas.size(), 2u);
+  for (const Candidate& c : replicas) EXPECT_GE(c.availability, 0.8);
+}
+
+TEST(PlaceTest, AboveBarFallsBackWhenBarTooHigh) {
+  Rng rng(4);
+  // Nobody clears 0.99; must still return r replicas.
+  const auto replicas =
+      place(makeCandidates(), 4, Strategy::kRandomAboveBar, rng, 0.99);
+  EXPECT_EQ(replicas.size(), 4u);
+}
+
+TEST(PlaceTest, FewCandidatesReturnsAll) {
+  Rng rng(5);
+  std::vector<Candidate> two = {{NodeId::fromIndex(1), 0.5},
+                                {NodeId::fromIndex(2), 0.6}};
+  EXPECT_EQ(place(two, 5, Strategy::kRandom, rng).size(), 2u);
+}
+
+TEST(GroupAvailabilityTest, MatchesClosedForm) {
+  std::vector<Candidate> r = {{NodeId::fromIndex(1), 0.5},
+                              {NodeId::fromIndex(2), 0.5}};
+  EXPECT_DOUBLE_EQ(groupAvailability(r), 0.75);
+  r.push_back({NodeId::fromIndex(3), 1.0});
+  EXPECT_DOUBLE_EQ(groupAvailability(r), 1.0);
+  EXPECT_DOUBLE_EQ(groupAvailability({}), 0.0);
+}
+
+TEST(ReplicasNeededTest, MatchesProvisioningRule) {
+  // 1-(1-0.5)^r >= 0.99  =>  r >= log(0.01)/log(0.5) = 6.64 -> 7.
+  EXPECT_EQ(replicasNeeded(0.5, 0.99), 7u);
+  // Highly available nodes need few replicas.
+  EXPECT_EQ(replicasNeeded(0.95, 0.99), 2u);
+  EXPECT_THROW(replicasNeeded(0.0, 0.9), std::invalid_argument);
+  EXPECT_THROW(replicasNeeded(1.0, 0.9), std::invalid_argument);
+  EXPECT_THROW(replicasNeeded(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(ReplicasNeededTest, MonotoneInTargetAndAvailability) {
+  EXPECT_GE(replicasNeeded(0.5, 0.999), replicasNeeded(0.5, 0.9));
+  EXPECT_GE(replicasNeeded(0.3, 0.99), replicasNeeded(0.8, 0.99));
+}
+
+TEST(RepairRateTest, LinearInReplicasAndChurn) {
+  EXPECT_DOUBLE_EQ(expectedRepairsPerHour(3, 0.2), 0.6);
+  EXPECT_DOUBLE_EQ(expectedRepairsPerHour(0, 0.2), 0.0);
+  EXPECT_THROW(expectedRepairsPerHour(3, -1.0), std::invalid_argument);
+}
+
+TEST(StrategyComparisonTest, SmartBeatsRandomOnSkewedPopulations) {
+  // The Godfrey-et-al. property: with heterogeneous availabilities,
+  // informed placement dominates random placement for every r.
+  Rng rng(7);
+  const auto candidates = makeCandidates();
+  for (std::size_t r : {1u, 2u, 3u}) {
+    Rng smartRng(10), randomRng(10);
+    const double smart = groupAvailability(
+        place(candidates, r, Strategy::kMostAvailable, smartRng));
+    // Average random over draws.
+    double randomSum = 0;
+    for (int d = 0; d < 100; ++d) {
+      randomSum += groupAvailability(
+          place(candidates, r, Strategy::kRandom, randomRng));
+    }
+    EXPECT_GT(smart, randomSum / 100.0) << "r=" << r;
+  }
+}
+
+TEST(StrategyNameTest, AllNamed) {
+  EXPECT_EQ(strategyName(Strategy::kRandom), "random");
+  EXPECT_EQ(strategyName(Strategy::kMostAvailable), "most-available");
+  EXPECT_EQ(strategyName(Strategy::kRandomAboveBar), "random-above-bar");
+}
+
+}  // namespace
+}  // namespace avmon::replication

@@ -1,0 +1,117 @@
+// ScenarioRunner metric plumbing: measured-set overrides, accuracy
+// alignment, bandwidth normalization, and probe helpers.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+Scenario tiny(churn::Model model) {
+  Scenario s;
+  s.model = model;
+  s.stableSize = 120;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.controlFraction = 0.1;
+  s.seed = 314;
+  s.hashName = "splitmix64";
+  return s;
+}
+
+TEST(ScenarioMetricsTest, MeasuredSetOverrideAll) {
+  Scenario s = tiny(churn::Model::kStat);
+  s.measured = MeasuredSet::kAll;
+  ScenarioRunner runner(s);
+  EXPECT_EQ(runner.measuredIds().size(), runner.schedule().nodes().size());
+}
+
+TEST(ScenarioMetricsTest, MeasuredSetOverrideControl) {
+  Scenario s = tiny(churn::Model::kStat);
+  s.measured = MeasuredSet::kControlGroup;
+  ScenarioRunner runner(s);
+  EXPECT_EQ(runner.measuredIds().size(), 12u);  // 10% of 120
+}
+
+TEST(ScenarioMetricsTest, MeasuredSetBornAfterWarmupOnStatIsControlOnly) {
+  // In STAT the only nodes born after warm-up are the control group.
+  Scenario s = tiny(churn::Model::kStat);
+  s.measured = MeasuredSet::kBornAfterWarmup;
+  ScenarioRunner runner(s);
+  EXPECT_EQ(runner.measuredIds().size(), 12u);
+}
+
+TEST(ScenarioMetricsTest, MaxBandwidthNodeIsConsistent) {
+  ScenarioRunner runner(tiny(churn::Model::kStat));
+  runner.run();
+  const NodeId top = runner.maxBandwidthNode();
+  EXPECT_FALSE(top.isNil());
+  // The reported node must exist and be probe-able.
+  EXPECT_NO_THROW(runner.node(top));
+}
+
+TEST(ScenarioMetricsTest, MutableNodeAllowsAttackInjectionMidRun) {
+  Scenario s = tiny(churn::Model::kStat);
+  ScenarioRunner runner(s);
+  runner.run();
+  const NodeId someone = runner.measuredIds().front();
+  runner.mutableNode(someone).setOverreporting(true);
+  // The lie is visible through the estimate API for any target it has.
+  const auto& node = runner.node(someone);
+  if (!node.targetSet().empty()) {
+    const NodeId target = node.targetSet().begin()->first;
+    EXPECT_DOUBLE_EQ(*node.availabilityEstimateOf(target), 1.0);
+  }
+}
+
+TEST(ScenarioMetricsTest, AccuracyEstimatesAreAligned) {
+  // In a STAT run every node is always up: both the estimate and the
+  // aligned actual must be exactly 1.
+  Scenario s = tiny(churn::Model::kStat);
+  ScenarioRunner runner(s);
+  runner.run();
+  const auto acc = runner.availabilityAccuracy(/*measuredOnly=*/false);
+  ASSERT_FALSE(acc.empty());
+  for (const auto& a : acc) {
+    EXPECT_DOUBLE_EQ(a.estimated, 1.0) << a.id.toString();
+    EXPECT_DOUBLE_EQ(a.actual, 1.0) << a.id.toString();
+    EXPECT_GT(a.reporters, 0u);
+  }
+}
+
+TEST(ScenarioMetricsTest, BandwidthSamplesArePositiveAndFinite) {
+  ScenarioRunner runner(tiny(churn::Model::kSynth));
+  runner.run();
+  for (double bps : runner.outgoingBytesPerSecond()) {
+    EXPECT_GT(bps, 0.0);
+    EXPECT_LT(bps, 10000.0);
+  }
+}
+
+TEST(ScenarioMetricsTest, DiscoveredFractionCountsOnlyJoiners) {
+  // OV has nodes that never come up inside a short horizon; the fraction
+  // must be computed over nodes that joined, so a healthy run scores high.
+  Scenario s = tiny(churn::Model::kOvernet);
+  s.horizon = 2 * kHour;
+  ScenarioRunner runner(s);
+  runner.run();
+  EXPECT_GT(runner.discoveredFraction(1), 0.8);
+}
+
+TEST(ScenarioMetricsTest, UselessPingsOnlyCountMonitors) {
+  ScenarioRunner runner(tiny(churn::Model::kStat));
+  runner.run();
+  // STAT: nobody is ever absent, so useless pings are ~0 for everyone.
+  for (double upm : runner.uselessPingsPerMinute()) {
+    EXPECT_LT(upm, 0.05);
+  }
+}
+
+TEST(ScenarioMetricsTest, EffectiveNOverridesForTraceModels) {
+  EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kPlanetLab)).effectiveN(), 239u);
+  EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kOvernet)).effectiveN(), 550u);
+  EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kStat)).effectiveN(), 120u);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

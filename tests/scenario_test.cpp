@@ -1,0 +1,214 @@
+// Integration tests: full scenarios through the experiment harness,
+// checking the headline behaviours the paper's evaluation reports.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+Scenario baseScenario(churn::Model model, std::size_t n) {
+  Scenario s;
+  s.model = model;
+  s.stableSize = n;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.controlFraction = 0.1;
+  s.seed = 42;
+  s.hashName = "splitmix64";  // fast; selection shape is hash-agnostic
+  return s;
+}
+
+TEST(ScenarioTest, StatDiscoveryIsFast) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 150));
+  runner.run();
+
+  // Paper Figure 3: average discovery of the first monitor stays below one
+  // protocol period (1 minute).
+  const auto delays = runner.discoveryDelaysSeconds(1);
+  ASSERT_FALSE(delays.empty());
+  double sum = 0;
+  for (double d : delays) sum += d;
+  EXPECT_LT(sum / static_cast<double>(delays.size()), 150.0);
+  EXPECT_GT(runner.discoveredFraction(1), 0.85);
+}
+
+TEST(ScenarioTest, ControlGroupIsTenPercent) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 150));
+  EXPECT_EQ(runner.measuredIds().size(), 15u);
+}
+
+TEST(ScenarioTest, SynthDiscoveryUnaffectedByChurn) {
+  ScenarioRunner runner(baseScenario(churn::Model::kSynth, 150));
+  runner.run();
+  EXPECT_GT(runner.discoveredFraction(1), 0.8);
+}
+
+TEST(ScenarioTest, SynthBDMeasuresNodesBornAfterWarmup) {
+  Scenario s = baseScenario(churn::Model::kSynthBD, 200);
+  s.horizon = 3 * kHour;
+  ScenarioRunner runner(s);
+  for (const NodeId& id : runner.measuredIds()) {
+    bool found = false;
+    for (const auto& nt : runner.schedule().nodes()) {
+      if (nt.id == id) {
+        EXPECT_GE(nt.birth, s.warmup);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ScenarioTest, MemoryStaysNearExpectedValue) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 200));
+  runner.run();
+
+  // Paper Figure 9: |CV|+|PS|+|TS| ≈ cvs + 2K.
+  const auto& cfg = runner.config();
+  const double expected =
+      static_cast<double>(cfg.cvs) + 2.0 * static_cast<double>(cfg.k);
+  const auto entries = runner.memoryEntries(/*measuredOnly=*/false);
+  ASSERT_FALSE(entries.empty());
+  double sum = 0;
+  for (double e : entries) sum += e;
+  const double mean = sum / static_cast<double>(entries.size());
+  EXPECT_GT(mean, expected * 0.5);
+  EXPECT_LT(mean, expected * 1.5);
+}
+
+TEST(ScenarioTest, ComputationRateMatchesAnalyticalOrder) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 200));
+  runner.run();
+
+  // Paper Figure 7: per-minute checks close to 2·cvs²; per second that is
+  // 2·cvs²/60.
+  const auto& cfg = runner.config();
+  const double perSecond =
+      2.0 * static_cast<double>(cfg.cvs * cfg.cvs) / 60.0;
+  for (double c : runner.computationsPerSecond()) {
+    EXPECT_LT(c, perSecond * 2.5);
+  }
+}
+
+TEST(ScenarioTest, EveryInstalledMonitorSatisfiesTheCondition) {
+  ScenarioRunner runner(baseScenario(churn::Model::kSynth, 120));
+  runner.run();
+
+  // System-wide soundness: the runner's nodes never install an unverified
+  // monitor, under churn included.
+  hash::SplitMix64HashFunction hashFn;
+  HashMonitorSelector selector(hashFn, runner.config().k, runner.effectiveN());
+  for (const auto& nt : runner.schedule().nodes()) {
+    const AvmonNode& node = runner.node(nt.id);
+    for (const NodeId& m : node.pingingSet()) {
+      EXPECT_TRUE(selector.isMonitor(m, node.id()));
+    }
+  }
+}
+
+TEST(ScenarioTest, ForgetfulReducesUselessPings) {
+  Scenario with = baseScenario(churn::Model::kSynthBD, 150);
+  with.horizon = 3 * kHour;
+  with.forgetful = true;
+  ScenarioRunner withRunner(with);
+  withRunner.run();
+
+  Scenario without = with;
+  without.forgetful = false;
+  ScenarioRunner withoutRunner(without);
+  withoutRunner.run();
+
+  const auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  // Paper Figure 18: forgetful pinging reduces useless pings sharply.
+  EXPECT_LT(mean(withRunner.uselessPingsPerMinute()),
+            mean(withoutRunner.uselessPingsPerMinute()));
+}
+
+TEST(ScenarioTest, AvailabilityEstimatesTrackTruthWithoutForgetting) {
+  Scenario s = baseScenario(churn::Model::kSynth, 150);
+  s.horizon = 4 * kHour;
+  s.forgetful = false;
+  ScenarioRunner runner(s);
+  runner.run();
+
+  // Paper Figure 17: non-forgetful estimation is accurate.
+  const auto acc = runner.availabilityAccuracy(/*measuredOnly=*/true);
+  ASSERT_FALSE(acc.empty());
+  double err = 0;
+  for (const auto& a : acc) err += std::abs(a.estimated - a.actual);
+  EXPECT_LT(err / static_cast<double>(acc.size()), 0.15);
+}
+
+TEST(ScenarioTest, OverreportersSkewOnlyFewNodes) {
+  Scenario s = baseScenario(churn::Model::kSynth, 200);
+  s.horizon = 3 * kHour;
+  s.overreportFraction = 0.1;
+  s.forgetful = false;
+  ScenarioRunner runner(s);
+  runner.run();
+
+  // Paper Figure 20: the fraction of nodes whose PS-averaged estimate is
+  // off by > 0.2 stays small even with 10% attackers.
+  const auto acc = runner.availabilityAccuracy(/*measuredOnly=*/false);
+  ASSERT_FALSE(acc.empty());
+  std::size_t affected = 0;
+  for (const auto& a : acc) {
+    if (std::abs(a.estimated - a.actual) > 0.2) ++affected;
+  }
+  EXPECT_LT(static_cast<double>(affected) / static_cast<double>(acc.size()),
+            0.25);
+}
+
+TEST(ScenarioTest, BandwidthIsModest) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 200));
+  runner.run();
+
+  // Paper Section 5.1: ~(K+cvs)·8B per minute per node, plus NOTIFYs.
+  const auto bps = runner.outgoingBytesPerSecond();
+  ASSERT_FALSE(bps.empty());
+  for (double b : bps) {
+    EXPECT_LT(b, 200.0);  // far below even dial-up; sanity ceiling
+  }
+}
+
+TEST(ScenarioTest, RunTwiceThrows) {
+  ScenarioRunner runner(baseScenario(churn::Model::kStat, 60));
+  runner.run();
+  EXPECT_THROW(runner.run(), std::logic_error);
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+  const Scenario s = baseScenario(churn::Model::kSynth, 100);
+  ScenarioRunner a(s), b(s);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.discoveryDelaysSeconds(1), b.discoveryDelaysSeconds(1));
+  EXPECT_EQ(a.memoryEntries(false), b.memoryEntries(false));
+}
+
+TEST(ScenarioTest, TraceModelsRunEndToEnd) {
+  for (churn::Model m : {churn::Model::kPlanetLab, churn::Model::kOvernet}) {
+    Scenario s = baseScenario(m, 0);
+    s.horizon = 2 * kHour;
+    ScenarioRunner runner(s);
+    runner.run();
+    EXPECT_GT(runner.discoveredFraction(1), 0.5) << churn::modelName(m);
+  }
+}
+
+TEST(ScenarioTest, Pr2VariantRuns) {
+  Scenario s = baseScenario(churn::Model::kStat, 100);
+  s.pr2 = true;
+  ScenarioRunner runner(s);
+  runner.run();
+  EXPECT_GT(runner.discoveredFraction(1), 0.8);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -1,0 +1,272 @@
+// Discrete-event simulator and network model tests.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.runUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, TiesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(42, [&order, i] { order.push_back(i); });
+  }
+  sim.runUntil(42);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.at(50, [&] {
+    sim.at(10, [&] { observed = sim.now(); });  // "in the past"
+  });
+  sim.runUntil(100);
+  EXPECT_EQ(observed, 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(21, [&] { ++fired; });
+  sim.runUntil(20);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  sim.at(1, [&] {
+    ++depth;
+    sim.after(1, [&] {
+      ++depth;
+      sim.after(1, [&] { ++depth; });
+    });
+  });
+  sim.runUntil(10);
+  EXPECT_EQ(depth, 3);
+}
+
+TEST(SimulatorTest, EveryRepeatsUntilCancelled) {
+  Simulator sim;
+  int count = 0;
+  sim.every(10, 10, [&] {
+    ++count;
+    return count < 5;
+  });
+  sim.runUntil(1000);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, EveryHonorsPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.every(5, 7, [&] {
+    fires.push_back(sim.now());
+    return fires.size() < 4;
+  });
+  sim.runUntil(100);
+  EXPECT_EQ(fires, (std::vector<SimTime>{5, 12, 19, 26}));
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] { ++fired; });
+  sim.at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+// ---- network ----
+
+class RecordingEndpoint final : public Endpoint {
+ public:
+  void onMessage(const NodeId& from, const std::any& payload) override {
+    froms.push_back(from);
+    if (const auto* s = std::any_cast<std::string>(&payload))
+      messages.push_back(*s);
+  }
+  std::vector<NodeId> froms;
+  std::vector<std::string> messages;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, NetworkConfig{}, Rng(5)) {}
+
+  Simulator sim_;
+  Network net_;
+  RecordingEndpoint a_, b_;
+  NodeId idA_{NodeId::fromIndex(1)};
+  NodeId idB_{NodeId::fromIndex(2)};
+};
+
+TEST_F(NetworkTest, DeliversToUpNode) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  net_.send(idA_, idB_, std::string("hello"), 10);
+  sim_.runUntil(kSecond);
+  ASSERT_EQ(b_.messages.size(), 1u);
+  EXPECT_EQ(b_.messages[0], "hello");
+  EXPECT_EQ(b_.froms[0], idA_);
+  EXPECT_EQ(net_.delivered(), 1u);
+}
+
+TEST_F(NetworkTest, DropsToDownNode) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);  // B stays down
+  net_.send(idA_, idB_, std::string("hello"), 10);
+  sim_.runUntil(kSecond);
+  EXPECT_TRUE(b_.messages.empty());
+  EXPECT_EQ(net_.lost(), 1u);
+}
+
+TEST_F(NetworkTest, DropsIfTargetGoesDownBeforeDelivery) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  net_.send(idA_, idB_, std::string("hello"), 10);
+  net_.setUp(idB_, false);  // goes down before the latency elapses
+  sim_.runUntil(kSecond);
+  EXPECT_TRUE(b_.messages.empty());
+}
+
+TEST_F(NetworkTest, ChargesSenderBytesImmediately) {
+  net_.attach(idA_, a_);
+  net_.setUp(idA_, true);
+  net_.send(idA_, idB_, std::string("x"), 42);
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 42u);
+  EXPECT_EQ(net_.traffic(idA_).messagesSent, 1u);
+}
+
+TEST_F(NetworkTest, RpcReachesUpNode) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  Endpoint* ep = net_.rpc(idA_, idB_, 8, 16);
+  EXPECT_EQ(ep, &b_);
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 8u);
+  EXPECT_EQ(net_.traffic(idB_).bytesSent, 16u);  // response charged to target
+}
+
+TEST_F(NetworkTest, RpcTimesOutOnDownNode) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  EXPECT_EQ(net_.rpc(idA_, idB_, 8, 16), nullptr);
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 8u);  // request wasted
+  EXPECT_EQ(net_.traffic(idB_).bytesSent, 0u);
+}
+
+TEST_F(NetworkTest, RpcTimesOutOnDetachedNode) {
+  net_.attach(idA_, a_);
+  net_.setUp(idA_, true);
+  EXPECT_EQ(net_.rpc(idA_, idB_, 8, 16), nullptr);
+}
+
+TEST_F(NetworkTest, DetachDropsFutureDelivery) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  net_.send(idA_, idB_, std::string("bye"), 4);
+  net_.detach(idB_);
+  sim_.runUntil(kSecond);
+  EXPECT_TRUE(b_.messages.empty());
+}
+
+TEST_F(NetworkTest, ResetTrafficZeroesCounters) {
+  net_.attach(idA_, a_);
+  net_.setUp(idA_, true);
+  net_.send(idA_, idB_, std::string("x"), 42);
+  net_.resetTraffic();
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 0u);
+  EXPECT_EQ(net_.traffic(idA_).messagesSent, 0u);
+}
+
+TEST_F(NetworkTest, LatencyWithinConfiguredBounds) {
+  NetworkConfig cfg;
+  cfg.minLatency = 10;
+  cfg.maxLatency = 20;
+  Network net(sim_, cfg, Rng(6));
+  net.attach(idA_, a_);
+  net.attach(idB_, b_);
+  net.setUp(idA_, true);
+  net.setUp(idB_, true);
+
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 50; ++i) {
+    sim_.at(i * 100, [&, i] {
+      net.send(idA_, idB_, std::string("m"), 1);
+    });
+  }
+  // Record delivery times via a probe endpoint.
+  class Probe final : public Endpoint {
+   public:
+    explicit Probe(Simulator& s, std::vector<SimTime>& v) : sim(s), out(v) {}
+    void onMessage(const NodeId&, const std::any&) override {
+      out.push_back(sim.now());
+    }
+    Simulator& sim;
+    std::vector<SimTime>& out;
+  } probe(sim_, deliveries);
+  net.attach(idB_, probe);
+  net.setUp(idB_, true);
+
+  sim_.runUntil(100 * 100);
+  ASSERT_EQ(deliveries.size(), 50u);
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    const SimTime latency = deliveries[i] - static_cast<SimTime>(i) * 100;
+    EXPECT_GE(latency, 10);
+    EXPECT_LE(latency, 20);
+  }
+}
+
+TEST_F(NetworkTest, IsUpReflectsAttachAndState) {
+  EXPECT_FALSE(net_.isUp(idA_));
+  net_.attach(idA_, a_);
+  EXPECT_FALSE(net_.isUp(idA_));  // attached but down
+  net_.setUp(idA_, true);
+  EXPECT_TRUE(net_.isUp(idA_));
+  net_.setUp(idA_, false);
+  EXPECT_FALSE(net_.isUp(idA_));
+}
+
+}  // namespace
+}  // namespace avmon::sim

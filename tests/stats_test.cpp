@@ -1,0 +1,139 @@
+// Summary, CDF, and table printer tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table_printer.hpp"
+
+namespace avmon::stats {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(SummaryTest, MergeEqualsSequential) {
+  Rng rng(77);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniformReal(-5, 20);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(CdfTest, EmptyIsSafe) {
+  Cdf cdf({});
+  EXPECT_EQ(cdf.count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 0.0);
+  EXPECT_TRUE(cdf.curve(10).empty());
+}
+
+TEST(CdfTest, FractionAtOrBelow) {
+  Cdf cdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(100), 1.0);
+}
+
+TEST(CdfTest, Percentiles) {
+  Cdf cdf({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 10.0);
+}
+
+TEST(CdfTest, CurveIsMonotoneAndEndsAtOne) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniformReal(0, 100));
+  Cdf cdf(std::move(samples));
+  const auto curve = cdf.curve(32);
+  ASSERT_EQ(curve.size(), 32u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CdfTest, IdenticalSamplesCollapse) {
+  Cdf cdf({7, 7, 7});
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].first, 7.0);
+  EXPECT_DOUBLE_EQ(curve[0].second, 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPrintsTitle) {
+  TablePrinter t("Figure X: demo");
+  t.setHeader({"model", "N", "value"});
+  t.addRow({"STAT", "100", "1.5"});
+  t.addRow({"SYNTH-BD", "2000", "0.25"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== Figure X: demo =="), std::string::npos);
+  EXPECT_NE(s.find("SYNTH-BD"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Columns aligned: "N" column starts at the same offset in both rows.
+  const auto l1 = s.find("STAT");
+  const auto l2 = s.find("SYNTH-BD");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace avmon::stats

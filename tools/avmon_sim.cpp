@@ -1,0 +1,154 @@
+// avmon_sim — command-line scenario driver.
+//
+// Runs one AVMON scenario and prints a metric summary; optionally dumps
+// per-node metric CSVs for plotting. All figure benches are fixed-recipe
+// wrappers over the same runner; this tool is the free-form entry point.
+//
+// Usage:
+//   avmon_sim [--model STAT|SYNTH|SYNTH-BD|SYNTH-BD2|PL|OV] [--n 1000]
+//             [--minutes 90] [--warmup-min 30] [--seed 1] [--hash md5]
+//             [--cvs 0(auto)] [--k 0(auto)] [--pr2] [--no-forgetful]
+//             [--overreport 0.0] [--drop 0.0] [--csv PREFIX]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiments/scenario.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table_printer.hpp"
+
+namespace {
+
+using namespace avmon;
+
+[[noreturn]] void usageAndExit(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --model M        STAT|SYNTH|SYNTH-BD|SYNTH-BD2|PL|OV (default STAT)\n"
+      << "  --n N            stable system size (default 1000; PL/OV fixed)\n"
+      << "  --minutes M      measured minutes after warm-up (default 90)\n"
+      << "  --warmup-min M   warm-up minutes (default 30)\n"
+      << "  --seed S         RNG seed (default 1)\n"
+      << "  --hash H         md5|sha1|splitmix64 (default md5)\n"
+      << "  --cvs C          coarse view size (default: paper 4*N^0.25)\n"
+      << "  --k K            pinging set size (default: log2 N)\n"
+      << "  --pr2            enable the PR2 re-advertisement optimization\n"
+      << "  --no-forgetful   disable forgetful pinging\n"
+      << "  --overreport F   fraction of misreporting nodes (default 0)\n"
+      << "  --drop P         one-way message drop probability (default 0)\n"
+      << "  --csv PREFIX     write PREFIX.{discovery,memory,bandwidth}.csv\n";
+  std::exit(2);
+}
+
+churn::Model parseModel(const std::string& name) {
+  if (name == "STAT") return churn::Model::kStat;
+  if (name == "SYNTH") return churn::Model::kSynth;
+  if (name == "SYNTH-BD") return churn::Model::kSynthBD;
+  if (name == "SYNTH-BD2") return churn::Model::kSynthBD2;
+  if (name == "PL") return churn::Model::kPlanetLab;
+  if (name == "OV") return churn::Model::kOvernet;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+void writeCsv(const std::string& path, const char* header,
+              const std::vector<double>& values) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << header << "\n";
+  for (double v : values) f << v << "\n";
+  std::cout << "wrote " << path << " (" << values.size() << " rows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::Scenario scenario;
+  scenario.hashName = "md5";
+  long minutes = 90, warmupMin = 30;
+  std::size_t cvsOverride = 0;
+  unsigned kOverride = 0;
+  std::string csvPrefix;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usageAndExit(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--model") scenario.model = parseModel(next());
+      else if (arg == "--n") scenario.stableSize = std::stoul(next());
+      else if (arg == "--minutes") minutes = std::stol(next());
+      else if (arg == "--warmup-min") warmupMin = std::stol(next());
+      else if (arg == "--seed") scenario.seed = std::stoull(next());
+      else if (arg == "--hash") scenario.hashName = next();
+      else if (arg == "--cvs") cvsOverride = std::stoul(next());
+      else if (arg == "--k") kOverride = static_cast<unsigned>(std::stoul(next()));
+      else if (arg == "--pr2") scenario.pr2 = true;
+      else if (arg == "--no-forgetful") scenario.forgetful = false;
+      else if (arg == "--overreport") scenario.overreportFraction = std::stod(next());
+      else if (arg == "--drop") scenario.messageDropProbability = std::stod(next());
+      else if (arg == "--csv") csvPrefix = next();
+      else usageAndExit(argv[0]);
+    }
+
+    scenario.warmup = warmupMin * kMinute;
+    scenario.horizon = scenario.warmup + minutes * kMinute;
+    if (cvsOverride != 0 || kOverride != 0) {
+      churn::WorkloadParams wp;
+      wp.stableSize = scenario.stableSize;
+      AvmonConfig cfg = AvmonConfig::paperDefaults(
+          churn::effectiveStableSize(scenario.model, wp));
+      if (cvsOverride != 0) cfg.cvs = cvsOverride;
+      if (kOverride != 0) cfg.k = kOverride;
+      scenario.configOverride = cfg;
+    }
+
+    experiments::ScenarioRunner runner(scenario);
+    runner.run();
+
+    const auto& cfg = runner.config();
+    std::cout << "model=" << churn::modelName(scenario.model)
+              << " N=" << runner.effectiveN() << " K=" << cfg.k
+              << " cvs=" << cfg.cvs << " hash=" << scenario.hashName
+              << " seed=" << scenario.seed << "\n\n";
+
+    const auto discovery = runner.discoveryDelaysSeconds(1);
+    const auto memory = runner.memoryEntries(false);
+    const auto bandwidth = runner.outgoingBytesPerSecond();
+
+    stats::TablePrinter table("scenario summary");
+    table.setHeader({"metric", "mean", "stddev", "p50", "p99", "n"});
+    const auto addMetric = [&](const char* name,
+                               const std::vector<double>& v) {
+      stats::Summary s;
+      for (double x : v) s.add(x);
+      const stats::Cdf cdf(v);
+      table.addRow({name, stats::TablePrinter::num(s.mean(), 2),
+                    stats::TablePrinter::num(s.stddev(), 2),
+                    stats::TablePrinter::num(cdf.percentile(0.5), 2),
+                    stats::TablePrinter::num(cdf.percentile(0.99), 2),
+                    std::to_string(s.count())});
+    };
+    addMetric("first-monitor discovery (s)", discovery);
+    addMetric("memory entries", memory);
+    addMetric("outgoing Bps", bandwidth);
+    addMetric("computations/s", runner.computationsPerSecond());
+    table.print(std::cout);
+    std::cout << "discovered fraction (>=1 monitor): "
+              << stats::TablePrinter::num(runner.discoveredFraction(1), 4)
+              << "\n";
+
+    if (!csvPrefix.empty()) {
+      writeCsv(csvPrefix + ".discovery.csv", "discovery_seconds", discovery);
+      writeCsv(csvPrefix + ".memory.csv", "memory_entries", memory);
+      writeCsv(csvPrefix + ".bandwidth.csv", "outgoing_bps", bandwidth);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
