@@ -85,6 +85,9 @@ void AvmonConfig::validate() const {
         "AvmonConfig: forgetful.ewmaAlpha must be in (0,1]");
   if (bytesPerEntry == 0 || pingBytes == 0)
     throw std::invalid_argument("AvmonConfig: byte sizes must be > 0");
+  if (notifyDedup && notifyDedupMax == 0)
+    throw std::invalid_argument(
+        "AvmonConfig: notifyDedupMax must be >= 1 when notifyDedup is on");
 }
 
 }  // namespace avmon

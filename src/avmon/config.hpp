@@ -83,6 +83,12 @@ struct AvmonConfig {
   /// it already sent. Disable to measure the naive protocol.
   bool notifyDedup = true;
 
+  /// Upper bound on the NOTIFY dedup cache (entries). When full, the cache
+  /// resets and the node may re-send a few NOTIFYs (idempotent at the
+  /// receiver) — a bounded-memory trade long-churn runs need. Must be >= 1
+  /// when notifyDedup is on.
+  std::size_t notifyDedupMax = 1u << 16;
+
   /// Message-size accounting, paper Section 5.1: 8 B per coarse view entry
   /// and 8 B per ping message.
   std::size_t bytesPerEntry = 8;

@@ -81,12 +81,19 @@ void AvmonNode::leave() {
   ++epoch_;  // cancels the periodic timers at their next firing
   lastLeaveTime_ = sim_.now();
   net_.setUp(id_, false);
+  // Per-session state: CV/PS/TS live in persistent storage (paper Section
+  // 3.3) and survive the downtime, but the NOTIFY dedup cache and the PR2
+  // last-ping baseline describe the session that just ended and must not
+  // leak into the next one.
+  notifiedPairs_.clear();
+  lastMonitoringPingReceived_ = -1;
+  sessionStartTime_ = -1;
 }
 
 // -------------------------------------------------------------- coarse view
 
 bool AvmonNode::addToCoarseView(const NodeId& id) {
-  if (id == id_ || id.isNil() || cvIndex_.contains(id)) return false;
+  if (id == id_ || id.isNil() || cvIndex_.count(id)) return false;
   if (cv_.size() >= config_.cvs) {
     // Evict a uniformly random entry to stay within the cvs bound while
     // keeping the view a random subset.
@@ -118,7 +125,7 @@ void AvmonNode::handleJoin(const JoinMessage& msg) {
   int weight = msg.weight;
   if (weight <= 0 || msg.origin == id_) return;
   ++metrics_.joinsReceived;
-  if (!cvIndex_.contains(msg.origin)) {
+  if (!cvIndex_.count(msg.origin)) {
     addToCoarseView(msg.origin);
     ++metrics_.joinAdds;
     --weight;
@@ -143,13 +150,13 @@ void AvmonNode::handleNotify(const NotifyMessage& msg) {
   // Section 3.3: re-check the consistency condition before trusting the
   // notification (a selfish node could forge NOTIFYs for its colluders).
   if (msg.target == id_ && msg.monitor != id_) {
-    if (!ps_.contains(msg.monitor) && checkCondition(msg.monitor, id_)) {
+    if (!ps_.count(msg.monitor) && checkCondition(msg.monitor, id_)) {
       ps_.insert(msg.monitor);
       psDiscoveryTimes_.push_back(sim_.now());
     }
   }
   if (msg.monitor == id_ && msg.target != id_) {
-    if (!ts_.contains(msg.target) && checkCondition(id_, msg.target)) {
+    if (!ts_.count(msg.target) && checkCondition(id_, msg.target)) {
       TargetRecord rec;
       rec.history = std::make_unique<history::RawHistory>();
       ts_.emplace(msg.target, std::move(rec));
@@ -187,12 +194,20 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
       if (!seen.insert(pairKey(u, v)).second) continue;
       for (const auto& [mon, tgt] : {std::pair{u, v}, std::pair{v, u}}) {
         if (checkCondition(mon, tgt)) {
-          if (config_.notifyDedup &&
-              !notifiedPairs_
-                   .insert(splitmix64Mix(pairKey(mon, tgt)) ^
-                           std::hash<NodeId>{}(mon))
-                   .second) {
-            continue;  // this node already told both parties
+          if (config_.notifyDedup) {
+            const std::uint64_t dedupKey =
+                splitmix64Mix(pairKey(mon, tgt)) ^ std::hash<NodeId>{}(mon);
+            if (notifiedPairs_.count(dedupKey)) {
+              continue;  // this node already told both parties
+            }
+            // Bounded cache: reset when a genuinely new pair arrives at
+            // capacity, rather than grow without limit across a long-churn
+            // run. The occasional re-NOTIFY after a reset is idempotent at
+            // the receiver.
+            if (notifiedPairs_.size() >= config_.notifyDedupMax) {
+              notifiedPairs_.clear();
+            }
+            notifiedPairs_.insert(dedupKey);
           }
           net_.send(id_, mon, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
           net_.send(id_, tgt, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
@@ -214,7 +229,7 @@ void AvmonNode::reshuffleCoarseView(const std::vector<NodeId>& fetched,
   cvIndex_.clear();
   for (const NodeId& n : pool) {
     if (cv_.size() >= config_.cvs) break;
-    if (n == id_ || n.isNil() || cvIndex_.contains(n)) continue;
+    if (n == id_ || n.isNil() || cvIndex_.count(n)) continue;
     cv_.push_back(n);
     cvIndex_.insert(n);
   }
@@ -259,7 +274,7 @@ void AvmonNode::protocolTick() {
   // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
   std::vector<NodeId> mine = cv_;
   mine.push_back(id_);
-  if (!cvIndex_.contains(w)) mine.push_back(w);
+  if (!cvIndex_.count(w)) mine.push_back(w);
   std::vector<NodeId> theirs = fetched;
   theirs.push_back(id_);
   theirs.push_back(w);

@@ -99,6 +99,12 @@ class AvmonNode final : public sim::Endpoint {
   }
   const NodeMetrics& metrics() const noexcept { return metrics_; }
 
+  /// Entries currently held by the NOTIFY dedup cache. Bounded by
+  /// AvmonConfig::notifyDedupMax and cleared on leave().
+  std::size_t notifyDedupCacheSize() const noexcept {
+    return notifiedPairs_.size();
+  }
+
   /// |CV| + |PS| + |TS|: the paper's per-node memory metric.
   std::size_t memoryEntries() const noexcept {
     return cv_.size() + ps_.size() + ts_.size();

@@ -1,0 +1,53 @@
+// A minimal C++17 stand-in for std::span<const std::uint8_t>.
+//
+// The hash module's interfaces take views over byte buffers; the toolchain
+// targets C++17, which lacks std::span, so this non-owning view covers the
+// subset the codebase needs (data/size/iteration, implicit construction from
+// contiguous byte containers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace avmon {
+
+/// Non-owning view over a contiguous sequence of const bytes.
+class ByteSpan {
+ public:
+  constexpr ByteSpan() noexcept = default;
+
+  constexpr ByteSpan(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  template <std::size_t N>
+  constexpr ByteSpan(const std::uint8_t (&arr)[N]) noexcept
+      : data_(arr), size_(N) {}
+
+  /// Implicit view over any contiguous container of std::uint8_t
+  /// (std::array, std::vector, ...).
+  template <typename C,
+            typename = std::enable_if_t<std::is_same_v<
+                std::remove_const_t<std::remove_pointer_t<
+                    decltype(std::declval<const C&>().data())>>,
+                std::uint8_t>>>
+  constexpr ByteSpan(const C& container) noexcept
+      : data_(container.data()), size_(container.size()) {}
+
+  constexpr const std::uint8_t* data() const noexcept { return data_; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr const std::uint8_t* begin() const noexcept { return data_; }
+  constexpr const std::uint8_t* end() const noexcept { return data_ + size_; }
+
+  constexpr std::uint8_t operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace avmon

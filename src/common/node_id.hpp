@@ -6,7 +6,6 @@
 #pragma once
 
 #include <array>
-#include <compare>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -50,7 +49,24 @@ class NodeId {
   /// Renders "a.b.c.d:port" for logs and reports.
   std::string toString() const;
 
-  friend constexpr auto operator<=>(const NodeId&, const NodeId&) noexcept = default;
+  friend constexpr bool operator==(const NodeId& a, const NodeId& b) noexcept {
+    return a.ip_ == b.ip_ && a.port_ == b.port_;
+  }
+  friend constexpr bool operator!=(const NodeId& a, const NodeId& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const NodeId& a, const NodeId& b) noexcept {
+    return a.ip_ != b.ip_ ? a.ip_ < b.ip_ : a.port_ < b.port_;
+  }
+  friend constexpr bool operator>(const NodeId& a, const NodeId& b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator<=(const NodeId& a, const NodeId& b) noexcept {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(const NodeId& a, const NodeId& b) noexcept {
+    return !(a < b);
+  }
 
  private:
   std::uint32_t ip_ = 0;

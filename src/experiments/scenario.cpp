@@ -100,7 +100,7 @@ NodeId ScenarioRunner::pickBootstrap(const NodeId& self) {
 void ScenarioRunner::onJoin(const NodeId& id, bool firstJoin) {
   auto& node = nodes_.at(id);
   node->join(firstJoin);
-  if (!alivePos_.contains(id)) {
+  if (!alivePos_.count(id)) {
     alivePos_[id] = alive_.size();
     alive_.push_back(id);
   }

@@ -18,19 +18,19 @@ std::uint64_t first64BigEndian(const std::uint8_t* d) noexcept {
 }  // namespace
 
 std::uint64_t Md5HashFunction::digest64(
-    std::span<const std::uint8_t> data) const {
+    ByteSpan data) const {
   const Md5::Digest d = Md5::digest(data);
   return first64BigEndian(d.data());
 }
 
 std::uint64_t Sha1HashFunction::digest64(
-    std::span<const std::uint8_t> data) const {
+    ByteSpan data) const {
   const Sha1::Digest d = Sha1::digest(data);
   return first64BigEndian(d.data());
 }
 
 std::uint64_t SplitMix64HashFunction::digest64(
-    std::span<const std::uint8_t> data) const {
+    ByteSpan data) const {
   // Fold bytes into the state with a multiply between words, then finish
   // with the splitmix64 finalizer. Equivalent structure to FNV-then-mix.
   std::uint64_t acc = 0x243F6A8885A308D3ULL;  // pi fractional bits

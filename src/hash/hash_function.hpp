@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
+#include "common/byte_span.hpp"
 #include <string>
 
 namespace avmon::hash {
@@ -22,13 +22,13 @@ class HashFunction {
   virtual ~HashFunction() = default;
 
   /// First 64 bits of the digest, interpreted big-endian.
-  virtual std::uint64_t digest64(std::span<const std::uint8_t> data) const = 0;
+  virtual std::uint64_t digest64(ByteSpan data) const = 0;
 
   /// Human-readable name for reports ("md5", "sha1", "splitmix64").
   virtual std::string name() const = 0;
 
   /// digest64 normalized to the real interval [0, 1).
-  double normalized(std::span<const std::uint8_t> data) const {
+  double normalized(ByteSpan data) const {
     // 2^-64 scaling; the result is < 1 since digest64 < 2^64.
     return static_cast<double>(digest64(data)) * 0x1.0p-64;
   }
@@ -37,14 +37,14 @@ class HashFunction {
 /// MD5-backed hash (the paper's default).
 class Md5HashFunction final : public HashFunction {
  public:
-  std::uint64_t digest64(std::span<const std::uint8_t> data) const override;
+  std::uint64_t digest64(ByteSpan data) const override;
   std::string name() const override { return "md5"; }
 };
 
 /// SHA-1-backed hash (the paper's named alternative).
 class Sha1HashFunction final : public HashFunction {
  public:
-  std::uint64_t digest64(std::span<const std::uint8_t> data) const override;
+  std::uint64_t digest64(ByteSpan data) const override;
   std::string name() const override { return "sha1"; }
 };
 
@@ -52,7 +52,7 @@ class Sha1HashFunction final : public HashFunction {
 /// avalanche, but not preimage-resistant. Ablation only.
 class SplitMix64HashFunction final : public HashFunction {
  public:
-  std::uint64_t digest64(std::span<const std::uint8_t> data) const override;
+  std::uint64_t digest64(ByteSpan data) const override;
   std::string name() const override { return "splitmix64"; }
 };
 

@@ -81,7 +81,7 @@ void Md5::processBlock(const std::uint8_t* block) noexcept {
   state_[3] += d;
 }
 
-void Md5::update(std::span<const std::uint8_t> data) noexcept {
+void Md5::update(ByteSpan data) noexcept {
   bitCount_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
 
@@ -132,7 +132,7 @@ Md5::Digest Md5::finalize() noexcept {
   return out;
 }
 
-Md5::Digest Md5::digest(std::span<const std::uint8_t> data) noexcept {
+Md5::Digest Md5::digest(ByteSpan data) noexcept {
   Md5 ctx;
   ctx.update(data);
   return ctx.finalize();

@@ -13,7 +13,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include "common/byte_span.hpp"
 #include <string>
 
 namespace avmon::hash {
@@ -30,14 +30,14 @@ class Md5 {
   void reset() noexcept;
 
   /// Absorbs more message bytes.
-  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(ByteSpan data) noexcept;
 
   /// Pads, finalizes, and returns the 128-bit digest. The context must be
   /// reset() before reuse.
   Digest finalize() noexcept;
 
   /// One-shot convenience.
-  static Digest digest(std::span<const std::uint8_t> data) noexcept;
+  static Digest digest(ByteSpan data) noexcept;
 
   /// Renders a digest as lowercase hex (for tests and debugging).
   static std::string toHex(const Digest& d);

@@ -65,7 +65,7 @@ void Sha1::processBlock(const std::uint8_t* block) noexcept {
   state_[4] += e;
 }
 
-void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+void Sha1::update(ByteSpan data) noexcept {
   bitCount_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
 
@@ -115,7 +115,7 @@ Sha1::Digest Sha1::finalize() noexcept {
   return out;
 }
 
-Sha1::Digest Sha1::digest(std::span<const std::uint8_t> data) noexcept {
+Sha1::Digest Sha1::digest(ByteSpan data) noexcept {
   Sha1 ctx;
   ctx.update(data);
   return ctx.finalize();

@@ -8,7 +8,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include "common/byte_span.hpp"
 #include <string>
 
 namespace avmon::hash {
@@ -25,13 +25,13 @@ class Sha1 {
   void reset() noexcept;
 
   /// Absorbs more message bytes.
-  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(ByteSpan data) noexcept;
 
   /// Pads, finalizes, and returns the 160-bit digest.
   Digest finalize() noexcept;
 
   /// One-shot convenience.
-  static Digest digest(std::span<const std::uint8_t> data) noexcept;
+  static Digest digest(ByteSpan data) noexcept;
 
   /// Renders a digest as lowercase hex.
   static std::string toHex(const Digest& d);

@@ -50,7 +50,7 @@ class Predictor {
 class RightNowPredictor final : public Predictor {
  public:
   void observe(SimTime when, bool up) override;
-  bool predictUp(SimTime at) const override { return lastUp_; }
+  bool predictUp(SimTime /*at*/) const override { return lastUp_; }
   double confidence(SimTime) const override { return hasSample_ ? 0.7 : 0.5; }
   std::string name() const override { return "right-now"; }
 
@@ -110,7 +110,7 @@ class LinearEwmaPredictor final : public Predictor {
   explicit LinearEwmaPredictor(double alpha = 0.1);
 
   void observe(SimTime when, bool up) override;
-  bool predictUp(SimTime at) const override { return ewma_ >= 0.5; }
+  bool predictUp(SimTime /*at*/) const override { return ewma_ >= 0.5; }
   double confidence(SimTime at) const override;
   std::string name() const override { return "linear-ewma"; }
 

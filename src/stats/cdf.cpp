@@ -18,7 +18,10 @@ double Cdf::fractionAtOrBelow(double x) const noexcept {
 
 double Cdf::percentile(double p) const noexcept {
   if (samples_.empty()) return 0.0;
-  if (p <= 0.0) return samples_.front();
+  // !(p > 0) also catches NaN, which must not reach the float->size_t cast
+  // below (undefined behavior); p >= 1 avoids ceil(p*n) rounding past n.
+  if (!(p > 0.0)) return samples_.front();
+  if (p >= 1.0) return samples_.back();
   const auto rank = static_cast<std::size_t>(
       std::ceil(p * static_cast<double>(samples_.size())));
   return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
@@ -34,11 +37,14 @@ std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
     out.emplace_back(hi, 1.0);
     return out;
   }
-  for (std::size_t i = 0; i < points; ++i) {
+  for (std::size_t i = 0; i + 1 < points; ++i) {
     const double x =
         lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
     out.emplace_back(x, fractionAtOrBelow(x));
   }
+  // Emit the endpoint exactly: lo + (hi-lo)*1.0 can round below hi, which
+  // would leave the curve short of y = 1.0 when the max sample is unique.
+  out.emplace_back(hi, 1.0);
   return out;
 }
 

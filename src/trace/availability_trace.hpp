@@ -23,7 +23,12 @@ struct Interval {
 
   SimDuration length() const noexcept { return end - start; }
   bool contains(SimTime t) const noexcept { return t >= start && t < end; }
-  friend bool operator==(const Interval&, const Interval&) = default;
+  friend bool operator==(const Interval& a, const Interval& b) noexcept {
+    return a.start == b.start && a.end == b.end;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) noexcept {
+    return !(a == b);
+  }
 };
 
 /// The lifetime of one node: birth, optional death, and its up-sessions.

@@ -62,9 +62,9 @@ TEST_F(BroadcastFixture, MonitorsMatchSelectorExactly) {
   for (const auto& x : nodes_) {
     for (const auto& y : nodes_) {
       if (x->id() == y->id()) continue;
-      EXPECT_EQ(x->pingingSet().contains(y->id()),
+      EXPECT_EQ(x->pingingSet().count(y->id()),
                 selector_.isMonitor(y->id(), x->id()));
-      EXPECT_EQ(x->targetSet().contains(y->id()),
+      EXPECT_EQ(x->targetSet().count(y->id()),
                 selector_.isMonitor(x->id(), y->id()));
     }
   }

@@ -123,14 +123,16 @@ TEST(ChurnModelTest, StatHasControlGroupSynthBDDoesNot) {
   p.horizon = 2 * kHour;
   p.controlFraction = 0.1;
 
+  // Bind the traces to locals: nodes() returns a reference into the trace,
+  // so iterating a temporary's nodes() would read freed memory.
   std::size_t statControls = 0;
-  for (const auto& n : generate(Model::kStat, p).nodes())
-    statControls += n.isControl ? 1 : 0;
+  const auto statTrace = generate(Model::kStat, p);
+  for (const auto& n : statTrace.nodes()) statControls += n.isControl ? 1 : 0;
   EXPECT_EQ(statControls, 10u);
 
   std::size_t bdControls = 0;
-  for (const auto& n : generate(Model::kSynthBD, p).nodes())
-    bdControls += n.isControl ? 1 : 0;
+  const auto bdTrace = generate(Model::kSynthBD, p);
+  for (const auto& n : bdTrace.nodes()) bdControls += n.isControl ? 1 : 0;
   EXPECT_EQ(bdControls, 0u);  // implicit control group (born after warm-up)
 }
 

@@ -28,6 +28,29 @@ TEST(NodeIdTest, BytesAreBigEndian) {
   EXPECT_EQ(b[5], 0x06);
 }
 
+TEST(NodeIdTest, WireRoundTripPropertyOverRandomIds) {
+  // Both directions: id -> bytes -> id and bytes -> id -> bytes, across
+  // random ids and the corners of the (ip, port) space.
+  Rng rng(11);
+  std::vector<NodeId> ids = {
+      NodeId(),                        // nil
+      NodeId(0xFFFFFFFFu, 0xFFFF),     // all-ones
+      NodeId(0, 0xFFFF),               // ip floor, port ceiling
+      NodeId(0xFFFFFFFFu, 0),          // ip ceiling, port floor
+      NodeId(0x7FFFFFFFu, 0x8000),     // sign-bit boundaries
+  };
+  for (int i = 0; i < 1000; ++i) {
+    ids.emplace_back(static_cast<std::uint32_t>(rng.below(1ull << 32)),
+                     static_cast<std::uint16_t>(rng.below(1ull << 16)));
+  }
+  for (const NodeId& id : ids) {
+    const auto bytes = id.toBytes();
+    const NodeId back = NodeId::fromBytes(bytes);
+    EXPECT_EQ(back, id) << id.toString();
+    EXPECT_EQ(back.toBytes(), bytes) << id.toString();
+  }
+}
+
 TEST(NodeIdTest, ToStringFormatsDottedQuad) {
   EXPECT_EQ(NodeId(0xC0A80101u, 8080).toString(), "192.168.1.1:8080");
   EXPECT_EQ(NodeId().toString(), "0.0.0.0:0");

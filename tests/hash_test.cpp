@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
-#include <span>
+#include "common/byte_span.hpp"
 #include <string>
 
 #include "hash/hash_function.hpp"
@@ -13,7 +13,7 @@
 namespace avmon::hash {
 namespace {
 
-std::span<const std::uint8_t> bytes(const std::string& s) {
+ByteSpan bytes(const std::string& s) {
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
 }
 

@@ -4,6 +4,8 @@
 // that the once-per-period pinging deleted while it was gone.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <memory>
 #include <vector>
 
@@ -93,7 +95,7 @@ TEST_F(JoinWeightFixture, QuickRejoinSpreadsProportionallyToDowntime) {
 
   AvmonNode& bouncer = *nodes_[0];
   bouncer.leave();
-  std::erase(alive_, bouncer.id());
+  alive_.erase(std::remove(alive_.begin(), alive_.end(), bouncer.id()), alive_.end());
 
   // Down for exactly 3 protocol periods.
   sim_.runUntil(20 * kMinute + 3 * config_.protocolPeriod);
@@ -113,7 +115,7 @@ TEST_F(JoinWeightFixture, LongDowntimeRestoresFullWeight) {
 
   AvmonNode& bouncer = *nodes_[0];
   bouncer.leave();
-  std::erase(alive_, bouncer.id());
+  alive_.erase(std::remove(alive_.begin(), alive_.end(), bouncer.id()), alive_.end());
 
   // Down far longer than cvs periods: weight is capped at cvs again.
   sim_.runUntil(20 * kMinute + 3 * static_cast<SimDuration>(config_.cvs) *

@@ -46,7 +46,7 @@ TEST_P(ModelSeedSweep, UniversalInvariantsHold) {
     std::unordered_set<NodeId> unique(node.coarseView().begin(),
                                       node.coarseView().end());
     EXPECT_EQ(unique.size(), node.coarseView().size());
-    EXPECT_FALSE(unique.contains(node.id()));
+    EXPECT_FALSE(unique.count(node.id()));
 
     // PS/TS: sound (verified against the public scheme), never self.
     for (const NodeId& m : node.pingingSet()) {

@@ -3,6 +3,8 @@
 // pinging, PR2, and reporting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <memory>
 #include <vector>
 
@@ -50,7 +52,7 @@ class Cluster {
 
   void leave(AvmonNode& n) {
     n.leave();
-    std::erase(alive_, n.id());
+    alive_.erase(std::remove(alive_.begin(), alive_.end(), n.id()), alive_.end());
   }
 
   AvmonNode& node(std::size_t i) { return *nodes_[i]; }
@@ -153,7 +155,7 @@ TEST(NodeTest, PsAndTsAreInverseRelations) {
       ++checked;
       for (std::size_t ui = 0; ui < c.size(); ++ui) {
         if (c.node(ui).id() == u &&
-            c.node(ui).targetSet().contains(v.id())) {
+            c.node(ui).targetSet().count(v.id())) {
           ++matched;
           break;
         }
@@ -172,8 +174,12 @@ TEST(NodeTest, DiscoveryDelayIsRecordedInOrder) {
     const AvmonNode& node = c.node(i);
     const auto d1 = node.discoveryDelay(1);
     const auto d2 = node.discoveryDelay(2);
-    if (d1 && d2) EXPECT_LE(*d1, *d2);
-    if (!d1) EXPECT_FALSE(d2.has_value());
+    if (d1 && d2) {
+      EXPECT_LE(*d1, *d2);
+    }
+    if (!d1) {
+      EXPECT_FALSE(d2.has_value());
+    }
     EXPECT_FALSE(node.discoveryDelay(0).has_value());
     EXPECT_FALSE(node.discoveryDelay(1000).has_value());
   }
@@ -273,7 +279,7 @@ TEST(NodeTest, AvailabilityEstimateReflectsDowntime) {
   AvmonNode* monitor = nullptr;
   for (std::size_t i = 0; i < c.size() && monitor == nullptr; ++i) {
     for (std::size_t j = 0; j < c.size(); ++j) {
-      if (c.node(j).targetSet().contains(c.node(i).id())) {
+      if (c.node(j).targetSet().count(c.node(i).id())) {
         target = &c.node(i);
         monitor = &c.node(j);
         break;
@@ -336,7 +342,7 @@ TEST(NodeTest, ForgetfulPingingSuppressesPingsToDeadTargets) {
   AvmonNode* target = nullptr;
   for (std::size_t i = 0; i < c.size() && target == nullptr; ++i) {
     for (std::size_t j = 0; j < c.size(); ++j) {
-      if (c.node(j).targetSet().contains(c.node(i).id())) {
+      if (c.node(j).targetSet().count(c.node(i).id())) {
         target = &c.node(i);
         break;
       }

@@ -4,6 +4,8 @@
 // installed monitoring relations are identical — NOTIFY is idempotent.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <memory>
 #include <vector>
 
@@ -111,6 +113,44 @@ TEST(NotifyDedupTest, SteadyStateNotifyRateDropsToZero) {
   // All pairs discovered long ago: the last half hour should add almost
   // no NOTIFY traffic.
   EXPECT_LT(late, early / 5);
+}
+
+TEST(NotifyDedupTest, CacheStaysBoundedUnderLongRuns) {
+  AvmonConfig cfg = dedupConfig(true);
+  cfg.notifyDedupMax = 64;  // far below the pairs a 60-node run discovers
+  MiniCluster c(cfg);
+  c.spawn(60);
+  c.sim.runUntil(60 * kMinute);
+
+  std::size_t maxSeen = 0;
+  for (const auto& node : c.nodes) {
+    maxSeen = std::max(maxSeen, node->notifyDedupCacheSize());
+    EXPECT_LE(node->notifyDedupCacheSize(), cfg.notifyDedupMax);
+  }
+  EXPECT_GT(maxSeen, 0u);  // the cache is actually in use
+}
+
+TEST(NotifyDedupTest, LeaveClearsSessionStateAndRejoinStillDedups) {
+  MiniCluster c(dedupConfig(true));
+  c.spawn(40);
+  c.sim.runUntil(30 * kMinute);
+
+  AvmonNode& bouncer = *c.nodes[0];
+  ASSERT_GT(bouncer.notifyDedupCacheSize(), 0u);
+
+  bouncer.leave();
+  EXPECT_EQ(bouncer.notifyDedupCacheSize(), 0u);
+
+  c.sim.runUntil(35 * kMinute);
+  bouncer.join(false);
+  c.sim.runUntil(65 * kMinute);
+
+  // The rejoined session runs the discovery loop again: the cache refills
+  // from empty and dedup keeps steady-state NOTIFY traffic flat.
+  EXPECT_GT(bouncer.notifyDedupCacheSize(), 0u);
+  const std::uint64_t afterWarmup = c.totalNotifies();
+  c.sim.runUntil(95 * kMinute);
+  EXPECT_LT(c.totalNotifies() - afterWarmup, afterWarmup / 5);
 }
 
 }  // namespace

@@ -92,6 +92,42 @@ TEST_F(SelectorTest, ExpectedPingingSetSizeIsK) {
   EXPECT_NEAR(meanPs, static_cast<double>(kK), 1.0);
 }
 
+TEST_F(SelectorTest, ThresholdIsExactlyKOverN) {
+  const std::pair<unsigned, std::size_t> cases[] = {
+      {1, 2}, {10, 1000}, {17, 131072}, {50, 100}, {1000, 1000}};
+  for (const auto& [k, n] : cases) {
+    HashMonitorSelector sel(md5_, k, n);
+    EXPECT_DOUBLE_EQ(sel.threshold(),
+                     static_cast<double>(k) / static_cast<double>(n))
+        << "K=" << k << " N=" << n;
+    EXPECT_EQ(sel.k(), k);
+    EXPECT_EQ(sel.systemSize(), n);
+  }
+}
+
+TEST_F(SelectorTest, HashPointStaysInUnitInterval) {
+  HashMonitorSelector sel(md5_, 10, 1000);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    for (std::uint32_t j = 0; j < 60; ++j) {
+      const double h = sel.hashPoint(NodeId::fromIndex(i), NodeId::fromIndex(j));
+      EXPECT_GE(h, 0.0);
+      EXPECT_LT(h, 1.0);
+    }
+  }
+}
+
+TEST_F(SelectorTest, NeverSelfMonitorEvenWithSaturatedThreshold) {
+  // K >= N drives the threshold to >= 1, so the hash condition holds for
+  // every pair — the explicit self-exclusion must still win.
+  HashMonitorSelector sel(md5_, 2000, 1000);
+  ASSERT_GE(sel.threshold(), 1.0);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const NodeId id = NodeId::fromIndex(i);
+    EXPECT_FALSE(sel.isMonitor(id, id));
+    EXPECT_TRUE(sel.isMonitor(id, NodeId::fromIndex(i + 1)));
+  }
+}
+
 TEST_F(SelectorTest, HashPointMatchesThresholdDecision) {
   HashMonitorSelector sel(md5_, 10, 1000);
   for (std::uint32_t i = 0; i < 40; ++i) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -100,6 +101,38 @@ TEST(CdfTest, CurveIsMonotoneAndEndsAtOne) {
     EXPECT_GE(curve[i].first, curve[i - 1].first);
     EXPECT_GE(curve[i].second, curve[i - 1].second);
   }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CdfTest, PercentileOneReturnsMaxForAllSizes) {
+  for (std::size_t n : {1u, 2u, 3u, 7u, 100u}) {
+    std::vector<double> samples;
+    for (std::size_t i = 0; i < n; ++i)
+      samples.push_back(0.1 * static_cast<double>(i + 1));
+    Cdf cdf(std::move(samples));
+    EXPECT_DOUBLE_EQ(cdf.percentile(1.0), cdf.max()) << "n=" << n;
+    // Values that creep past 1.0 through accumulated rounding still clamp.
+    EXPECT_DOUBLE_EQ(cdf.percentile(1.0 + 1e-15), cdf.max()) << "n=" << n;
+  }
+}
+
+TEST(CdfTest, SingleSamplePercentileIsTotal) {
+  Cdf cdf({42.0});
+  for (double p : {-1.0, 0.0, 1e-300, 0.5, 1.0, 1.5,
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_DOUBLE_EQ(cdf.percentile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(CdfTest, CurveEndsExactlyAtMaxAndOne) {
+  // lo + (hi - lo) rounds below hi for these values; the endpoint must still
+  // be emitted as (hi, 1.0), not a near-miss x whose F(x) excludes the max.
+  Cdf cdf({0.1, 0.2, 0.30000000000000004});
+  const auto curve = cdf.curve(7);
+  ASSERT_EQ(curve.size(), 7u);
+  EXPECT_DOUBLE_EQ(curve.back().first, cdf.max());
   EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
 }
 
