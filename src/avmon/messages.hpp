@@ -1,36 +1,35 @@
-// Wire messages of the AVMON protocol (carried as std::any payloads over
-// the simulated network). Sizes below follow the paper's accounting: 8 B
-// per ping, 8 B per coarse-view entry, and ids are 6 B on the wire.
+// Wire messages of the AVMON protocol.
+//
+// Since the typed-transport redesign the wire format is a closed sum type
+// owned by the transport layer: every one-way payload is an alternative of
+// `sim::Message` (a std::variant, see sim/message.hpp) and every
+// synchronous exchange is a `sim::RpcRequest`/`sim::RpcResponse` pair
+// (sim/rpc.hpp). Receiver dispatch is an exhaustive std::visit, so an
+// unhandled message type is a compile error, and wire-size accounting
+// (8 B per ping, 8 B per coarse-view entry, 6 B ids — the paper's Section
+// 5.1 numbers) lives on the types themselves.
+//
+// This header re-exports the protocol's own messages into namespace avmon
+// so protocol code reads as in the paper: JOIN (Figure 1), NOTIFY
+// (Figure 2), and the PR2 force-add (Section 5.4). To add a protocol
+// message, add the struct to sim/message.hpp's variant and alias it here.
 #pragma once
 
-#include "common/node_id.hpp"
+#include "sim/message.hpp"
+#include "sim/rpc.hpp"
 
 namespace avmon {
 
 /// Figure 1: JOIN(x, c) — origin x asks receivers to add it to their
 /// coarse views and split-forward the remaining weight.
-struct JoinMessage {
-  NodeId origin;
-  int weight = 0;
-
-  static constexpr std::size_t kBytes = 12;  // 6 B id + 4 B weight + header
-};
+using JoinMessage = sim::JoinMessage;
 
 /// Figure 2: NOTIFY(u, v) — some node discovered that u ∈ PS(v), i.e. u
 /// should monitor v. Sent to both u and v, who re-verify before acting.
-struct NotifyMessage {
-  NodeId monitor;  ///< u: the node that satisfies the consistency condition
-  NodeId target;   ///< v: the node to be monitored
-
-  static constexpr std::size_t kBytes = 16;  // two 6 B ids + header
-};
+using NotifyMessage = sim::NotifyMessage;
 
 /// Section 5.4 "PR2": a node that went unpinged for two monitoring periods
 /// forces itself back into the coarse views of its own CV members.
-struct ForceAddMessage {
-  NodeId origin;
-
-  static constexpr std::size_t kBytes = 10;  // 6 B id + header
-};
+using ForceAddMessage = sim::ForceAddMessage;
 
 }  // namespace avmon

@@ -40,14 +40,15 @@ void AvmonNode::join(bool firstJoin) {
 
   const NodeId contact = bootstrap_ ? bootstrap_(id_) : NodeId{};
   if (!contact.isNil()) {
-    net_.send(id_, contact, JoinMessage{id_, weight}, JoinMessage::kBytes);
+    net_.send(id_, contact, JoinMessage{id_, weight});
 
     // "Inherit view from this random node": fetch its coarse view to seed
     // ours (charged like a regular view fetch).
-    if (auto* ep = net_.rpc(id_, contact, config_.pingBytes,
-                            config_.bytesPerEntry * config_.cvs)) {
-      auto& other = static_cast<AvmonNode&>(*ep);
-      std::vector<NodeId> seed = other.coarseView();
+    if (auto fetch = net_.exchange(
+            id_, contact,
+            sim::CvFetchRequest{config_.pingBytes,
+                                config_.bytesPerEntry * config_.cvs})) {
+      std::vector<NodeId> seed = std::move(fetch->view);
       seed.push_back(contact);
       rng_.shuffle(seed);
       for (const NodeId& n : seed) addToCoarseView(n);
@@ -109,15 +110,42 @@ bool AvmonNode::addToCoarseView(const NodeId& id) {
 
 // ----------------------------------------------------------------- messages
 
-void AvmonNode::onMessage(const NodeId& /*from*/, const std::any& payload) {
+void AvmonNode::onMessage(const NodeId& /*from*/, const sim::Message& message) {
   if (!alive_) return;
-  if (const auto* join = std::any_cast<JoinMessage>(&payload)) {
-    handleJoin(*join);
-  } else if (const auto* notify = std::any_cast<NotifyMessage>(&payload)) {
-    handleNotify(*notify);
-  } else if (const auto* force = std::any_cast<ForceAddMessage>(&payload)) {
-    handleForceAdd(*force);
-  }
+  // Exhaustive over the closed wire format: a new Message alternative does
+  // not compile until this dispatch decides what AVMON does with it.
+  std::visit(
+      sim::Overloaded{
+          [this](const JoinMessage& m) { handleJoin(m); },
+          [this](const NotifyMessage& m) { handleNotify(m); },
+          [this](const ForceAddMessage& m) { handleForceAdd(m); },
+          [](const sim::PresenceMessage&) {},  // baseline schemes' traffic:
+          [](const sim::RegisterMessage&) {},  // not part of this protocol
+          [](const sim::TextMessage&) {},      // harness-only payload
+      },
+      message);
+}
+
+sim::RpcResponse AvmonNode::onRpc(const NodeId& from,
+                                  const sim::RpcRequest& request) {
+  return std::visit(
+      sim::Overloaded{
+          [](const sim::PingRequest&) -> sim::RpcResponse {
+            // Figure 2 step 1: answering at all is the liveness proof.
+            return sim::PingResponse{};
+          },
+          [this](const sim::CvFetchRequest&) -> sim::RpcResponse {
+            return sim::CvFetchResponse{cv_};
+          },
+          [&](const sim::SwapRequest& req) -> sim::RpcResponse {
+            return sim::SwapResponse{acceptExchange(from, req.offered)};
+          },
+          [this](const sim::MonitorPingRequest&) -> sim::RpcResponse {
+            acceptMonitoringPing();
+            return sim::MonitorPingResponse{true};
+          },
+      },
+      request);
 }
 
 void AvmonNode::handleJoin(const JoinMessage& msg) {
@@ -135,13 +163,11 @@ void AvmonNode::handleJoin(const JoinMessage& msg) {
   const int low = weight / 2;
   const int high = weight - low;
   if (high > 0) {
-    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, high},
-              JoinMessage::kBytes);
+    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, high});
     ++metrics_.joinsForwarded;
   }
   if (low > 0) {
-    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, low},
-              JoinMessage::kBytes);
+    net_.send(id_, cv_[rng_.index(cv_.size())], JoinMessage{msg.origin, low});
     ++metrics_.joinsForwarded;
   }
 }
@@ -209,8 +235,8 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
             }
             notifiedPairs_.insert(dedupKey);
           }
-          net_.send(id_, mon, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
-          net_.send(id_, tgt, NotifyMessage{mon, tgt}, NotifyMessage::kBytes);
+          net_.send(id_, mon, NotifyMessage{mon, tgt});
+          net_.send(id_, tgt, NotifyMessage{mon, tgt});
           metrics_.notifiesSent += 2;
         }
       }
@@ -240,8 +266,7 @@ void AvmonNode::protocolTick() {
   if (!cv_.empty()) {
     const std::size_t zi = rng_.index(cv_.size());
     const NodeId z = cv_[zi];
-    auto* ep = net_.rpc(id_, z, config_.pingBytes, config_.pingBytes);
-    if (ep == nullptr) {
+    if (!net_.exchange(id_, z, sim::PingRequest{config_.pingBytes})) {
       cvIndex_.erase(z);
       cv_.erase(cv_.begin() + static_cast<std::ptrdiff_t>(zi));
     }
@@ -257,19 +282,21 @@ void AvmonNode::protocolTick() {
   if (config_.pr2 &&
       sim_.now() - pingBaseline > 2 * config_.monitoringPeriod) {
     for (const NodeId& n : cv_) {
-      net_.send(id_, n, ForceAddMessage{id_}, ForceAddMessage::kBytes);
+      net_.send(id_, n, ForceAddMessage{id_});
     }
   }
 
   // Step 2: fetch the coarse view of a random alive member w.
   if (cv_.empty()) return;
   const NodeId w = cv_[rng_.index(cv_.size())];
-  auto* ep = net_.rpc(id_, w, config_.pingBytes,
-                      config_.bytesPerEntry * (cv_.size() + 1));
-  if (ep == nullptr) return;  // w was down; try again next period
+  auto fetch = net_.exchange(
+      id_, w,
+      sim::CvFetchRequest{config_.pingBytes,
+                          config_.bytesPerEntry * (cv_.size() + 1)});
+  if (!fetch) return;  // w was down; try again next period
   ++metrics_.cvFetches;
 
-  const std::vector<NodeId> fetched = static_cast<AvmonNode&>(*ep).coarseView();
+  const std::vector<NodeId> fetched = std::move(fetch->view);
 
   // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
   std::vector<NodeId> mine = cv_;
@@ -282,10 +309,7 @@ void AvmonNode::protocolTick() {
 
   // Step 4: reshuffle the coarse view.
   if (config_.shuffle == ShufflePolicy::kSwap) {
-    const std::size_t half = std::max<std::size_t>(1, cv_.size() / 2);
-    auto* swapEp = net_.rpc(id_, w, config_.bytesPerEntry * half,
-                            config_.bytesPerEntry * half);
-    if (swapEp != nullptr) reshuffleBySwap(w, static_cast<AvmonNode&>(*swapEp));
+    reshuffleBySwap(w);
   } else {
     reshuffleCoarseView(fetched, w);
   }
@@ -304,11 +328,19 @@ std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
   return taken;
 }
 
-void AvmonNode::reshuffleBySwap(const NodeId& w, AvmonNode& other) {
+void AvmonNode::reshuffleBySwap(const NodeId& w) {
   const std::size_t half = std::max<std::size_t>(1, cv_.size() / 2);
   const std::vector<NodeId> offer = takeRandomEntries(half);
-  const std::vector<NodeId> received = other.acceptExchange(id_, offer);
-  for (const NodeId& n : received) addToCoarseView(n);
+  auto swap = net_.exchange(
+      id_, w, sim::SwapRequest{offer, config_.bytesPerEntry, half});
+  if (!swap) {
+    // Timed out (only possible under injected RPC faults: w answered the
+    // fetch in this same tick, so it is still up). The offer never left —
+    // put the entries back rather than leak view slots.
+    for (const NodeId& n : offer) addToCoarseView(n);
+    return;
+  }
+  for (const NodeId& n : swap->given) addToCoarseView(n);
   // Like CYCLON, the initiator also refreshes its pointer to the peer.
   addToCoarseView(w);
 }
@@ -324,9 +356,10 @@ std::vector<NodeId> AvmonNode::acceptExchange(
 
 void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
   ++metrics_.monitoringPingsSent;
-  auto* ep = net_.rpc(id_, target, config_.pingBytes, config_.pingBytes);
+  const auto ack =
+      net_.exchange(id_, target, sim::MonitorPingRequest{config_.pingBytes});
   const SimTime now = sim_.now();
-  const bool up = ep != nullptr && static_cast<AvmonNode&>(*ep).acceptMonitoringPing();
+  const bool up = ack && ack->acknowledged;
   rec.history->record(now, up);
 
   if (up) {
@@ -377,9 +410,8 @@ void AvmonNode::monitoringTick() {
   }
 }
 
-bool AvmonNode::acceptMonitoringPing() {
+void AvmonNode::acceptMonitoringPing() {
   lastMonitoringPingReceived_ = sim_.now();
-  return true;
 }
 
 // ------------------------------------------------------------------- queries

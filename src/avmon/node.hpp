@@ -19,7 +19,6 @@
 // rendezvous/bootstrap service and in our harness is the scenario runner).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -129,21 +128,17 @@ class AvmonNode final : public sim::Endpoint {
   /// monitors — the attack of the paper's Figure 20.
   void setOverreporting(bool on) noexcept { overreporting_ = on; }
 
-  /// Answers a monitoring ping (RPC target side). Records the ping arrival
-  /// for the PR2 optimization and returns true.
-  bool acceptMonitoringPing();
+  // ---- Endpoint (transport-facing side of the protocol) ----
 
-  /// Answers a coarse-view ping (RPC target side; Figure 2 first step).
-  bool acceptPing() const noexcept { return true; }
+  /// One-way delivery: exhaustive dispatch over the closed Message variant
+  /// to the JOIN / NOTIFY / force-add handlers.
+  void onMessage(const NodeId& from, const sim::Message& message) override;
 
-  /// RPC target side of the CYCLON-style swap (ShufflePolicy::kSwap):
-  /// absorbs `offered`, hands back an equal-sized random slice of its own
-  /// view. Pointer-conserving up to duplicate collapses.
-  std::vector<NodeId> acceptExchange(const NodeId& from,
-                                     const std::vector<NodeId>& offered);
-
-  // ---- Endpoint ----
-  void onMessage(const NodeId& from, const std::any& payload) override;
+  /// RPC target side: answers liveness pings, serves coarse-view fetches,
+  /// performs the CYCLON-style half-view swap, and records monitoring-ping
+  /// arrivals for PR2. Exhaustive over the closed RpcRequest variant.
+  sim::RpcResponse onRpc(const NodeId& from,
+                         const sim::RpcRequest& request) override;
 
  private:
   // One protocol-period step of Figure 2.
@@ -171,8 +166,18 @@ class AvmonNode final : public sim::Endpoint {
   // Reshuffle step: new CV = cvs random distinct entries of old ∪ fetched ∪ {w}.
   void reshuffleCoarseView(const std::vector<NodeId>& fetched, const NodeId& w);
 
-  // CYCLON-style alternative: trade half our entries for half of w's.
-  void reshuffleBySwap(const NodeId& w, AvmonNode& other);
+  // CYCLON-style alternative: trade half our entries for half of w's via a
+  // SwapRequest exchange.
+  void reshuffleBySwap(const NodeId& w);
+
+  // RPC target side of the swap: absorbs `offered`, hands back an
+  // equal-sized random slice of its own view. Pointer-conserving up to
+  // duplicate collapses.
+  std::vector<NodeId> acceptExchange(const NodeId& from,
+                                     const std::vector<NodeId>& offered);
+
+  // Records a monitoring-ping arrival (PR2 baseline).
+  void acceptMonitoringPing();
 
   // Removes and returns up to `count` random entries from the coarse view.
   std::vector<NodeId> takeRandomEntries(std::size_t count);

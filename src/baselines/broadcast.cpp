@@ -23,7 +23,7 @@ void BroadcastNode::join() {
   for (const NodeId& peer : directory_()) {
     if (peer == id_) continue;
     members_.insert(peer);
-    net_.send(id_, peer, PresenceMessage{id_}, PresenceMessage::kBytes);
+    net_.send(id_, peer, PresenceMessage{id_});
     considerPeer(peer);
   }
 }
@@ -44,13 +44,20 @@ void BroadcastNode::considerPeer(const NodeId& peer) {
   if (selector_.isMonitor(id_, peer)) ts_.insert(peer);
 }
 
-void BroadcastNode::onMessage(const NodeId& /*from*/, const std::any& payload) {
+void BroadcastNode::onMessage(const NodeId& /*from*/,
+                              const sim::Message& message) {
   if (!alive_) return;
-  if (const auto* presence = std::any_cast<PresenceMessage>(&payload)) {
-    if (presence->origin == id_) return;
-    members_.insert(presence->origin);
-    considerPeer(presence->origin);
-  }
+  // This scheme only speaks presence announcements; other alternatives of
+  // the closed wire format are not its protocol and fall to the catch-all.
+  std::visit(sim::Overloaded{
+                 [this](const PresenceMessage& presence) {
+                   if (presence.origin == id_) return;
+                   members_.insert(presence.origin);
+                   considerPeer(presence.origin);
+                 },
+                 [](const auto&) {},
+             },
+             message);
 }
 
 std::optional<SimDuration> BroadcastNode::firstMonitorDelay() const {

@@ -9,7 +9,6 @@
 // exactly the M = O(N) row of Table 1.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -28,11 +27,9 @@ namespace avmon::baselines {
 /// membership graph AVCast maintains at each node.
 using DirectoryFn = std::function<std::vector<NodeId>()>;
 
-/// Presence announcement broadcast on join.
-struct PresenceMessage {
-  NodeId origin;
-  static constexpr std::size_t kBytes = 10;
-};
+/// Presence announcement broadcast on join (an alternative of the closed
+/// sim::Message wire format, aliased here for the scheme that speaks it).
+using PresenceMessage = sim::PresenceMessage;
 
 /// One participant of the Broadcast scheme.
 class BroadcastNode final : public sim::Endpoint {
@@ -65,7 +62,7 @@ class BroadcastNode final : public sim::Endpoint {
   /// Delay from this node's first join to its first PS entry, if any.
   std::optional<SimDuration> firstMonitorDelay() const;
 
-  void onMessage(const NodeId& from, const std::any& payload) override;
+  void onMessage(const NodeId& from, const sim::Message& message) override;
 
  private:
   void considerPeer(const NodeId& peer);

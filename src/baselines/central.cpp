@@ -26,8 +26,9 @@ void CentralServer::start() {
 void CentralServer::tick() {
   for (auto& [member, hist] : members_) {
     ++pingsSent_;
-    auto* ep = net_.rpc(id_, member, pingBytes_, pingBytes_);
-    hist.record(sim_.now(), ep != nullptr);
+    const bool up =
+        net_.exchange(id_, member, sim::PingRequest{pingBytes_}).has_value();
+    hist.record(sim_.now(), up);
   }
 }
 
@@ -36,10 +37,15 @@ double CentralServer::estimateOf(const NodeId& member) const {
   return it == members_.end() ? 0.0 : it->second.estimate();
 }
 
-void CentralServer::onMessage(const NodeId& /*from*/, const std::any& payload) {
-  if (const auto* reg = std::any_cast<RegisterMessage>(&payload)) {
-    members_.try_emplace(reg->origin);
-  }
+void CentralServer::onMessage(const NodeId& /*from*/,
+                              const sim::Message& message) {
+  std::visit(sim::Overloaded{
+                 [this](const RegisterMessage& reg) {
+                   members_.try_emplace(reg.origin);
+                 },
+                 [](const auto&) {},  // not this scheme's traffic
+             },
+             message);
 }
 
 CentralMember::CentralMember(NodeId id, NodeId server, sim::Network& net)
@@ -51,7 +57,7 @@ void CentralMember::join() {
   if (alive_) return;
   alive_ = true;
   net_.setUp(id_, true);
-  net_.send(id_, server_, RegisterMessage{id_}, RegisterMessage::kBytes);
+  net_.send(id_, server_, RegisterMessage{id_});
 }
 
 void CentralMember::leave() {
@@ -60,8 +66,9 @@ void CentralMember::leave() {
   net_.setUp(id_, false);
 }
 
-void CentralMember::onMessage(const NodeId&, const std::any&) {
-  // Members only answer pings, which the network models as RPC liveness.
+void CentralMember::onMessage(const NodeId&, const sim::Message&) {
+  // Members receive no one-way traffic; they answer the server's pings
+  // through Endpoint's default onRpc liveness acknowledgement.
 }
 
 }  // namespace avmon::baselines

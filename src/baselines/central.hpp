@@ -5,7 +5,6 @@
 // O(N) while everyone else pays O(1).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,11 +17,9 @@
 
 namespace avmon::baselines {
 
-/// Join/leave registration sent to the central server.
-struct RegisterMessage {
-  NodeId origin;
-  static constexpr std::size_t kBytes = 10;
-};
+/// Join registration sent to the central server (an alternative of the
+/// closed sim::Message wire format, aliased here for the scheme using it).
+using RegisterMessage = sim::RegisterMessage;
 
 /// The central monitor. Members register on join; the server pings every
 /// registered member once per monitoring period and keeps a RawHistory per
@@ -47,7 +44,7 @@ class CentralServer final : public sim::Endpoint {
   /// Pings sent in total — the server's O(N)-per-period load.
   std::uint64_t pingsSent() const noexcept { return pingsSent_; }
 
-  void onMessage(const NodeId& from, const std::any& payload) override;
+  void onMessage(const NodeId& from, const sim::Message& message) override;
 
  private:
   void tick();
@@ -64,7 +61,8 @@ class CentralServer final : public sim::Endpoint {
 };
 
 /// A member of the centrally monitored system: registers with the server
-/// whenever it joins, answers pings implicitly via network liveness.
+/// whenever it joins, and answers the server's pings via Endpoint's
+/// default onRpc (a liveness acknowledgement is all the scheme needs).
 class CentralMember final : public sim::Endpoint {
  public:
   CentralMember(NodeId id, NodeId server, sim::Network& net);
@@ -73,7 +71,7 @@ class CentralMember final : public sim::Endpoint {
   void leave();
   const NodeId& id() const noexcept { return id_; }
 
-  void onMessage(const NodeId& from, const std::any& payload) override;
+  void onMessage(const NodeId& from, const sim::Message& message) override;
 
  private:
   NodeId id_;

@@ -240,18 +240,17 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
       const auto& ts = monIt->second->targetSet();
       const auto recIt = ts.find(id);
       if (recIt == ts.end()) continue;
-      const auto* raw =
-          dynamic_cast<const history::RawHistory*>(recIt->second.history.get());
+      const history::AvailabilityHistory& hist = *recIt->second.history;
+      const auto span = hist.sampleSpan();
       // Monitors with a handful of samples carry no statistical weight
       // (the paper's 48 h runs give every monitor thousands of pings).
-      if (raw == nullptr || raw->samples().size() < 10) continue;
+      if (!span || hist.sampleCount() < 10) continue;
       estSum += *est;
       // Window end matters too: a monitor that left before the horizon
       // stopped sampling then, so truth is measured over its sample span.
       actualSum += nt->availability(
-          raw->samples().front().when,
-          std::min(raw->samples().back().when + config_.monitoringPeriod,
-                   scenario_.horizon));
+          span->first, std::min(span->last + config_.monitoringPeriod,
+                                scenario_.horizon));
       ++acc.reporters;
     }
     if (acc.reporters == 0) return;

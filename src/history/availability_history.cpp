@@ -15,6 +15,11 @@ double RawHistory::estimate() const {
   return static_cast<double>(upCount_) / static_cast<double>(samples_.size());
 }
 
+std::optional<SampleSpan> RawHistory::sampleSpan() const {
+  if (samples_.empty()) return std::nullopt;
+  return SampleSpan{samples_.front().when, samples_.back().when};
+}
+
 double RawHistory::estimateWindow(SimTime from, SimTime to) const {
   // Samples are recorded in time order, so the window is a contiguous run.
   const auto lo = std::lower_bound(
@@ -47,15 +52,29 @@ double RecentHistory::estimate() const {
   return static_cast<double>(upCount_) / static_cast<double>(window_.size());
 }
 
+std::optional<SampleSpan> RecentHistory::sampleSpan() const {
+  // Only the retained window: evicted samples no longer back the estimate.
+  if (window_.empty()) return std::nullopt;
+  return SampleSpan{window_.front().when, window_.back().when};
+}
+
 AgedHistory::AgedHistory(double alpha) : alpha_(alpha) {
   if (alpha_ <= 0.0 || alpha_ > 1.0)
     throw std::invalid_argument("AgedHistory alpha must be in (0,1]");
 }
 
-void AgedHistory::record(SimTime /*when*/, bool up) {
+void AgedHistory::record(SimTime when, bool up) {
   const double x = up ? 1.0 : 0.0;
   ewma_ = count_ == 0 ? x : alpha_ * x + (1.0 - alpha_) * ewma_;
+  if (count_ == 0) firstWhen_ = when;
+  lastWhen_ = when;
   ++count_;
+}
+
+std::optional<SampleSpan> AgedHistory::sampleSpan() const {
+  // Every sample ever recorded still carries (decayed) weight.
+  if (count_ == 0) return std::nullopt;
+  return SampleSpan{firstWhen_, lastWhen_};
 }
 
 std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,

@@ -10,7 +10,9 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -21,6 +23,12 @@ namespace avmon::history {
 struct Sample {
   SimTime when = 0;
   bool up = false;
+};
+
+/// Arrival times of the earliest and latest samples a store still covers.
+struct SampleSpan {
+  SimTime first = 0;
+  SimTime last = 0;
 };
 
 /// Per-target availability store kept by a monitor.
@@ -37,6 +45,12 @@ class AvailabilityHistory {
   /// Number of samples the estimate is based on.
   virtual std::size_t sampleCount() const = 0;
 
+  /// Observation window the estimate covers — the arrival times of the
+  /// first and last samples it is based on — or nullopt before the first
+  /// sample. Lets consumers align ground truth with a monitor's window
+  /// without knowing (or downcasting to) the concrete store.
+  virtual std::optional<SampleSpan> sampleSpan() const = 0;
+
   /// Store style name ("raw", "recent", "aged").
   virtual std::string name() const = 0;
 };
@@ -50,6 +64,7 @@ class RawHistory final : public AvailabilityHistory {
   void record(SimTime when, bool up) override;
   double estimate() const override;
   std::size_t sampleCount() const override { return samples_.size(); }
+  std::optional<SampleSpan> sampleSpan() const override;
   std::string name() const override { return "raw"; }
 
   /// Full sample log (read-only), e.g. for offline prediction models.
@@ -71,6 +86,7 @@ class RecentHistory final : public AvailabilityHistory {
   void record(SimTime when, bool up) override;
   double estimate() const override;
   std::size_t sampleCount() const override { return window_.size(); }
+  std::optional<SampleSpan> sampleSpan() const override;
   std::string name() const override { return "recent"; }
 
   std::size_t capacity() const noexcept { return capacity_; }
@@ -91,6 +107,7 @@ class AgedHistory final : public AvailabilityHistory {
   void record(SimTime when, bool up) override;
   double estimate() const override { return count_ == 0 ? 0.0 : ewma_; }
   std::size_t sampleCount() const override { return count_; }
+  std::optional<SampleSpan> sampleSpan() const override;
   std::string name() const override { return "aged"; }
 
   double alpha() const noexcept { return alpha_; }
@@ -99,6 +116,8 @@ class AgedHistory final : public AvailabilityHistory {
   double alpha_;
   double ewma_ = 0.0;
   std::size_t count_ = 0;
+  SimTime firstWhen_ = 0;
+  SimTime lastWhen_ = 0;
 };
 
 /// Factory by style name ("raw" | "recent" | "aged"); throws

@@ -1,0 +1,112 @@
+// One-way wire messages of the simulated deployment.
+//
+// The transport carries a *closed* sum type: every message that can cross
+// the simulated network is an alternative of `Message`, so receiver
+// dispatch is an exhaustive std::visit (adding a message type without
+// handling it everywhere is a compile error, not a silently ignored
+// payload) and wire-size accounting lives with the type instead of at
+// every send site.
+//
+// Adding a new message type:
+//   1. define its struct here with a `wireBytes()` (usually a constexpr
+//      kBytes constant, following the paper's fixed-format accounting);
+//   2. append it to the `Message` variant;
+//   3. recompile — every exhaustive dispatch site now fails until the new
+//      alternative is handled.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+
+#include "common/node_id.hpp"
+
+namespace avmon::sim {
+
+/// Visitor helper for std::visit over the transport sum types:
+///   std::visit(Overloaded{[](const JoinMessage&){...}, ...}, message)
+template <class... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
+
+// ---------------------------------------------------------------------------
+// AVMON protocol messages (sizes per the paper's Section 5.1 accounting:
+// ids are 6 B on the wire, weights 4 B, plus a small header).
+// ---------------------------------------------------------------------------
+
+/// Figure 1: JOIN(x, c) — origin x asks receivers to add it to their
+/// coarse views and split-forward the remaining weight.
+struct JoinMessage {
+  NodeId origin;
+  int weight = 0;
+
+  static constexpr std::size_t kBytes = 12;  // 6 B id + 4 B weight + header
+  constexpr std::size_t wireBytes() const noexcept { return kBytes; }
+};
+
+/// Figure 2: NOTIFY(u, v) — some node discovered that u ∈ PS(v), i.e. u
+/// should monitor v. Sent to both u and v, who re-verify before acting.
+struct NotifyMessage {
+  NodeId monitor;  ///< u: the node that satisfies the consistency condition
+  NodeId target;   ///< v: the node to be monitored
+
+  static constexpr std::size_t kBytes = 16;  // two 6 B ids + header
+  constexpr std::size_t wireBytes() const noexcept { return kBytes; }
+};
+
+/// Section 5.4 "PR2": a node that went unpinged for two monitoring periods
+/// forces itself back into the coarse views of its own CV members.
+struct ForceAddMessage {
+  NodeId origin;
+
+  static constexpr std::size_t kBytes = 10;  // 6 B id + header
+  constexpr std::size_t wireBytes() const noexcept { return kBytes; }
+};
+
+// ---------------------------------------------------------------------------
+// Baseline-scheme messages (Table 1 comparisons).
+// ---------------------------------------------------------------------------
+
+/// Broadcast baseline (AVCast): presence announcement sent to every member
+/// on join.
+struct PresenceMessage {
+  NodeId origin;
+
+  static constexpr std::size_t kBytes = 10;
+  constexpr std::size_t wireBytes() const noexcept { return kBytes; }
+};
+
+/// Central-monitor baseline: join registration sent to the server.
+struct RegisterMessage {
+  NodeId origin;
+
+  static constexpr std::size_t kBytes = 10;
+  constexpr std::size_t wireBytes() const noexcept { return kBytes; }
+};
+
+// ---------------------------------------------------------------------------
+// Harness payload.
+// ---------------------------------------------------------------------------
+
+/// Free-form payload with a declared wire size, for transport tests and
+/// ad-hoc harness traffic. Protocol code never sends this.
+struct TextMessage {
+  std::string text;
+  std::size_t bytes = 0;
+
+  std::size_t wireBytes() const noexcept { return bytes; }
+};
+
+/// The closed set of everything the simulated network can carry one-way.
+using Message = std::variant<JoinMessage, NotifyMessage, ForceAddMessage,
+                             PresenceMessage, RegisterMessage, TextMessage>;
+
+/// Outgoing wire size of a message — the bytes charged to the sender.
+inline std::size_t wireBytes(const Message& message) {
+  return std::visit([](const auto& m) { return m.wireBytes(); }, message);
+}
+
+}  // namespace avmon::sim

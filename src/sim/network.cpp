@@ -1,8 +1,24 @@
 #include "sim/network.hpp"
 
+#include <memory>
+#include <type_traits>
 #include <utility>
 
 namespace avmon::sim {
+
+RpcResponse Endpoint::onRpc(const NodeId& /*from*/, const RpcRequest& request) {
+  // Generic liveness acknowledgement: the network only dispatches to
+  // attached, up endpoints, so merely answering proves aliveness. Each
+  // request gets an empty response of its matching type, keeping the
+  // RpcTraits contract (exchange() relies on it) for endpoints that don't
+  // speak the protocol behind the request.
+  return std::visit(
+      [](const auto& req) -> RpcResponse {
+        using Request = std::decay_t<decltype(req)>;
+        return typename RpcTraits<Request>::Response{};
+      },
+      request);
+}
 
 void Network::attach(const NodeId& id, Endpoint& endpoint) {
   nodes_[id].endpoint = &endpoint;
@@ -28,42 +44,91 @@ void Network::charge(const NodeId& id, std::size_t bytes) {
   t.messagesSent += 1;
 }
 
-void Network::send(const NodeId& from, const NodeId& to, std::any payload,
-                   std::size_t bytes) {
-  charge(from, bytes);
+SimDuration Network::sampleLatency() {
+  return config_.minLatency +
+         static_cast<SimDuration>(rng_.below(static_cast<std::uint64_t>(
+             config_.maxLatency - config_.minLatency + 1)));
+}
+
+void Network::send(const NodeId& from, const NodeId& to, Message message) {
+  charge(from, wireBytes(message));
   if (config_.messageDropProbability > 0 &&
       rng_.chance(config_.messageDropProbability)) {
     ++lost_;
     return;
   }
-  const SimDuration latency =
-      config_.minLatency +
-      static_cast<SimDuration>(rng_.below(static_cast<std::uint64_t>(
-          config_.maxLatency - config_.minLatency + 1)));
-  sim_.after(latency, [this, from, to, payload = std::move(payload)]() {
+  const SimDuration latency = sampleLatency();
+  sim_.after(latency, [this, from, to, message = std::move(message)]() {
     const auto it = nodes_.find(to);
     if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
       ++lost_;
       return;
     }
     ++delivered_;
-    it->second.endpoint->onMessage(from, payload);
+    it->second.endpoint->onMessage(from, message);
   });
 }
 
-Endpoint* Network::rpc(const NodeId& from, const NodeId& to,
-                       std::size_t requestBytes, std::size_t responseBytes) {
-  charge(from, requestBytes);
+std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
+                                         const RpcRequest& request) {
+  charge(from, requestWireBytes(request));
   if (config_.rpcFailProbability > 0 &&
       rng_.chance(config_.rpcFailProbability)) {
-    return nullptr;  // injected timeout; request bytes already spent
+    return std::nullopt;  // injected timeout; request bytes already spent
   }
   const auto it = nodes_.find(to);
   if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
-    return nullptr;
+    return std::nullopt;
   }
-  charge(to, responseBytes);
-  return it->second.endpoint;
+  charge(to, responseWireBytes(request));
+  return it->second.endpoint->onRpc(from, request);
+}
+
+void Network::callAsync(const NodeId& from, const NodeId& to,
+                        RpcRequest request, RpcHandler handler) {
+  if (!config_.deferredRpc) {
+    handler(call(from, to, request));
+    return;
+  }
+  // Latency-modeled mode: the request leg travels, the target serves the
+  // request at arrival time (so its liveness is judged then, like one-way
+  // delivery), and the response leg travels back. The caller's deadline is
+  // a single backstop event scheduled now, at exactly rpcTimeout: it fires
+  // with nullopt unless a response landed first, so every failure mode —
+  // injected fault, dead target, or a round trip slower than the deadline
+  // — surfaces at the same instant and is indistinguishable by timing.
+  charge(from, requestWireBytes(request));
+  auto settled = std::make_shared<bool>(false);
+  auto sharedHandler = std::make_shared<RpcHandler>(std::move(handler));
+  sim_.after(config_.rpcTimeout, [settled, sharedHandler] {
+    if (*settled) return;
+    *settled = true;
+    (*sharedHandler)(std::nullopt);
+  });
+  if (config_.rpcFailProbability > 0 &&
+      rng_.chance(config_.rpcFailProbability)) {
+    return;  // the request is lost; the backstop reports the timeout
+  }
+  const SimDuration requestLatency = sampleLatency();
+  sim_.after(requestLatency, [this, from, to, settled, sharedHandler,
+                              request = std::move(request)]() mutable {
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end() || !it->second.up ||
+        it->second.endpoint == nullptr) {
+      return;  // unreachable target: the backstop reports the timeout
+    }
+    // The target serves the request and spends its response bytes even if
+    // the caller's deadline has already passed — a late response is still
+    // sent, just never seen.
+    charge(to, responseWireBytes(request));
+    RpcResponse response = it->second.endpoint->onRpc(from, request);
+    sim_.after(sampleLatency(), [settled, sharedHandler,
+                                 response = std::move(response)]() mutable {
+      if (*settled) return;  // beaten by the deadline
+      *settled = true;
+      (*sharedHandler)(std::move(response));
+    });
+  });
 }
 
 TrafficCounters Network::traffic(const NodeId& id) const {

@@ -4,28 +4,37 @@
 // reliable and timely if both nodes are currently alive". We model that
 // directly:
 //
-//  * One-way messages (JOIN, NOTIFY) are delivered after a small random
-//    latency; if the target is down at delivery time the message is lost
-//    silently (the sender learns nothing — deaths are silent).
-//  * Synchronous exchanges (coarse-view ping, CV fetch, monitoring ping)
-//    are modeled as an instantaneous RPC: the caller gets direct access to
-//    the target endpoint if and only if the target is up right now.
-//    Because protocol periods are minutes and network latency is
-//    milliseconds, collapsing the RTT does not affect any metric the paper
-//    reports; it removes a large constant factor of simulator events.
+//  * One-way messages (JOIN, NOTIFY, ...) are typed `Message` alternatives
+//    (sim/message.hpp), delivered after a small random latency; if the
+//    target is down at delivery time the message is lost silently (the
+//    sender learns nothing — deaths are silent).
+//  * Synchronous exchanges (coarse-view ping, CV fetch, swap, monitoring
+//    ping) are typed `RpcRequest`/`RpcResponse` pairs (sim/rpc.hpp),
+//    modeled by default as an instantaneous RPC: the caller gets the
+//    target's response if and only if the target is up right now, and a
+//    timeout otherwise (empty optional; request bytes spent, response
+//    bytes not). Because protocol periods are minutes and network latency
+//    is milliseconds, collapsing the RTT does not affect any metric the
+//    paper reports; it removes a large constant factor of simulator
+//    events. `NetworkConfig::deferredRpc` switches `callAsync` to a
+//    latency-modeled deferred delivery — the seam a future batched/async
+//    event loop plugs into.
 //
 // The network also owns per-node bandwidth accounting (outgoing bytes and
 // messages), which feeds the paper's bandwidth figures (Section 5.1, 5.4).
 #pragma once
 
-#include <any>
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/message.hpp"
+#include "sim/rpc.hpp"
 #include "sim/simulator.hpp"
 
 namespace avmon::sim {
@@ -35,9 +44,16 @@ class Endpoint {
  public:
   virtual ~Endpoint() = default;
 
-  /// Delivery of a one-way message. `payload` holds a protocol-defined
-  /// struct; receivers std::any_cast to the types they understand.
-  virtual void onMessage(const NodeId& from, const std::any& payload) = 0;
+  /// Delivery of a one-way message. Receivers dispatch on the closed
+  /// `Message` sum type (exhaustively, or with a catch-all for traffic
+  /// they don't speak).
+  virtual void onMessage(const NodeId& from, const Message& message) = 0;
+
+  /// Serves a typed RPC. Called by the network only while the endpoint is
+  /// attached and up. The default answers every request like a liveness
+  /// probe — enough for endpoints (central-baseline members, test probes)
+  /// whose only RPC role is "answer if alive".
+  virtual RpcResponse onRpc(const NodeId& from, const RpcRequest& request);
 };
 
 /// Latency and fault model.
@@ -52,6 +68,18 @@ struct NetworkConfig {
   /// JOIN/NOTIFY losses are repaired by later rounds.
   double messageDropProbability = 0.0;
   double rpcFailProbability = 0.0;
+
+  /// When true, `callAsync` models both RPC legs with real latency: the
+  /// request travels for one sampled latency, the response for another,
+  /// and the completion handler fires as a simulator event. `call` always
+  /// uses the instantaneous model (the paper's collapsed-RTT accounting);
+  /// this flag is the seam for the future async event loop, which will
+  /// issue every exchange through `callAsync`.
+  bool deferredRpc = false;
+
+  /// How long a deferred caller waits before declaring a timeout (the
+  /// handler fires with nullopt after this much simulated time).
+  SimDuration rpcTimeout = 200 * kMillisecond;
 };
 
 /// Per-node traffic counters (outgoing direction, as in the paper's
@@ -60,6 +88,9 @@ struct TrafficCounters {
   std::uint64_t bytesSent = 0;
   std::uint64_t messagesSent = 0;
 };
+
+/// Completion callback for callAsync: the response, or nullopt on timeout.
+using RpcHandler = std::function<void(std::optional<RpcResponse>)>;
 
 /// Simulated network switchboard. Endpoints attach under their NodeId; an
 /// external lifecycle manager toggles per-node aliveness as churn dictates.
@@ -72,7 +103,9 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Registers (or replaces) the endpoint for `id`. The endpoint must
-  /// outlive the network or be detached first. Nodes start down.
+  /// outlive the network or be detached first. Nodes start down. Traffic
+  /// counters survive a detach/attach cycle (they belong to the node id,
+  /// not the endpoint object).
   void attach(const NodeId& id, Endpoint& endpoint);
 
   /// Removes the endpoint; pending messages to it are dropped on delivery.
@@ -85,17 +118,47 @@ class Network {
   /// True if the node is attached and currently up.
   bool isUp(const NodeId& id) const;
 
-  /// Sends a one-way message; charges `bytes` to `from` immediately.
+  /// Sends a one-way message; charges its wire size to `from` immediately.
   /// Delivered after a uniform random latency iff the target is up then.
-  void send(const NodeId& from, const NodeId& to, std::any payload,
-            std::size_t bytes);
+  void send(const NodeId& from, const NodeId& to, Message message);
 
-  /// Instantaneous RPC: if `to` is up, charges request bytes to `from` and
-  /// response bytes to `to`, and returns the target endpoint so the caller
-  /// can invoke a protocol-specific accessor. Returns nullptr (charging
-  /// only the request) if the target is down or detached — i.e., a timeout.
-  Endpoint* rpc(const NodeId& from, const NodeId& to, std::size_t requestBytes,
-                std::size_t responseBytes);
+  /// Instantaneous typed exchange. Charges the request leg to `from`
+  /// unconditionally; if the target is up (and the injected-failure roll
+  /// passes), charges the response leg to `to`, dispatches the request to
+  /// the target's onRpc, and returns its response. Otherwise returns
+  /// nullopt — a timeout with only the request bytes spent. This is the
+  /// single place the reliable/faulty RPC semantics live.
+  std::optional<RpcResponse> call(const NodeId& from, const NodeId& to,
+                                  const RpcRequest& request);
+
+  /// Typed exchange returning the concrete response type for `Request`
+  /// (e.g. exchange(x, w, CvFetchRequest{...}) -> optional<CvFetchResponse>).
+  /// Protocol call sites use this; no variant handling, no downcasts. An
+  /// onRpc override answering with the wrong response alternative is a
+  /// contract violation at the *responder* — asserted here by name, and
+  /// degraded to a timeout when assertions are compiled out.
+  template <class Request>
+  std::optional<typename RpcTraits<Request>::Response> exchange(
+      const NodeId& from, const NodeId& to, Request request) {
+    auto response = call(from, to, RpcRequest(std::move(request)));
+    if (!response) return std::nullopt;
+    using Response = typename RpcTraits<Request>::Response;
+    auto* typed = std::get_if<Response>(&*response);
+    assert(typed != nullptr &&
+           "Endpoint::onRpc returned a response alternative that does not "
+           "match RpcTraits for the request it was sent");
+    if (typed == nullptr) return std::nullopt;
+    return std::move(*typed);
+  }
+
+  /// Asynchronous exchange. With deferredRpc off (default) this is exactly
+  /// `call` with the result handed to `handler` before returning. With
+  /// deferredRpc on, the request travels one sampled latency, the target
+  /// serves it then (liveness is checked at arrival time), the response
+  /// travels another latency, and `handler` fires as a simulator event —
+  /// or with nullopt after `rpcTimeout` if the exchange failed.
+  void callAsync(const NodeId& from, const NodeId& to, RpcRequest request,
+                 RpcHandler handler);
 
   /// Outgoing-traffic counters for a node (zeroes if unknown).
   TrafficCounters traffic(const NodeId& id) const;
@@ -117,6 +180,7 @@ class Network {
   };
 
   void charge(const NodeId& id, std::size_t bytes);
+  SimDuration sampleLatency();
 
   Simulator& sim_;
   NetworkConfig config_;

@@ -1,6 +1,7 @@
 // Fault-model tests for the simulated network: injected message drops and
 // RPC timeouts behave statistically as configured and account bytes the
-// way the bandwidth figures expect.
+// way the bandwidth figures expect — all through the typed message/RPC
+// transport API.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -14,7 +15,7 @@ namespace {
 
 class CountingEndpoint final : public Endpoint {
  public:
-  void onMessage(const NodeId&, const std::any&) override { ++received; }
+  void onMessage(const NodeId&, const Message&) override { ++received; }
   int received = 0;
 };
 
@@ -33,7 +34,7 @@ TEST(NetworkFaultTest, DropProbabilityIsHonored) {
 
   constexpr int kSends = 2000;
   for (int i = 0; i < kSends; ++i) {
-    net.send(idA, idB, std::string("m"), 1);
+    net.send(idA, idB, TextMessage{"m", 1});
   }
   sim.runUntil(kSecond);
   EXPECT_NEAR(static_cast<double>(b.received) / kSends, 0.5, 0.05);
@@ -51,8 +52,33 @@ TEST(NetworkFaultTest, DroppedSendsStillChargeSender) {
   const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
   net.attach(idA, a);
   net.setUp(idA, true);
-  net.send(idA, idB, std::string("m"), 42);
+  net.send(idA, idB, TextMessage{"m", 42});
   EXPECT_EQ(net.traffic(idA).bytesSent, 42u);
+}
+
+TEST(NetworkFaultTest, DropProbabilityAppliesToEveryMessageType) {
+  // The drop roll happens at the transport, before dispatch — a protocol
+  // JOIN is as droppable as a harness payload.
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.messageDropProbability = 1.0;
+  Network net(sim, cfg, Rng(7));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+  net.send(idA, idB, JoinMessage{idA, 3});
+  net.send(idA, idB, NotifyMessage{idA, idB});
+  net.send(idA, idB, ForceAddMessage{idA});
+  sim.runUntil(kSecond);
+  EXPECT_EQ(b.received, 0);
+  EXPECT_EQ(net.lost(), 3u);
+  EXPECT_EQ(net.traffic(idA).bytesSent,
+            JoinMessage::kBytes + NotifyMessage::kBytes +
+                ForceAddMessage::kBytes);
 }
 
 TEST(NetworkFaultTest, RpcFailProbabilityIsHonored) {
@@ -71,7 +97,7 @@ TEST(NetworkFaultTest, RpcFailProbabilityIsHonored) {
   constexpr int kCalls = 2000;
   int ok = 0;
   for (int i = 0; i < kCalls; ++i) {
-    ok += net.rpc(idA, idB, 8, 8) != nullptr ? 1 : 0;
+    ok += net.exchange(idA, idB, PingRequest{8}).has_value() ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<double>(ok) / kCalls, 0.7, 0.05);
 }
@@ -89,9 +115,61 @@ TEST(NetworkFaultTest, FailedRpcChargesOnlyRequest) {
   net.setUp(idA, true);
   net.setUp(idB, true);
 
-  EXPECT_EQ(net.rpc(idA, idB, 8, 100), nullptr);
+  EXPECT_FALSE(net.call(idA, idB, CvFetchRequest{8, 100}).has_value());
   EXPECT_EQ(net.traffic(idA).bytesSent, 8u);
   EXPECT_EQ(net.traffic(idB).bytesSent, 0u);  // no response produced
+}
+
+TEST(NetworkFaultTest, TimeoutChargingIsPerRequestType) {
+  // Every request type charges its own declared request leg on timeout —
+  // the accounting lives with the type, verified across the closed set.
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.rpcFailProbability = 1.0;
+  Network net(sim, cfg, Rng(8));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+
+  EXPECT_FALSE(net.call(idA, idB, PingRequest{8}).has_value());
+  EXPECT_FALSE(net.call(idA, idB, CvFetchRequest{8, 200}).has_value());
+  EXPECT_FALSE(net.call(idA, idB, SwapRequest{{idA}, 8, 4}).has_value());
+  EXPECT_FALSE(net.call(idA, idB, MonitorPingRequest{8}).has_value());
+  // 8 (ping) + 8 (fetch ask) + 32 (4 swap entries) + 8 (monitor ping).
+  EXPECT_EQ(net.traffic(idA).bytesSent, 56u);
+  EXPECT_EQ(net.traffic(idA).messagesSent, 4u);
+  EXPECT_EQ(net.traffic(idB).bytesSent, 0u);
+}
+
+TEST(NetworkFaultTest, RpcFailProbabilityAppliesToDeferredMode) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.rpcFailProbability = 1.0;
+  cfg.deferredRpc = true;
+  Network net(sim, cfg, Rng(9));
+
+  CountingEndpoint a, b;
+  const NodeId idA = NodeId::fromIndex(1), idB = NodeId::fromIndex(2);
+  net.attach(idA, a);
+  net.attach(idB, b);
+  net.setUp(idA, true);
+  net.setUp(idB, true);
+
+  bool fired = false, gotResponse = true;
+  net.callAsync(idA, idB, PingRequest{8}, [&](auto r) {
+    fired = true;
+    gotResponse = r.has_value();
+  });
+  EXPECT_FALSE(fired);  // the failure surfaces only after the timeout
+  sim.runUntil(kMinute);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(gotResponse);
+  EXPECT_EQ(net.traffic(idA).bytesSent, 8u);
+  EXPECT_EQ(net.traffic(idB).bytesSent, 0u);
 }
 
 TEST(NetworkFaultTest, ZeroProbabilityIsFaultless) {
@@ -104,8 +182,8 @@ TEST(NetworkFaultTest, ZeroProbabilityIsFaultless) {
   net.setUp(idA, true);
   net.setUp(idB, true);
   for (int i = 0; i < 500; ++i) {
-    net.send(idA, idB, std::string("m"), 1);
-    EXPECT_NE(net.rpc(idA, idB, 1, 1), nullptr);
+    net.send(idA, idB, TextMessage{"m", 1});
+    EXPECT_TRUE(net.exchange(idA, idB, PingRequest{1}).has_value());
   }
   sim.runUntil(kSecond);
   EXPECT_EQ(b.received, 500);

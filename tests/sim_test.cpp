@@ -1,7 +1,7 @@
 // Discrete-event simulator and network model tests.
 #include <gtest/gtest.h>
 
-#include <any>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -112,10 +112,10 @@ TEST(SimulatorTest, StepExecutesExactlyOne) {
 
 class RecordingEndpoint final : public Endpoint {
  public:
-  void onMessage(const NodeId& from, const std::any& payload) override {
+  void onMessage(const NodeId& from, const Message& message) override {
     froms.push_back(from);
-    if (const auto* s = std::any_cast<std::string>(&payload))
-      messages.push_back(*s);
+    if (const auto* text = std::get_if<TextMessage>(&message))
+      messages.push_back(text->text);
   }
   std::vector<NodeId> froms;
   std::vector<std::string> messages;
@@ -137,7 +137,7 @@ TEST_F(NetworkTest, DeliversToUpNode) {
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);
   net_.setUp(idB_, true);
-  net_.send(idA_, idB_, std::string("hello"), 10);
+  net_.send(idA_, idB_, TextMessage{"hello", 10});
   sim_.runUntil(kSecond);
   ASSERT_EQ(b_.messages.size(), 1u);
   EXPECT_EQ(b_.messages[0], "hello");
@@ -149,7 +149,7 @@ TEST_F(NetworkTest, DropsToDownNode) {
   net_.attach(idA_, a_);
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);  // B stays down
-  net_.send(idA_, idB_, std::string("hello"), 10);
+  net_.send(idA_, idB_, TextMessage{"hello", 10});
   sim_.runUntil(kSecond);
   EXPECT_TRUE(b_.messages.empty());
   EXPECT_EQ(net_.lost(), 1u);
@@ -160,7 +160,7 @@ TEST_F(NetworkTest, DropsIfTargetGoesDownBeforeDelivery) {
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);
   net_.setUp(idB_, true);
-  net_.send(idA_, idB_, std::string("hello"), 10);
+  net_.send(idA_, idB_, TextMessage{"hello", 10});
   net_.setUp(idB_, false);  // goes down before the latency elapses
   sim_.runUntil(kSecond);
   EXPECT_TRUE(b_.messages.empty());
@@ -169,7 +169,7 @@ TEST_F(NetworkTest, DropsIfTargetGoesDownBeforeDelivery) {
 TEST_F(NetworkTest, ChargesSenderBytesImmediately) {
   net_.attach(idA_, a_);
   net_.setUp(idA_, true);
-  net_.send(idA_, idB_, std::string("x"), 42);
+  net_.send(idA_, idB_, TextMessage{"x", 42});
   EXPECT_EQ(net_.traffic(idA_).bytesSent, 42u);
   EXPECT_EQ(net_.traffic(idA_).messagesSent, 1u);
 }
@@ -179,8 +179,9 @@ TEST_F(NetworkTest, RpcReachesUpNode) {
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);
   net_.setUp(idB_, true);
-  Endpoint* ep = net_.rpc(idA_, idB_, 8, 16);
-  EXPECT_EQ(ep, &b_);
+  const auto response = net_.call(idA_, idB_, CvFetchRequest{8, 16});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(std::holds_alternative<CvFetchResponse>(*response));
   EXPECT_EQ(net_.traffic(idA_).bytesSent, 8u);
   EXPECT_EQ(net_.traffic(idB_).bytesSent, 16u);  // response charged to target
 }
@@ -189,7 +190,7 @@ TEST_F(NetworkTest, RpcTimesOutOnDownNode) {
   net_.attach(idA_, a_);
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);
-  EXPECT_EQ(net_.rpc(idA_, idB_, 8, 16), nullptr);
+  EXPECT_FALSE(net_.call(idA_, idB_, CvFetchRequest{8, 16}).has_value());
   EXPECT_EQ(net_.traffic(idA_).bytesSent, 8u);  // request wasted
   EXPECT_EQ(net_.traffic(idB_).bytesSent, 0u);
 }
@@ -197,7 +198,168 @@ TEST_F(NetworkTest, RpcTimesOutOnDownNode) {
 TEST_F(NetworkTest, RpcTimesOutOnDetachedNode) {
   net_.attach(idA_, a_);
   net_.setUp(idA_, true);
-  EXPECT_EQ(net_.rpc(idA_, idB_, 8, 16), nullptr);
+  EXPECT_FALSE(net_.call(idA_, idB_, CvFetchRequest{8, 16}).has_value());
+}
+
+TEST_F(NetworkTest, ExchangeReturnsConcreteResponseType) {
+  // An endpoint that actually serves CV fetches; exchange() hands the
+  // caller the typed response, no variant handling at the call site.
+  class ViewServer final : public Endpoint {
+   public:
+    void onMessage(const NodeId&, const Message&) override {}
+    RpcResponse onRpc(const NodeId&, const RpcRequest& request) override {
+      if (std::holds_alternative<CvFetchRequest>(request)) {
+        return CvFetchResponse{{NodeId::fromIndex(7), NodeId::fromIndex(9)}};
+      }
+      return Endpoint::onRpc(NodeId{}, request);
+    }
+  } server;
+  net_.attach(idA_, a_);
+  net_.attach(idB_, server);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+
+  const auto fetch = net_.exchange(idA_, idB_, CvFetchRequest{8, 16});
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_EQ(fetch->view.size(), 2u);
+  EXPECT_EQ(fetch->view[0], NodeId::fromIndex(7));
+
+  // The default Endpoint::onRpc acks with an *empty* response of the
+  // matching type, so exchange() stays total against plain endpoints.
+  const auto probe = net_.exchange(idB_, idA_, CvFetchRequest{8, 16});
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(probe->view.empty());
+  EXPECT_TRUE(net_.exchange(idB_, idA_, PingRequest{8}).has_value());
+}
+
+TEST_F(NetworkTest, MessageWireSizeLivesWithTheType) {
+  EXPECT_EQ(wireBytes(Message(JoinMessage{idA_, 3})), JoinMessage::kBytes);
+  EXPECT_EQ(wireBytes(Message(NotifyMessage{idA_, idB_})),
+            NotifyMessage::kBytes);
+  EXPECT_EQ(wireBytes(Message(ForceAddMessage{idA_})), ForceAddMessage::kBytes);
+  EXPECT_EQ(wireBytes(Message(TextMessage{"x", 42})), 42u);
+  EXPECT_EQ(requestWireBytes(RpcRequest(CvFetchRequest{8, 136})), 8u);
+  EXPECT_EQ(responseWireBytes(RpcRequest(CvFetchRequest{8, 136})), 136u);
+  EXPECT_EQ(requestWireBytes(RpcRequest(SwapRequest{{}, 8, 5})), 40u);
+}
+
+TEST_F(NetworkTest, TrafficCountersSurviveDetachAndReattach) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  net_.send(idA_, idB_, TextMessage{"one", 10});
+  net_.detach(idA_);
+  // Counters belong to the node id, not the endpoint object.
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 10u);
+  EXPECT_EQ(net_.traffic(idA_).messagesSent, 1u);
+
+  RecordingEndpoint reborn;
+  net_.attach(idA_, reborn);
+  net_.setUp(idA_, true);
+  net_.send(idA_, idB_, TextMessage{"two", 5});
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 15u);
+  EXPECT_EQ(net_.traffic(idA_).messagesSent, 2u);
+  // And the reattached endpoint receives traffic again.
+  net_.send(idB_, idA_, TextMessage{"back", 4});
+  sim_.runUntil(kSecond);
+  ASSERT_EQ(reborn.messages.size(), 1u);
+  EXPECT_EQ(reborn.messages[0], "back");
+}
+
+TEST_F(NetworkTest, CallAsyncInstantaneousModeMatchesCall) {
+  net_.attach(idA_, a_);
+  net_.attach(idB_, b_);
+  net_.setUp(idA_, true);
+  net_.setUp(idB_, true);
+  std::optional<RpcResponse> result;
+  bool fired = false;
+  net_.callAsync(idA_, idB_, PingRequest{8}, [&](auto r) {
+    fired = true;
+    result = std::move(r);
+  });
+  // With deferredRpc off the handler runs before callAsync returns.
+  EXPECT_TRUE(fired);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(net_.traffic(idA_).bytesSent, 8u);
+  EXPECT_EQ(net_.traffic(idB_).bytesSent, 8u);
+}
+
+TEST_F(NetworkTest, DeferredRpcDeliversAfterBothLegs) {
+  NetworkConfig cfg;
+  cfg.minLatency = 10;
+  cfg.maxLatency = 20;
+  cfg.deferredRpc = true;
+  Network net(sim_, cfg, Rng(11));
+  net.attach(idA_, a_);
+  net.attach(idB_, b_);
+  net.setUp(idA_, true);
+  net.setUp(idB_, true);
+
+  SimTime completedAt = -1;
+  bool gotResponse = false;
+  net.callAsync(idA_, idB_, PingRequest{8}, [&](auto r) {
+    gotResponse = r.has_value();
+    completedAt = sim_.now();
+  });
+  EXPECT_EQ(completedAt, -1);  // nothing fires synchronously
+  // Request charged up front; response charged when the target serves it.
+  EXPECT_EQ(net.traffic(idA_).bytesSent, 8u);
+  sim_.runUntil(kSecond);
+  EXPECT_TRUE(gotResponse);
+  EXPECT_GE(completedAt, 2 * 10);  // two legs, each >= minLatency
+  EXPECT_LE(completedAt, 2 * 20);  // and <= maxLatency
+  EXPECT_EQ(net.traffic(idB_).bytesSent, 8u);
+}
+
+TEST_F(NetworkTest, DeferredRpcLateResponseBecomesTimeout) {
+  // A round trip that outlives rpcTimeout is a timeout to the caller even
+  // though the target served it (and spent its response bytes).
+  NetworkConfig cfg;
+  cfg.minLatency = 150;
+  cfg.maxLatency = 150;
+  cfg.rpcTimeout = 200;
+  cfg.deferredRpc = true;
+  Network net(sim_, cfg, Rng(13));
+  net.attach(idA_, a_);
+  net.attach(idB_, b_);
+  net.setUp(idA_, true);
+  net.setUp(idB_, true);
+
+  SimTime completedAt = -1;
+  bool gotResponse = true;
+  net.callAsync(idA_, idB_, PingRequest{8}, [&](auto r) {
+    gotResponse = r.has_value();
+    completedAt = sim_.now();
+  });
+  sim_.runUntil(kSecond);
+  EXPECT_FALSE(gotResponse);
+  EXPECT_EQ(completedAt, 200);  // exactly the caller's deadline
+  EXPECT_EQ(net.traffic(idB_).bytesSent, 8u);  // response leg was produced
+}
+
+TEST_F(NetworkTest, DeferredRpcTimesOutOnDownTarget) {
+  NetworkConfig cfg;
+  cfg.deferredRpc = true;
+  Network net(sim_, cfg, Rng(12));
+  net.attach(idA_, a_);
+  net.attach(idB_, b_);
+  net.setUp(idA_, true);  // B stays down
+
+  SimTime completedAt = -1;
+  bool gotResponse = true;
+  net.callAsync(idA_, idB_, CvFetchRequest{8, 16}, [&](auto r) {
+    gotResponse = r.has_value();
+    completedAt = sim_.now();
+  });
+  sim_.runUntil(kMinute);
+  EXPECT_FALSE(gotResponse);
+  // The caller waits out the timeout (measured from when the request
+  // left, not from when its loss was discovered); only the request leg
+  // is charged.
+  EXPECT_EQ(completedAt, cfg.rpcTimeout);
+  EXPECT_EQ(net.traffic(idA_).bytesSent, 8u);
+  EXPECT_EQ(net.traffic(idB_).bytesSent, 0u);
 }
 
 TEST_F(NetworkTest, DetachDropsFutureDelivery) {
@@ -205,7 +367,7 @@ TEST_F(NetworkTest, DetachDropsFutureDelivery) {
   net_.attach(idB_, b_);
   net_.setUp(idA_, true);
   net_.setUp(idB_, true);
-  net_.send(idA_, idB_, std::string("bye"), 4);
+  net_.send(idA_, idB_, TextMessage{"bye", 4});
   net_.detach(idB_);
   sim_.runUntil(kSecond);
   EXPECT_TRUE(b_.messages.empty());
@@ -214,7 +376,7 @@ TEST_F(NetworkTest, DetachDropsFutureDelivery) {
 TEST_F(NetworkTest, ResetTrafficZeroesCounters) {
   net_.attach(idA_, a_);
   net_.setUp(idA_, true);
-  net_.send(idA_, idB_, std::string("x"), 42);
+  net_.send(idA_, idB_, TextMessage{"x", 42});
   net_.resetTraffic();
   EXPECT_EQ(net_.traffic(idA_).bytesSent, 0u);
   EXPECT_EQ(net_.traffic(idA_).messagesSent, 0u);
@@ -233,14 +395,14 @@ TEST_F(NetworkTest, LatencyWithinConfiguredBounds) {
   std::vector<SimTime> deliveries;
   for (int i = 0; i < 50; ++i) {
     sim_.at(i * 100, [&, i] {
-      net.send(idA_, idB_, std::string("m"), 1);
+      net.send(idA_, idB_, TextMessage{"m", 1});
     });
   }
   // Record delivery times via a probe endpoint.
   class Probe final : public Endpoint {
    public:
     explicit Probe(Simulator& s, std::vector<SimTime>& v) : sim(s), out(v) {}
-    void onMessage(const NodeId&, const std::any&) override {
+    void onMessage(const NodeId&, const Message&) override {
       out.push_back(sim.now());
     }
     Simulator& sim;
