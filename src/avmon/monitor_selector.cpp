@@ -10,6 +10,15 @@ std::uint64_t packId(const NodeId& id) noexcept {
   return (static_cast<std::uint64_t>(id.ip()) << 16) | id.port();
 }
 
+// splitmix-style combine of the two 48-bit identities; the memo table size
+// is a power of two, so only well-mixed bits may index it. Lookup and
+// rehash must agree on this function bit-for-bit.
+std::uint64_t mixPair(std::uint64_t observer, std::uint64_t target) noexcept {
+  std::uint64_t h = observer * 0x9E3779B97F4A7C15ULL ^ target;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 31);
+}
+
 }  // namespace
 
 HashMonitorSelector::HashMonitorSelector(const hash::HashFunction& hash,
@@ -47,11 +56,43 @@ std::string HashMonitorSelector::describe() const {
 
 bool MemoizedMonitorSelector::isMonitor(const NodeId& observer,
                                         const NodeId& target) const {
-  const auto key = std::make_pair(packId(observer), packId(target));
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const std::uint64_t obs = packId(observer);
+  const std::uint64_t tgt = packId(target);
+  const std::uint64_t h = mixPair(obs, tgt);
+
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (slots_[i].targetBits != 0) {
+    if (slots_[i].observer == obs &&
+        (slots_[i].targetBits & kIdMask) == tgt) {
+      return (slots_[i].targetBits & kVerdictBit) != 0;
+    }
+    i = (i + 1) & mask;
+  }
+
   const bool verdict = inner_.isMonitor(observer, target);
-  cache_.emplace(key, verdict);
+  if (count_ * 2 >= slots_.size()) {
+    if (slots_.size() >= kMaxSlots) return verdict;  // cache full: passthrough
+    grow();
+    i = static_cast<std::size_t>(h) & (slots_.size() - 1);
+    while (slots_[i].targetBits != 0) i = (i + 1) & (slots_.size() - 1);
+  }
+  slots_[i] = Slot{obs, kOccupiedBit | (verdict ? kVerdictBit : 0) | tgt};
+  ++count_;
   return verdict;
+}
+
+void MemoizedMonitorSelector::grow() const {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.targetBits == 0) continue;
+    const std::uint64_t h = mixPair(slot.observer, slot.targetBits & kIdMask);
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i].targetBits != 0) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
 }
 
 }  // namespace avmon

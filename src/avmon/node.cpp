@@ -4,6 +4,53 @@
 #include <utility>
 
 namespace avmon {
+namespace {
+
+// Open-addressing membership set for the per-fetch pair-dedup pass: the
+// keys are already well-mixed 64-bit values, so a masked linear probe
+// replaces the node-allocating unordered_set in the hottest protocol loop.
+// One instance per thread, recycled across every node's ticks.
+class FlatSeenSet {
+ public:
+  /// Clears the set and sizes it for up to `expected` insertions at a load
+  /// factor <= 0.5. Steady state reuses the same storage.
+  void beginRound(std::size_t expected) {
+    std::size_t want = 64;
+    while (want < expected * 2) want <<= 1;
+    if (want > slots_.size()) {
+      slots_.assign(want, 0);
+    } else {
+      std::fill(slots_.begin(), slots_.end(), 0);
+    }
+    hasZero_ = false;
+  }
+
+  /// Returns true if `key` was newly inserted, false if already present —
+  /// the unordered_set::insert(...).second contract.
+  bool insert(std::uint64_t key) {
+    if (key == 0) {  // 0 marks empty slots; track it out of band
+      const bool fresh = !hasZero_;
+      hasZero_ = true;
+      return fresh;
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(key) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = key;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  bool hasZero_ = false;
+};
+
+thread_local FlatSeenSet seenPairsScratch;
+
+}  // namespace
 
 AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
                      const MonitorSelector& selector, sim::Simulator& sim,
@@ -14,7 +61,8 @@ AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
       sim_(sim),
       net_(net),
       bootstrap_(std::move(bootstrap)),
-      rng_(std::move(rng)) {
+      rng_(std::move(rng)),
+      notifiedPairs_(config_.notifyDedupMax) {
   config_.validate();
   net_.attach(id_, *this);
 }
@@ -43,16 +91,24 @@ void AvmonNode::join(bool firstJoin) {
     net_.send(id_, contact, JoinMessage{id_, weight});
 
     // "Inherit view from this random node": fetch its coarse view to seed
-    // ours (charged like a regular view fetch).
-    if (auto fetch = net_.exchange(
-            id_, contact,
-            sim::CvFetchRequest{config_.pingBytes,
-                                config_.bytesPerEntry * config_.cvs})) {
-      std::vector<NodeId> seed = std::move(fetch->view);
-      seed.push_back(contact);
-      rng_.shuffle(seed);
-      for (const NodeId& n : seed) addToCoarseView(n);
-    }
+    // ours (charged like a regular view fetch). Like every completion
+    // handler below, the epoch guard makes a deferred response landing
+    // after leave()/rejoin a no-op; in the instantaneous mode the handler
+    // runs inline and the guard always passes.
+    const std::uint64_t epochAtSend = epoch_;
+    net_.exchangeAsync(
+        id_, contact,
+        sim::CvFetchRequest{config_.pingBytes,
+                            config_.bytesPerEntry * config_.cvs},
+        [this, contact,
+         epochAtSend](std::optional<sim::CvFetchResponse> fetch) {
+          if (!alive_ || epoch_ != epochAtSend) return;
+          if (!fetch) return;
+          std::vector<NodeId> seed = std::move(fetch->view);
+          seed.push_back(contact);
+          rng_.shuffle(seed);
+          for (const NodeId& n : seed) addToCoarseView(n);
+        });
   }
 
   // Start the two periodic tasks with a random phase so nodes run
@@ -205,9 +261,10 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
                               const std::vector<NodeId>& theirs) {
   // Check every ordered cross pair (u,v), u≠v, in both directions, sending
   // NOTIFY(u,v) to u and v whenever "u monitors v" holds. Duplicate pairs
-  // (nodes present in both views) are filtered via a local set so each
+  // (nodes present in both views) are filtered via a scratch set so each
   // unordered pair is evaluated once per fetch, in both orientations.
-  std::unordered_set<std::uint64_t> seen;
+  FlatSeenSet& seen = seenPairsScratch;
+  seen.beginRound(mine.size() * theirs.size());
   const auto pairKey = [](const NodeId& a, const NodeId& b) {
     const std::uint64_t x = (static_cast<std::uint64_t>(a.ip()) << 16) | a.port();
     const std::uint64_t y = (static_cast<std::uint64_t>(b.ip()) << 16) | b.port();
@@ -217,23 +274,19 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
   for (const NodeId& u : mine) {
     for (const NodeId& v : theirs) {
       if (u == v) continue;
-      if (!seen.insert(pairKey(u, v)).second) continue;
+      if (!seen.insert(pairKey(u, v))) continue;
       for (const auto& [mon, tgt] : {std::pair{u, v}, std::pair{v, u}}) {
         if (checkCondition(mon, tgt)) {
           if (config_.notifyDedup) {
+            // Bounded generational cache (NotifyDedupCache): a false
+            // return means this node already told both parties within the
+            // last two epochs; the occasional re-NOTIFY after an epoch
+            // ages out is idempotent at the receiver.
             const std::uint64_t dedupKey =
                 splitmix64Mix(pairKey(mon, tgt)) ^ std::hash<NodeId>{}(mon);
-            if (notifiedPairs_.count(dedupKey)) {
-              continue;  // this node already told both parties
+            if (!notifiedPairs_.insert(dedupKey)) {
+              continue;
             }
-            // Bounded cache: reset when a genuinely new pair arrives at
-            // capacity, rather than grow without limit across a long-churn
-            // run. The occasional re-NOTIFY after a reset is idempotent at
-            // the receiver.
-            if (notifiedPairs_.size() >= config_.notifyDedupMax) {
-              notifiedPairs_.clear();
-            }
-            notifiedPairs_.insert(dedupKey);
           }
           net_.send(id_, mon, NotifyMessage{mon, tgt});
           net_.send(id_, tgt, NotifyMessage{mon, tgt});
@@ -246,7 +299,8 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
 
 void AvmonNode::reshuffleCoarseView(const std::vector<NodeId>& fetched,
                                     const NodeId& w) {
-  std::vector<NodeId> pool = cv_;
+  std::vector<NodeId>& pool = poolScratch_;
+  pool.assign(cv_.begin(), cv_.end());
   pool.insert(pool.end(), fetched.begin(), fetched.end());
   pool.push_back(w);
 
@@ -262,14 +316,23 @@ void AvmonNode::reshuffleCoarseView(const std::vector<NodeId>& fetched,
 }
 
 void AvmonNode::protocolTick() {
-  // Step 1: liveness-probe one random coarse view entry.
+  // Step 1: liveness-probe one random coarse view entry. The probe is
+  // fire-and-forget: with deferred RPCs the tick proceeds while it is in
+  // flight, and the unresponsive entry is dropped when the timeout lands.
+  const std::uint64_t epochAtTick = epoch_;
   if (!cv_.empty()) {
-    const std::size_t zi = rng_.index(cv_.size());
-    const NodeId z = cv_[zi];
-    if (!net_.exchange(id_, z, sim::PingRequest{config_.pingBytes})) {
-      cvIndex_.erase(z);
-      cv_.erase(cv_.begin() + static_cast<std::ptrdiff_t>(zi));
-    }
+    const NodeId z = cv_[rng_.index(cv_.size())];
+    net_.exchangeAsync(id_, z, sim::PingRequest{config_.pingBytes},
+                       [this, z,
+                        epochAtTick](std::optional<sim::PingResponse> pong) {
+                         if (!alive_ || epoch_ != epochAtTick) return;
+                         if (pong) return;
+                         const auto it = std::find(cv_.begin(), cv_.end(), z);
+                         if (it != cv_.end()) {
+                           cvIndex_.erase(z);
+                           cv_.erase(it);
+                         }
+                       });
   }
 
   // PR2 (Section 5.4): if nobody has monitoring-pinged us for two
@@ -289,30 +352,33 @@ void AvmonNode::protocolTick() {
   // Step 2: fetch the coarse view of a random alive member w.
   if (cv_.empty()) return;
   const NodeId w = cv_[rng_.index(cv_.size())];
-  auto fetch = net_.exchange(
+  net_.exchangeAsync(
       id_, w,
       sim::CvFetchRequest{config_.pingBytes,
-                          config_.bytesPerEntry * (cv_.size() + 1)});
-  if (!fetch) return;  // w was down; try again next period
-  ++metrics_.cvFetches;
+                          config_.bytesPerEntry * (cv_.size() + 1)},
+      [this, w, epochAtTick](std::optional<sim::CvFetchResponse> fetch) {
+        if (!alive_ || epoch_ != epochAtTick) return;
+        if (!fetch) return;  // w was down; try again next period
+        ++metrics_.cvFetches;
 
-  const std::vector<NodeId> fetched = std::move(fetch->view);
+        const std::vector<NodeId> fetched = std::move(fetch->view);
 
-  // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
-  std::vector<NodeId> mine = cv_;
-  mine.push_back(id_);
-  if (!cvIndex_.count(w)) mine.push_back(w);
-  std::vector<NodeId> theirs = fetched;
-  theirs.push_back(id_);
-  theirs.push_back(w);
-  discoverPairs(mine, theirs);
+        // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
+        mineScratch_.assign(cv_.begin(), cv_.end());
+        mineScratch_.push_back(id_);
+        if (!cvIndex_.count(w)) mineScratch_.push_back(w);
+        theirsScratch_.assign(fetched.begin(), fetched.end());
+        theirsScratch_.push_back(id_);
+        theirsScratch_.push_back(w);
+        discoverPairs(mineScratch_, theirsScratch_);
 
-  // Step 4: reshuffle the coarse view.
-  if (config_.shuffle == ShufflePolicy::kSwap) {
-    reshuffleBySwap(w);
-  } else {
-    reshuffleCoarseView(fetched, w);
-  }
+        // Step 4: reshuffle the coarse view.
+        if (config_.shuffle == ShufflePolicy::kSwap) {
+          reshuffleBySwap(w);
+        } else {
+          reshuffleCoarseView(fetched, w);
+        }
+      });
 }
 
 std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
@@ -330,19 +396,32 @@ std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
 
 void AvmonNode::reshuffleBySwap(const NodeId& w) {
   const std::size_t half = std::max<std::size_t>(1, cv_.size() / 2);
-  const std::vector<NodeId> offer = takeRandomEntries(half);
-  auto swap = net_.exchange(
-      id_, w, sim::SwapRequest{offer, config_.bytesPerEntry, half});
-  if (!swap) {
-    // Timed out (only possible under injected RPC faults: w answered the
-    // fetch in this same tick, so it is still up). The offer never left —
-    // put the entries back rather than leak view slots.
-    for (const NodeId& n : offer) addToCoarseView(n);
-    return;
-  }
-  for (const NodeId& n : swap->given) addToCoarseView(n);
-  // Like CYCLON, the initiator also refreshes its pointer to the peer.
-  addToCoarseView(w);
+  std::vector<NodeId> offer = takeRandomEntries(half);
+  // Build the request before the call: it copies `offer`, which the
+  // completion handler then owns (argument evaluation order would
+  // otherwise be free to move `offer` out before the request reads it).
+  sim::SwapRequest request{offer, config_.bytesPerEntry, half};
+  net_.exchangeAsync(
+      id_, w, std::move(request),
+      // No epoch guard here, deliberately: the handler only touches the
+      // coarse view, which is persistent storage that survives leave()
+      // (paper Section 3.3). A deferred settlement landing after a
+      // leave/rejoin must still complete the trade — restore the offer on
+      // timeout, merge the peer's half on success — or the view would
+      // permanently leak the in-flight entries.
+      [this, w, offer = std::move(offer)](
+          std::optional<sim::SwapResponse> swap) {
+        if (!swap) {
+          // Timed out (w answered the fetch moments ago, so this is an
+          // injected fault or a deferred-mode deadline). The offer never
+          // left — put the entries back rather than leak view slots.
+          for (const NodeId& n : offer) addToCoarseView(n);
+          return;
+        }
+        for (const NodeId& n : swap->given) addToCoarseView(n);
+        // Like CYCLON, the initiator also refreshes its pointer to the peer.
+        addToCoarseView(w);
+      });
 }
 
 std::vector<NodeId> AvmonNode::acceptExchange(
@@ -356,32 +435,39 @@ std::vector<NodeId> AvmonNode::acceptExchange(
 
 void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
   ++metrics_.monitoringPingsSent;
-  const auto ack =
-      net_.exchange(id_, target, sim::MonitorPingRequest{config_.pingBytes});
-  const SimTime now = sim_.now();
-  const bool up = ack && ack->acknowledged;
-  rec.history->record(now, up);
+  // `rec` lives in ts_, whose entries are never erased and whose mapped
+  // values are address-stable across rehashes, so the deferred handler may
+  // safely outlive this tick.
+  const std::uint64_t epochAtSend = epoch_;
+  net_.exchangeAsync(
+      id_, target, sim::MonitorPingRequest{config_.pingBytes},
+      [this, &rec, epochAtSend](std::optional<sim::MonitorPingResponse> ack) {
+        if (!alive_ || epoch_ != epochAtSend) return;
+        const SimTime now = sim_.now();
+        const bool up = ack && ack->acknowledged;
+        rec.history->record(now, up);
 
-  if (up) {
-    if (rec.downSince >= 0 || rec.sessionStart < 0) rec.sessionStart = now;
-    rec.downSince = -1;
-  } else {
-    ++metrics_.uselessPings;
-    if (rec.downSince < 0) {
-      // Transition up -> down: close the observed session, remember ts(u).
-      if (rec.sessionStart >= 0) {
-        rec.lastSessionLength = std::max<SimDuration>(
-            now - rec.sessionStart, config_.monitoringPeriod);
-        const double alpha = config_.forgetful.ewmaAlpha;
-        rec.ewmaSessionLength =
-            rec.ewmaSessionLength <= 0
-                ? static_cast<double>(rec.lastSessionLength)
-                : alpha * static_cast<double>(rec.lastSessionLength) +
-                      (1.0 - alpha) * rec.ewmaSessionLength;
-      }
-      rec.downSince = now;
-    }
-  }
+        if (up) {
+          if (rec.downSince >= 0 || rec.sessionStart < 0) rec.sessionStart = now;
+          rec.downSince = -1;
+        } else {
+          ++metrics_.uselessPings;
+          if (rec.downSince < 0) {
+            // Transition up -> down: close the observed session, remember ts(u).
+            if (rec.sessionStart >= 0) {
+              rec.lastSessionLength = std::max<SimDuration>(
+                  now - rec.sessionStart, config_.monitoringPeriod);
+              const double alpha = config_.forgetful.ewmaAlpha;
+              rec.ewmaSessionLength =
+                  rec.ewmaSessionLength <= 0
+                      ? static_cast<double>(rec.lastSessionLength)
+                      : alpha * static_cast<double>(rec.lastSessionLength) +
+                            (1.0 - alpha) * rec.ewmaSessionLength;
+            }
+            rec.downSince = now;
+          }
+        }
+      });
 }
 
 void AvmonNode::monitoringTick() {

@@ -30,6 +30,7 @@
 #include "avmon/config.hpp"
 #include "avmon/messages.hpp"
 #include "avmon/monitor_selector.hpp"
+#include "avmon/notify_dedup.hpp"
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -98,8 +99,8 @@ class AvmonNode final : public sim::Endpoint {
   }
   const NodeMetrics& metrics() const noexcept { return metrics_; }
 
-  /// Entries currently held by the NOTIFY dedup cache. Bounded by
-  /// AvmonConfig::notifyDedupMax and cleared on leave().
+  /// Entries currently held by the NOTIFY dedup cache (both generations).
+  /// Bounded by AvmonConfig::notifyDedupMax and cleared on leave().
   std::size_t notifyDedupCacheSize() const noexcept {
     return notifiedPairs_.size();
   }
@@ -206,7 +207,13 @@ class AvmonNode final : public sim::Endpoint {
 
   std::vector<SimTime> psDiscoveryTimes_;  // absolute time of k-th PS entry
   SimTime lastMonitoringPingReceived_ = -1;
-  std::unordered_set<std::uint64_t> notifiedPairs_;  // NOTIFY dedup cache
+  NotifyDedupCache notifiedPairs_;  // generational NOTIFY dedup cache
+
+  // Scratch storage for the per-tick discovery step. Cleared, never
+  // shrunk, so the steady-state protocol tick allocates nothing.
+  std::vector<NodeId> mineScratch_;
+  std::vector<NodeId> theirsScratch_;
+  std::vector<NodeId> poolScratch_;
 
   bool overreporting_ = false;
   NodeMetrics metrics_;

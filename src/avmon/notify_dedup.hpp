@@ -1,0 +1,70 @@
+// Bounded NOTIFY-deduplication cache with generational eviction.
+//
+// A node remembers which (monitor, target) pairs it has already NOTIFYed so
+// steady-state rounds stop re-sending idempotent notifications. The memory
+// bound used to be enforced by clearing the whole set when it filled —
+// which briefly forgets *everything*, including the hot pairs rediscovered
+// on every fetch, causing a burst of redundant NOTIFYs after each reset.
+//
+// The generational (two-epoch) scheme keeps two sets: lookups consult both,
+// inserts go to the current epoch, a hit found only in the previous epoch
+// re-registers the key in the current one (so a pair that keeps being
+// rediscovered keeps being remembered), and when the current epoch reaches
+// half the configured bound the previous epoch is discarded and the
+// current one takes its place. Only pairs that stayed cold for a full
+// epoch age out; the hot set is never dropped en masse. Total footprint
+// never exceeds the bound.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+namespace avmon {
+
+class NotifyDedupCache {
+ public:
+  /// `maxEntries` bounds current + previous epoch together (>= 1).
+  explicit NotifyDedupCache(std::size_t maxEntries = 1)
+      : epochCapacity_(maxEntries / 2 > 0 ? maxEntries / 2 : 1) {}
+
+  /// Records `key` as notified. Returns true if the key was new (the
+  /// caller should send), false if it was already cached (suppress).
+  /// Either way the key ends up in the current epoch, so hot keys survive
+  /// the next rotation instead of aging out with the cold ones.
+  bool insert(std::uint64_t key) {
+    if (current_.count(key) != 0) return false;
+    const bool fresh = previous_.count(key) == 0;
+    current_.insert(key);
+    if (current_.size() >= epochCapacity_) {
+      // Rotate: the previous epoch ages out wholesale, the current one
+      // becomes the read-only previous. Swapping (rather than moving)
+      // recycles the retired set's bucket storage for the next epoch.
+      std::swap(previous_, current_);
+      current_.clear();
+    }
+    return fresh;
+  }
+
+  bool contains(std::uint64_t key) const {
+    return current_.count(key) != 0 || previous_.count(key) != 0;
+  }
+
+  /// Drops both epochs (a node clears its cache on leave()). Keeps bucket
+  /// storage, so a rejoining node's session starts allocation-free.
+  void clear() {
+    current_.clear();
+    previous_.clear();
+  }
+
+  std::size_t size() const noexcept {
+    return current_.size() + previous_.size();
+  }
+
+ private:
+  std::size_t epochCapacity_;
+  std::unordered_set<std::uint64_t> current_;
+  std::unordered_set<std::uint64_t> previous_;
+};
+
+}  // namespace avmon

@@ -1,0 +1,73 @@
+#include "experiments/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace avmon::experiments {
+
+unsigned defaultWorkerThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& job) {
+  if (count == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads == 0 ? defaultWorkerThreads() : threads,
+                            count));
+  if (workers <= 1) {
+    // Serial fast path: no pool, exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed mid-spawn (e.g. EAGAIN at the host's thread
+    // limit). Park the remaining work and join what did start, so the
+    // error propagates instead of ~thread() calling std::terminate.
+    next.store(count, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+std::vector<std::unique_ptr<ScenarioRunner>> ParallelScenarioRunner::runAll(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<std::unique_ptr<ScenarioRunner>> runners(scenarios.size());
+  parallelForIndex(scenarios.size(), threads_, [&](std::size_t i) {
+    auto runner = std::make_unique<ScenarioRunner>(scenarios[i]);
+    runner->run();
+    runners[i] = std::move(runner);
+  });
+  return runners;
+}
+
+}  // namespace avmon::experiments

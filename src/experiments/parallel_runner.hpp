@@ -1,0 +1,81 @@
+// Parallel scenario harness: fans independent scenario runs across a
+// std::thread pool.
+//
+// A ScenarioRunner is a self-contained world — it owns its Simulator,
+// Network, RNG streams, and nodes, and the tree keeps no mutable global
+// state — so independent repetitions, seeds, and sweep points can run
+// concurrently with zero sharing. Workers pull run indices from an atomic
+// counter (cheap dynamic load balancing: scenario cost varies wildly with
+// N and horizon) and write each result into its input slot, so the merged
+// output is always in input order, independent of thread count and
+// scheduling — a 16-thread sweep returns bit-identical results to a serial
+// one.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+
+/// Worker count used when a caller passes threads = 0: the hardware
+/// concurrency, at least 1.
+unsigned defaultWorkerThreads();
+
+/// Runs `job(i)` for every i in [0, count) on up to `threads` workers
+/// (0 = defaultWorkerThreads(); the pool never exceeds `count`). Blocks
+/// until all jobs finish. If jobs throw, the first exception (in worker
+/// encounter order) is rethrown after the pool drains; the remaining jobs
+/// still run.
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& job);
+
+/// Fans complete scenario runs out across a worker pool.
+class ParallelScenarioRunner {
+ public:
+  /// `threads` = 0 uses defaultWorkerThreads().
+  explicit ParallelScenarioRunner(unsigned threads = 0) : threads_(threads) {}
+
+  /// Builds and runs every scenario to its horizon, each on its own
+  /// worker-owned Simulator + Network + RNG, and returns the completed
+  /// runners in input order (ready for metric queries).
+  std::vector<std::unique_ptr<ScenarioRunner>> runAll(
+      const std::vector<Scenario>& scenarios) const;
+
+  /// Like runAll, but hands each completed runner to `collect` and keeps
+  /// only the collected results (in input order) — the worlds themselves
+  /// are torn down as soon as they are harvested, which matters for wide
+  /// sweeps where holding every node table alive would dominate memory.
+  template <class Result>
+  std::vector<Result> map(
+      const std::vector<Scenario>& scenarios,
+      const std::function<Result(ScenarioRunner&)>& collect) const {
+    // Workers collect into optional slots, not the result vector itself:
+    // std::vector<Result> elements are not guaranteed independently
+    // addressable for every Result (vector<bool> packs bits), and
+    // distinct optionals are always race-free to write concurrently.
+    std::vector<std::optional<Result>> slots(scenarios.size());
+    parallelForIndex(scenarios.size(), threads_, [&](std::size_t i) {
+      ScenarioRunner runner(scenarios[i]);
+      runner.run();
+      slots[i].emplace(collect(runner));
+    });
+    std::vector<Result> results;
+    results.reserve(slots.size());
+    for (std::optional<Result>& slot : slots) {
+      results.push_back(std::move(*slot));
+    }
+    return results;
+  }
+
+  unsigned threads() const noexcept { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace avmon::experiments

@@ -25,6 +25,7 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   hashFn_ = hash::makeHashFunction(scenario_.hashName);
   selector_ = std::make_unique<HashMonitorSelector>(*hashFn_, config_.k,
                                                     effectiveN_);
+  memoSelector_ = std::make_unique<MemoizedMonitorSelector>(*selector_);
 
   sim::NetworkConfig netConfig;
   netConfig.messageDropProbability = scenario_.messageDropProbability;
@@ -40,8 +41,9 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
     return pickBootstrap(self);
   };
   for (const trace::NodeTrace& nt : trace_.nodes()) {
-    auto node = std::make_unique<AvmonNode>(nt.id, config_, *selector_, sim_,
-                                            *net_, bootstrap, rootRng_.fork());
+    auto node = std::make_unique<AvmonNode>(nt.id, config_, *memoSelector_,
+                                            sim_, *net_, bootstrap,
+                                            rootRng_.fork());
     traceByNode_[nt.id] = &nt;
     nodes_.emplace(nt.id, std::move(node));
   }

@@ -158,6 +158,10 @@ class ScenarioRunner final : public churn::LifecycleListener {
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<hash::HashFunction> hashFn_;
   std::unique_ptr<HashMonitorSelector> selector_;
+  // Nodes check the consistency condition through this memo: verdicts are
+  // identical (the selector is a pure function) but the ~10^8 repeated
+  // checks of a long run become single table probes.
+  std::unique_ptr<MemoizedMonitorSelector> memoSelector_;
 
   trace::AvailabilityTrace trace_;
   std::unique_ptr<churn::TracePlayer> player_;

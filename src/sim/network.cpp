@@ -20,28 +20,35 @@ RpcResponse Endpoint::onRpc(const NodeId& /*from*/, const RpcRequest& request) {
       request);
 }
 
+std::uint32_t Network::slotFor(const NodeId& id) {
+  const auto [it, inserted] =
+      slotOf_.emplace(id, static_cast<std::uint32_t>(slots_.size()));
+  if (inserted) slots_.emplace_back();
+  return it->second;
+}
+
+std::uint32_t Network::findSlot(const NodeId& id) const {
+  const auto it = slotOf_.find(id);
+  return it == slotOf_.end() ? kNoSlot : it->second;
+}
+
 void Network::attach(const NodeId& id, Endpoint& endpoint) {
-  nodes_[id].endpoint = &endpoint;
+  slots_[slotFor(id)].endpoint = &endpoint;
 }
 
 void Network::detach(const NodeId& id) {
-  if (auto it = nodes_.find(id); it != nodes_.end()) {
-    it->second.endpoint = nullptr;
-    it->second.up = false;
+  if (const std::uint32_t slot = findSlot(id); slot != kNoSlot) {
+    slots_[slot].endpoint = nullptr;
+    slots_[slot].up = false;
   }
 }
 
-void Network::setUp(const NodeId& id, bool up) { nodes_[id].up = up; }
+void Network::setUp(const NodeId& id, bool up) { slots_[slotFor(id)].up = up; }
 
 bool Network::isUp(const NodeId& id) const {
-  const auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.up && it->second.endpoint != nullptr;
-}
-
-void Network::charge(const NodeId& id, std::size_t bytes) {
-  auto& t = nodes_[id].traffic;
-  t.bytesSent += bytes;
-  t.messagesSent += 1;
+  const std::uint32_t slot = findSlot(id);
+  return slot != kNoSlot && slots_[slot].up &&
+         slots_[slot].endpoint != nullptr;
 }
 
 SimDuration Network::sampleLatency() {
@@ -51,45 +58,48 @@ SimDuration Network::sampleLatency() {
 }
 
 void Network::send(const NodeId& from, const NodeId& to, Message message) {
-  charge(from, wireBytes(message));
+  charge(slots_[slotFor(from)], wireBytes(message));
   if (config_.messageDropProbability > 0 &&
       rng_.chance(config_.messageDropProbability)) {
     ++lost_;
     return;
   }
   const SimDuration latency = sampleLatency();
-  sim_.after(latency, [this, from, to, message = std::move(message)]() {
-    const auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
+  // The target's slot is resolved now; delivery addresses it directly. The
+  // closure fits InlineAction's inline buffer, so scheduling a delivery
+  // allocates nothing.
+  const std::uint32_t toSlot = slotFor(to);
+  sim_.after(latency, [this, from, toSlot, message = std::move(message)]() {
+    NodeState& target = slots_[toSlot];
+    if (!target.up || target.endpoint == nullptr) {
       ++lost_;
       return;
     }
     ++delivered_;
-    it->second.endpoint->onMessage(from, message);
+    target.endpoint->onMessage(from, message);
   });
 }
 
 std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
                                          const RpcRequest& request) {
-  charge(from, requestWireBytes(request));
+  charge(slots_[slotFor(from)], requestWireBytes(request));
   if (config_.rpcFailProbability > 0 &&
       rng_.chance(config_.rpcFailProbability)) {
     return std::nullopt;  // injected timeout; request bytes already spent
   }
-  const auto it = nodes_.find(to);
-  if (it == nodes_.end() || !it->second.up || it->second.endpoint == nullptr) {
+  NodeState& target = slots_[slotFor(to)];
+  if (!target.up || target.endpoint == nullptr) {
     return std::nullopt;
   }
-  charge(to, responseWireBytes(request));
-  return it->second.endpoint->onRpc(from, request);
+  charge(target, responseWireBytes(request));
+  // Copy the endpoint pointer first: serving the RPC may attach new nodes,
+  // which can reallocate slots_ and dangle `target`.
+  Endpoint* endpoint = target.endpoint;
+  return endpoint->onRpc(from, request);
 }
 
-void Network::callAsync(const NodeId& from, const NodeId& to,
-                        RpcRequest request, RpcHandler handler) {
-  if (!config_.deferredRpc) {
-    handler(call(from, to, request));
-    return;
-  }
+void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
+                                RpcRequest request, RpcHandler handler) {
   // Latency-modeled mode: the request leg travels, the target serves the
   // request at arrival time (so its liveness is judged then, like one-way
   // delivery), and the response leg travels back. The caller's deadline is
@@ -97,7 +107,7 @@ void Network::callAsync(const NodeId& from, const NodeId& to,
   // with nullopt unless a response landed first, so every failure mode —
   // injected fault, dead target, or a round trip slower than the deadline
   // — surfaces at the same instant and is indistinguishable by timing.
-  charge(from, requestWireBytes(request));
+  charge(slots_[slotFor(from)], requestWireBytes(request));
   auto settled = std::make_shared<bool>(false);
   auto sharedHandler = std::make_shared<RpcHandler>(std::move(handler));
   sim_.after(config_.rpcTimeout, [settled, sharedHandler] {
@@ -110,18 +120,19 @@ void Network::callAsync(const NodeId& from, const NodeId& to,
     return;  // the request is lost; the backstop reports the timeout
   }
   const SimDuration requestLatency = sampleLatency();
-  sim_.after(requestLatency, [this, from, to, settled, sharedHandler,
+  const std::uint32_t toSlot = slotFor(to);
+  sim_.after(requestLatency, [this, from, toSlot, settled, sharedHandler,
                               request = std::move(request)]() mutable {
-    const auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.up ||
-        it->second.endpoint == nullptr) {
+    NodeState& target = slots_[toSlot];
+    if (!target.up || target.endpoint == nullptr) {
       return;  // unreachable target: the backstop reports the timeout
     }
     // The target serves the request and spends its response bytes even if
     // the caller's deadline has already passed — a late response is still
     // sent, just never seen.
-    charge(to, responseWireBytes(request));
-    RpcResponse response = it->second.endpoint->onRpc(from, request);
+    charge(target, responseWireBytes(request));
+    Endpoint* endpoint = target.endpoint;
+    RpcResponse response = endpoint->onRpc(from, request);
     sim_.after(sampleLatency(), [settled, sharedHandler,
                                  response = std::move(response)]() mutable {
       if (*settled) return;  // beaten by the deadline
@@ -132,12 +143,12 @@ void Network::callAsync(const NodeId& from, const NodeId& to,
 }
 
 TrafficCounters Network::traffic(const NodeId& id) const {
-  const auto it = nodes_.find(id);
-  return it == nodes_.end() ? TrafficCounters{} : it->second.traffic;
+  const std::uint32_t slot = findSlot(id);
+  return slot == kNoSlot ? TrafficCounters{} : slots_[slot].traffic;
 }
 
 void Network::resetTraffic() {
-  for (auto& [id, state] : nodes_) state.traffic = TrafficCounters{};
+  for (NodeState& state : slots_) state.traffic = TrafficCounters{};
 }
 
 }  // namespace avmon::sim

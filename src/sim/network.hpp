@@ -16,9 +16,17 @@
 //    bytes not). Because protocol periods are minutes and network latency
 //    is milliseconds, collapsing the RTT does not affect any metric the
 //    paper reports; it removes a large constant factor of simulator
-//    events. `NetworkConfig::deferredRpc` switches `callAsync` to a
-//    latency-modeled deferred delivery — the seam a future batched/async
-//    event loop plugs into.
+//    events. Protocol code issues every exchange through `callAsync` /
+//    `exchangeAsync`; with `NetworkConfig::deferredRpc` off (the default)
+//    the completion handler runs inline and `call` is the degenerate
+//    instantaneous case, with it on both RPC legs travel with modeled
+//    latency and the handler fires as a simulator event.
+//
+// Node bookkeeping is slot-based: a NodeId is resolved to a dense slot
+// index once per operation (one hash probe), and everything that happens
+// later — latency-delayed delivery in particular — addresses the slot
+// directly instead of re-probing the map. Slots are never recycled, so a
+// captured slot index stays valid across detach/attach cycles.
 //
 // The network also owns per-node bandwidth accounting (outgoing bytes and
 // messages), which feeds the paper's bandwidth figures (Section 5.1, 5.4).
@@ -29,6 +37,8 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
@@ -71,10 +81,9 @@ struct NetworkConfig {
 
   /// When true, `callAsync` models both RPC legs with real latency: the
   /// request travels for one sampled latency, the response for another,
-  /// and the completion handler fires as a simulator event. `call` always
-  /// uses the instantaneous model (the paper's collapsed-RTT accounting);
-  /// this flag is the seam for the future async event loop, which will
-  /// issue every exchange through `callAsync`.
+  /// and the completion handler fires as a simulator event. When false
+  /// (default), `callAsync` completes inline through the instantaneous
+  /// `call` (the paper's collapsed-RTT accounting) with zero allocations.
   bool deferredRpc = false;
 
   /// How long a deferred caller waits before declaring a timeout (the
@@ -89,7 +98,9 @@ struct TrafficCounters {
   std::uint64_t messagesSent = 0;
 };
 
-/// Completion callback for callAsync: the response, or nullopt on timeout.
+/// Completion callback for the deferred callAsync path: the response, or
+/// nullopt on timeout. (The degenerate inline path accepts any callable and
+/// never materializes a std::function.)
 using RpcHandler = std::function<void(std::optional<RpcResponse>)>;
 
 /// Simulated network switchboard. Endpoints attach under their NodeId; an
@@ -152,13 +163,48 @@ class Network {
   }
 
   /// Asynchronous exchange. With deferredRpc off (default) this is exactly
-  /// `call` with the result handed to `handler` before returning. With
-  /// deferredRpc on, the request travels one sampled latency, the target
-  /// serves it then (liveness is checked at arrival time), the response
-  /// travels another latency, and `handler` fires as a simulator event —
-  /// or with nullopt after `rpcTimeout` if the exchange failed.
+  /// `call` with the result handed to `handler` before returning — no
+  /// event, no allocation. With deferredRpc on, the request travels one
+  /// sampled latency, the target serves it then (liveness is checked at
+  /// arrival time), the response travels another latency, and `handler`
+  /// fires as a simulator event — or with nullopt after `rpcTimeout` if
+  /// the exchange failed.
+  template <class F>
   void callAsync(const NodeId& from, const NodeId& to, RpcRequest request,
-                 RpcHandler handler);
+                 F&& handler) {
+    if (!config_.deferredRpc) {
+      std::forward<F>(handler)(call(from, to, request));
+      return;
+    }
+    callAsyncDeferred(from, to, std::move(request),
+                      RpcHandler(std::forward<F>(handler)));
+  }
+
+  /// Typed asynchronous exchange: callAsync with the RpcTraits mapping
+  /// applied, so the handler receives optional<ConcreteResponse>. This is
+  /// the form every periodic protocol exchange goes through.
+  template <class Request, class F>
+  void exchangeAsync(const NodeId& from, const NodeId& to, Request request,
+                     F&& handler) {
+    using Response = typename RpcTraits<Request>::Response;
+    callAsync(from, to, RpcRequest(std::move(request)),
+              [h = std::forward<F>(handler)](
+                  std::optional<RpcResponse> response) mutable {
+                if (!response) {
+                  h(std::optional<Response>());
+                  return;
+                }
+                auto* typed = std::get_if<Response>(&*response);
+                assert(typed != nullptr &&
+                       "Endpoint::onRpc returned a response alternative that "
+                       "does not match RpcTraits for the request it was sent");
+                if (typed == nullptr) {
+                  h(std::optional<Response>());
+                  return;
+                }
+                h(std::optional<Response>(std::move(*typed)));
+              });
+  }
 
   /// Outgoing-traffic counters for a node (zeroes if unknown).
   TrafficCounters traffic(const NodeId& id) const;
@@ -179,13 +225,30 @@ class Network {
     TrafficCounters traffic;
   };
 
-  void charge(const NodeId& id, std::size_t bytes);
+  // Resolves `id` to its dense slot, creating one on first sight. The one
+  // hash probe per (id, operation); everything downstream uses the index.
+  std::uint32_t slotFor(const NodeId& id);
+
+  // Lookup without creating (const paths); npos when unknown.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  std::uint32_t findSlot(const NodeId& id) const;
+
+  static void charge(NodeState& state, std::size_t bytes) noexcept {
+    state.traffic.bytesSent += bytes;
+    state.traffic.messagesSent += 1;
+  }
+
   SimDuration sampleLatency();
+
+  // The latency-modeled two-leg exchange (deferredRpc on).
+  void callAsyncDeferred(const NodeId& from, const NodeId& to,
+                         RpcRequest request, RpcHandler handler);
 
   Simulator& sim_;
   NetworkConfig config_;
   Rng rng_;
-  std::unordered_map<NodeId, NodeState> nodes_;
+  std::unordered_map<NodeId, std::uint32_t> slotOf_;
+  std::vector<NodeState> slots_;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
 };

@@ -1,12 +1,24 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace avmon::sim {
 
+Simulator::Simulator() : buckets_(kBucketCount) {}
+
 void Simulator::at(SimTime when, Action action) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, nextSeq_++, std::move(action)});
+  if (size_ == 0) cursor_ = now_;  // empty queue: re-anchor the window
+  ++size_;
+  if (static_cast<std::uint64_t>(when - cursor_) < kBucketCount) {
+    bucketFor(when).push(std::move(action));
+    ++ringCount_;
+  } else {
+    overflow_.push_back(OverflowEvent{when, nextSeq_++, std::move(action)});
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
 }
 
 void Simulator::every(SimTime firstAt, SimDuration period,
@@ -17,21 +29,53 @@ void Simulator::every(SimTime firstAt, SimDuration period,
   });
 }
 
+void Simulator::promote() {
+  const SimTime limit = cursor_ + static_cast<SimTime>(kBucketCount);
+  while (!overflow_.empty() && overflow_.front().when < limit) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    OverflowEvent ev = std::move(overflow_.back());
+    overflow_.pop_back();
+    bucketFor(ev.when).push(std::move(ev.action));
+    ++ringCount_;
+  }
+}
+
+bool Simulator::findNext(SimTime until) {
+  if (size_ == 0) return false;
+  for (;;) {
+    if (!bucketFor(cursor_).empty()) return cursor_ <= until;
+    if (cursor_ >= until) return false;
+    if (ringCount_ == 0) {
+      // Everything pending lives in the overflow tier: jump the window
+      // straight to its head instead of walking empty buckets.
+      cursor_ = std::min(until, overflow_.front().when);
+    } else {
+      ++cursor_;
+    }
+    promote();
+  }
+}
+
 void Simulator::runUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
-    step();
+  while (findNext(until)) {
+    InlineAction action = bucketFor(cursor_).pop();
+    --ringCount_;
+    --size_;
+    now_ = cursor_;
+    ++executed_;
+    action();
   }
   if (now_ < until) now_ = until;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // Move the action out before popping; pop invalidates the reference.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
+  if (!findNext(std::numeric_limits<SimTime>::max())) return false;
+  InlineAction action = bucketFor(cursor_).pop();
+  --ringCount_;
+  --size_;
+  now_ = cursor_;
   ++executed_;
-  ev.action();
+  action();
   return true;
 }
 

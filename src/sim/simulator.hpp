@@ -1,25 +1,50 @@
 // Discrete-event simulation core.
 //
-// A Simulator owns a time-ordered queue of closures. Events scheduled for
-// the same instant run in scheduling order (a monotonically increasing
-// sequence number breaks ties), which keeps runs deterministic.
+// A Simulator owns a time-ordered collection of closures. Events scheduled
+// for the same instant run in scheduling order, which keeps runs
+// deterministic: the execution order is exactly (when, seq), where seq is
+// the global scheduling sequence number.
+//
+// The store is a two-tier calendar queue tuned for the protocol workload
+// (integral-millisecond timestamps, dense near-future traffic from network
+// latencies, sparse far-future traffic from minute-scale periodic timers):
+//
+//  * Near tier: a power-of-two ring of kBucketCount one-millisecond FIFO
+//    buckets covering [cursor, cursor + kBucketCount). Scheduling into the
+//    window and firing from it are O(1) and allocation-free once bucket
+//    capacity has warmed up. Same-instant events share one bucket and run
+//    back-to-back as a batch — no per-event heap pop between them.
+//  * Overflow tier: a binary min-heap ordered by (when, seq) for events
+//    beyond the window. As the cursor advances, due overflow events are
+//    promoted into their buckets in (when, seq) order *before* any new
+//    event can be scheduled at those times, so bucket FIFO order remains
+//    global (when, seq) order and seeded runs are bit-identical to the
+//    classic single-heap scheduler this replaced.
+//
+// Closures are stored as sim::InlineAction (small-buffer optimized), so the
+// common schedule/fire cycle performs zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/inline_action.hpp"
 
 namespace avmon::sim {
 
 /// Deterministic single-threaded discrete-event scheduler.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
-  Simulator() = default;
+  /// Ring span in buckets (= milliseconds). Covers every latency-scale
+  /// delay the network model produces; minute-scale timers overflow to the
+  /// heap tier and are promoted as the window reaches them.
+  static constexpr std::size_t kBucketCount = 8192;
+
+  Simulator();
 
   // The queue stores closures that may capture `this`; moving the simulator
   // would dangle them.
@@ -49,25 +74,65 @@ class Simulator {
   bool step();
 
   /// Number of pending events (for tests).
-  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+  std::size_t pendingEvents() const noexcept { return size_; }
 
   /// Total events executed so far (for tests and sanity checks).
   std::uint64_t executedEvents() const noexcept { return executed_; }
 
+  /// Events currently waiting in the overflow tier (for tests/benches).
+  std::size_t overflowEvents() const noexcept { return overflow_.size(); }
+
  private:
-  struct Event {
+  static constexpr std::size_t kMask = kBucketCount - 1;
+  static_assert((kBucketCount & kMask) == 0, "ring size must be a power of 2");
+
+  // One calendar slot: a FIFO that reuses its storage across drains.
+  struct Bucket {
+    std::vector<InlineAction> items;
+    std::size_t head = 0;
+
+    bool empty() const noexcept { return head == items.size(); }
+    void push(InlineAction a) { items.push_back(std::move(a)); }
+    InlineAction pop() {
+      InlineAction a = std::move(items[head]);
+      if (++head == items.size()) {
+        items.clear();  // keeps capacity: steady state never reallocates
+        head = 0;
+      }
+      return a;
+    }
+  };
+
+  struct OverflowEvent {
     SimTime when;
     std::uint64_t seq;
-    Action action;
+    InlineAction action;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const OverflowEvent& a, const OverflowEvent& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Bucket& bucketFor(SimTime when) noexcept {
+    return buckets_[static_cast<std::size_t>(when) & kMask];
+  }
+
+  // Positions the cursor on the next pending event. Returns true iff that
+  // event's time is <= until; never advances the cursor past `until` (so
+  // the ring window stays valid for later insertions at the boundary).
+  bool findNext(SimTime until);
+
+  // Moves every overflow event inside the current window into its bucket,
+  // in (when, seq) order.
+  void promote();
+
+  std::vector<Bucket> buckets_;
+  std::vector<OverflowEvent> overflow_;  // binary min-heap via std::*_heap
+  SimTime cursor_ = 0;      ///< lowest time mapped by the ring window
+  std::size_t ringCount_ = 0;  ///< events currently in ring buckets
+  std::size_t size_ = 0;       ///< total pending events (ring + overflow)
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;

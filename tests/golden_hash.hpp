@@ -1,0 +1,127 @@
+// Golden-hash helper for the scheduler-determinism regression test.
+//
+// Folds every metric a completed ScenarioRunner exposes — the summary
+// vectors, the accuracy table, and a per-node "CSV" row in schedule order —
+// into one FNV-1a fingerprint. Any change to event ordering, RNG draw
+// order, or metric arithmetic moves the hash; identical seeded runs are
+// bit-identical and reproduce it exactly. Golden values were captured from
+// the pre-calendar-queue simulator (std::priority_queue + std::function)
+// and must survive every scheduler/transport rewrite.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+
+class MetricsFingerprint {
+ public:
+  void mix(std::uint64_t x) noexcept {
+    // 64-bit FNV-1a over the 8 bytes of x.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (x >> (8 * i)) & 0xFF;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+
+  void mixDouble(double d) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+
+  void mixVector(const std::vector<double>& v) noexcept {
+    mix(v.size());
+    for (double d : v) mixDouble(d);
+  }
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+/// Fingerprint of everything a run reports: summary metric vectors, the
+/// availability-accuracy table, and one row per node in schedule order.
+inline std::uint64_t summaryHash(const ScenarioRunner& runner) {
+  MetricsFingerprint fp;
+
+  fp.mixVector(runner.discoveryDelaysSeconds(1));
+  fp.mixVector(runner.discoveryDelaysSeconds(3));
+  fp.mixDouble(runner.discoveredFraction(1));
+  fp.mixVector(runner.computationsPerSecond());
+  fp.mixVector(runner.memoryEntries(/*measuredOnly=*/false));
+  fp.mixVector(runner.outgoingBytesPerSecond());
+  fp.mixVector(runner.uselessPingsPerMinute());
+
+  const auto accuracy = runner.availabilityAccuracy(/*measuredOnly=*/true);
+  fp.mix(accuracy.size());
+  for (const auto& a : accuracy) {
+    fp.mix((static_cast<std::uint64_t>(a.id.ip()) << 16) | a.id.port());
+    fp.mixDouble(a.estimated);
+    fp.mixDouble(a.actual);
+    fp.mix(a.reporters);
+  }
+  return fp.value();
+}
+
+/// Fingerprint of the per-node CSV: id, traffic counters, protocol
+/// counters, and state sizes for every node, in schedule order.
+inline std::uint64_t perNodeHash(const ScenarioRunner& runner) {
+  MetricsFingerprint fp;
+  const auto& nodes = runner.schedule().nodes();
+  fp.mix(nodes.size());
+  for (const auto& nt : nodes) {
+    const AvmonNode& node = runner.node(nt.id);
+    fp.mix((static_cast<std::uint64_t>(nt.id.ip()) << 16) | nt.id.port());
+    const NodeMetrics& m = node.metrics();
+    fp.mix(m.hashChecks);
+    fp.mix(m.notifiesSent);
+    fp.mix(m.joinsForwarded);
+    fp.mix(m.joinsReceived);
+    fp.mix(m.joinAdds);
+    fp.mix(m.cvFetches);
+    fp.mix(m.monitoringPingsSent);
+    fp.mix(m.uselessPings);
+    fp.mix(m.forgetfulSuppressed);
+    fp.mix(node.coarseView().size());
+    fp.mix(node.pingingSet().size());
+    fp.mix(node.targetSet().size());
+    if (const auto d = node.discoveryDelay(1)) {
+      fp.mix(static_cast<std::uint64_t>(*d));
+    } else {
+      fp.mix(0xFFFFFFFFFFFFFFFFULL);
+    }
+  }
+  return fp.value();
+}
+
+/// The three seeded workloads the golden test pins: STAT, SYNTH-BD, and
+/// SYNTH with injected network faults (drops + RPC timeouts).
+inline std::vector<Scenario> goldenScenarios() {
+  Scenario stat;
+  stat.model = churn::Model::kStat;
+  stat.stableSize = 120;
+  stat.horizon = 90 * kMinute;
+  stat.warmup = 30 * kMinute;
+  stat.controlFraction = 0.1;
+  stat.seed = 314;
+  stat.hashName = "splitmix64";
+
+  Scenario synthBd = stat;
+  synthBd.model = churn::Model::kSynthBD;
+  synthBd.seed = 271;
+
+  Scenario synthDrop = stat;
+  synthDrop.model = churn::Model::kSynth;
+  synthDrop.seed = 99;
+  synthDrop.messageDropProbability = 0.05;
+  synthDrop.rpcFailProbability = 0.02;
+
+  return {stat, synthBd, synthDrop};
+}
+
+}  // namespace avmon::experiments

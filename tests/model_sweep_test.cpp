@@ -2,33 +2,88 @@
 // compact scenario each, asserting the protocol's universal invariants.
 // This is the broad-coverage safety net; figure-specific behaviour lives
 // in the dedicated tests and benches.
+//
+// All twelve worlds are built once, up front, through the
+// ParallelScenarioRunner — on a multi-core machine the sweep's wall time
+// is the slowest single run, not the sum.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <tuple>
 #include <unordered_set>
+#include <vector>
 
+#include "experiments/parallel_runner.hpp"
 #include "experiments/scenario.hpp"
 
 namespace avmon::experiments {
 namespace {
 
-class ModelSeedSweep
-    : public ::testing::TestWithParam<std::tuple<churn::Model, std::uint64_t>> {
-};
+using SweepParam = std::tuple<churn::Model, std::uint64_t>;
 
-TEST_P(ModelSeedSweep, UniversalInvariantsHold) {
-  const auto [model, seed] = GetParam();
+const std::vector<SweepParam>& sweepParams() {
+  static const std::vector<SweepParam> params = [] {
+    std::vector<SweepParam> out;
+    for (churn::Model model :
+         {churn::Model::kStat, churn::Model::kSynth, churn::Model::kSynthBD,
+          churn::Model::kSynthBD2, churn::Model::kPlanetLab,
+          churn::Model::kOvernet}) {
+      for (std::uint64_t seed : {1ull, 42ull}) out.emplace_back(model, seed);
+    }
+    return out;
+  }();
+  return params;
+}
 
+Scenario sweepScenario(const SweepParam& param) {
   Scenario s;
-  s.model = model;
+  s.model = std::get<0>(param);
   s.stableSize = 120;
   s.horizon = 90 * kMinute;
   s.warmup = 30 * kMinute;
   s.controlFraction = 0.1;
-  s.seed = seed;
+  s.seed = std::get<1>(param);
   s.hashName = "splitmix64";
-  ScenarioRunner runner(s);
-  runner.run();
+  return s;
+}
+
+class ModelSeedSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(sweepParams().size());
+    for (const SweepParam& p : sweepParams()) {
+      scenarios.push_back(sweepScenario(p));
+    }
+    // Pool capped at 4 to match the suite's PROCESSORS declaration in
+    // tests/CMakeLists.txt, so `ctest -j` can pack the schedule honestly.
+    runners_ = new std::vector<std::unique_ptr<ScenarioRunner>>(
+        ParallelScenarioRunner(4).runAll(scenarios));
+  }
+
+  static void TearDownTestSuite() {
+    delete runners_;
+    runners_ = nullptr;
+  }
+
+  static const ScenarioRunner& runnerFor(const SweepParam& param) {
+    for (std::size_t i = 0; i < sweepParams().size(); ++i) {
+      if (sweepParams()[i] == param) return *(*runners_)[i];
+    }
+    throw std::logic_error("unknown sweep parameter");
+  }
+
+ private:
+  static std::vector<std::unique_ptr<ScenarioRunner>>* runners_;
+};
+
+std::vector<std::unique_ptr<ScenarioRunner>>* ModelSeedSweep::runners_ =
+    nullptr;
+
+TEST_P(ModelSeedSweep, UniversalInvariantsHold) {
+  const auto [model, seed] = GetParam();
+  const ScenarioRunner& runner = runnerFor(GetParam());
 
   // The generated schedule is internally consistent.
   std::string why;

@@ -2,6 +2,10 @@
 // discovered pair once; with dedup off it re-notifies on every fetch that
 // rediscovers the pair (Figure 2 as literally written). Either way the
 // installed monitoring relations are identical — NOTIFY is idempotent.
+//
+// The cache behind it is the generational NotifyDedupCache: two epochs,
+// lookups consult both, rotation at half capacity — so hot pairs survive
+// the eviction events that used to wipe the whole set.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +14,7 @@
 #include <vector>
 
 #include "avmon/node.hpp"
+#include "avmon/notify_dedup.hpp"
 #include "common/rng.hpp"
 #include "hash/hash_function.hpp"
 #include "sim/network.hpp"
@@ -151,6 +156,102 @@ TEST(NotifyDedupTest, LeaveClearsSessionStateAndRejoinStillDedups) {
   const std::uint64_t afterWarmup = c.totalNotifies();
   c.sim.runUntil(95 * kMinute);
   EXPECT_LT(c.totalNotifies() - afterWarmup, afterWarmup / 5);
+}
+
+// ---- NotifyDedupCache unit behaviour (generational eviction) ----
+
+TEST(NotifyDedupCacheTest, InsertReportsNewVsDuplicate) {
+  NotifyDedupCache cache(16);
+  EXPECT_TRUE(cache.insert(1));
+  EXPECT_TRUE(cache.insert(2));
+  EXPECT_FALSE(cache.insert(1));  // already notified
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(NotifyDedupCacheTest, RecentInsertsSurviveOneRotation) {
+  // Capacity 8 → epochs of 4. The first rotation must NOT forget the keys
+  // that triggered it (they move to the previous epoch); only the second
+  // rotation ages them out.
+  NotifyDedupCache cache(8);
+  for (std::uint64_t k = 1; k <= 4; ++k) EXPECT_TRUE(cache.insert(k));
+  // Epoch rotated at the 4th insert; all four keys must still dedup.
+  for (std::uint64_t k = 1; k <= 4; ++k) EXPECT_FALSE(cache.insert(k));
+
+  for (std::uint64_t k = 5; k <= 8; ++k) EXPECT_TRUE(cache.insert(k));
+  // Second rotation: the first generation is gone, the second survives.
+  for (std::uint64_t k = 1; k <= 4; ++k) EXPECT_FALSE(cache.contains(k));
+  for (std::uint64_t k = 5; k <= 8; ++k) EXPECT_TRUE(cache.contains(k));
+}
+
+TEST(NotifyDedupCacheTest, HotKeysSurviveRepeatedRotations) {
+  // A key that keeps being rediscovered is re-registered in the current
+  // epoch on every hit, so no amount of cold churn ages it out — the
+  // periodic re-NOTIFY burst of the old reset-on-full scheme is gone.
+  NotifyDedupCache cache(8);  // epochs of 4: plenty of rotations below
+  EXPECT_TRUE(cache.insert(99));
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    cache.insert(1000 + k);          // cold churn driving rotations
+    EXPECT_FALSE(cache.insert(99));  // the hot key is never forgotten
+  }
+}
+
+TEST(NotifyDedupCacheTest, SizeNeverExceedsBound) {
+  constexpr std::size_t kBound = 64;
+  NotifyDedupCache cache(kBound);
+  std::size_t maxSeen = 0;
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    cache.insert(k * 2654435761ULL);
+    maxSeen = std::max(maxSeen, cache.size());
+    ASSERT_LE(cache.size(), kBound);
+  }
+  EXPECT_GT(maxSeen, kBound / 2);  // the cache actually fills up
+}
+
+TEST(NotifyDedupCacheTest, TinyCapacityStillWorks) {
+  NotifyDedupCache cache(1);
+  EXPECT_TRUE(cache.insert(7));
+  EXPECT_FALSE(cache.insert(7));  // remembered across the forced rotation
+  EXPECT_LE(cache.size(), 1u);
+  EXPECT_TRUE(cache.insert(8));
+  EXPECT_LE(cache.size(), 1u);
+}
+
+TEST(NotifyDedupCacheTest, ClearDropsBothGenerations) {
+  NotifyDedupCache cache(8);
+  for (std::uint64_t k = 1; k <= 6; ++k) cache.insert(k);  // spans epochs
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  for (std::uint64_t k = 1; k <= 6; ++k) EXPECT_FALSE(cache.contains(k));
+}
+
+TEST(NotifyDedupTest, HotPairsKeepDedupingAcrossEvictionEvents) {
+  // End-to-end version of the generational property: with a cache far
+  // smaller than the discovered-pair population, eviction events keep
+  // happening — yet NOTIFY traffic must stay well below the no-dedup
+  // rate, because the hot pairs rediscovered every period remain cached
+  // in the surviving epoch.
+  AvmonConfig cfg = dedupConfig(true);
+  cfg.notifyDedupMax = 64;
+  MiniCluster tiny(cfg);
+  tiny.spawn(60);
+  tiny.sim.runUntil(60 * kMinute);
+
+  MiniCluster unbounded(dedupConfig(true), 3);  // same seed, default bound
+  unbounded.spawn(60);
+  unbounded.sim.runUntil(60 * kMinute);
+
+  MiniCluster off(dedupConfig(false), 3);
+  off.spawn(60);
+  off.sim.runUntil(60 * kMinute);
+
+  // Bounded-cache traffic exceeds the unbounded ideal (re-NOTIFYs after
+  // epochs age out) but stays far below the dedup-off firehose.
+  EXPECT_GE(tiny.totalNotifies(), unbounded.totalNotifies());
+  EXPECT_LT(tiny.totalNotifies() * 2, off.totalNotifies());
 }
 
 }  // namespace

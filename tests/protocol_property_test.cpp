@@ -1,12 +1,18 @@
 // System-level property tests: statistical invariants the paper's
 // analysis (Sections 4.1, 4.3) promises, checked over full simulated runs
-// and parameter sweeps.
+// and parameter sweeps. Multi-run sweeps fan out through the
+// ParallelScenarioRunner so that wall time on a multi-core machine is the
+// slowest run, not the sum.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "analysis/formulas.hpp"
+#include "experiments/parallel_runner.hpp"
 #include "experiments/scenario.hpp"
 
 namespace avmon::experiments {
@@ -24,16 +30,53 @@ Scenario propScenario(std::size_t n, std::uint64_t seed) {
   return s;
 }
 
+double meanOf(const std::vector<double>& v) {
+  double sum = 0;
+  for (double d : v) sum += d;
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+
 // -- pinging-set size distribution (Section 4.3) ---------------------------
 
-class PsSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+const std::vector<std::size_t>& psSweepSizes() {
+  static const std::vector<std::size_t> sizes{100, 300, 600};
+  return sizes;
+}
+
+class PsSizeSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<Scenario> scenarios;
+    for (std::size_t n : psSweepSizes()) {
+      Scenario s = propScenario(n, 7);
+      s.horizon = 3 * kHour;  // long enough to discover most of each PS
+      scenarios.push_back(s);
+    }
+    runners_ = new std::vector<std::unique_ptr<ScenarioRunner>>(
+        ParallelScenarioRunner().runAll(scenarios));
+  }
+
+  static void TearDownTestSuite() {
+    delete runners_;
+    runners_ = nullptr;
+  }
+
+  static const ScenarioRunner& runnerFor(std::size_t n) {
+    for (std::size_t i = 0; i < psSweepSizes().size(); ++i) {
+      if (psSweepSizes()[i] == n) return *(*runners_)[i];
+    }
+    throw std::logic_error("unknown sweep size");
+  }
+
+ private:
+  static std::vector<std::unique_ptr<ScenarioRunner>>* runners_;
+};
+
+std::vector<std::unique_ptr<ScenarioRunner>>* PsSizeSweep::runners_ = nullptr;
 
 TEST_P(PsSizeSweep, DiscoveredPsSizesApproachKAndStayBounded) {
   const std::size_t n = GetParam();
-  Scenario s = propScenario(n, 7);
-  s.horizon = 3 * kHour;  // long enough to discover most of each PS
-  ScenarioRunner runner(s);
-  runner.run();
+  const ScenarioRunner& runner = runnerFor(n);
 
   const unsigned k = runner.config().k;
   double total = 0;
@@ -63,40 +106,38 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PsSizeSweep,
 // -- discovery time scaling (Section 4.1) ----------------------------------
 
 TEST(DiscoveryScaling, LargerCvsDiscoversFaster) {
-  // E[D] ≈ N/cvs²: quadrupling cvs should cut discovery time hard.
+  // E[D] ≈ N/cvs²: quadrupling cvs should cut discovery time hard. Both
+  // configurations run concurrently; the collected means merge by index.
   constexpr std::size_t kN = 400;
-  double meanSmall = 0, meanLarge = 0;
-  for (auto [cvs, out] : {std::pair<std::size_t, double*>{5, &meanSmall},
-                          std::pair<std::size_t, double*>{20, &meanLarge}}) {
+  std::vector<Scenario> scenarios;
+  for (std::size_t cvs : {std::size_t{5}, std::size_t{20}}) {
     Scenario s = propScenario(kN, 11);
     AvmonConfig cfg = AvmonConfig::paperDefaults(kN);
     cfg.cvs = cvs;
     s.configOverride = cfg;
-    ScenarioRunner runner(s);
-    runner.run();
-    const auto delays = runner.discoveryDelaysSeconds(1);
-    ASSERT_FALSE(delays.empty()) << "cvs=" << cvs;
-    double sum = 0;
-    for (double d : delays) sum += d;
-    *out = sum / static_cast<double>(delays.size());
+    scenarios.push_back(s);
   }
-  EXPECT_LT(meanLarge, meanSmall);
+  const std::vector<double> means = ParallelScenarioRunner().map<double>(
+      scenarios, [](ScenarioRunner& runner) {
+        const auto delays = runner.discoveryDelaysSeconds(1);
+        EXPECT_FALSE(delays.empty());
+        return meanOf(delays);
+      });
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_LT(means[1], means[0]);  // cvs=20 beats cvs=5
 }
 
 TEST(DiscoveryScaling, DiscoveredFractionGrowsWithTime) {
   constexpr std::size_t kN = 300;
   Scenario shortRun = propScenario(kN, 13);
   shortRun.horizon = shortRun.warmup + 2 * kMinute;
-  ScenarioRunner a(shortRun);
-  a.run();
-
   Scenario longRun = propScenario(kN, 13);
   longRun.horizon = longRun.warmup + 60 * kMinute;
-  ScenarioRunner b(longRun);
-  b.run();
 
-  EXPECT_GE(b.discoveredFraction(3), a.discoveredFraction(3));
-  EXPECT_GT(b.discoveredFraction(1), 0.9);
+  const auto runners =
+      ParallelScenarioRunner().runAll({shortRun, longRun});
+  EXPECT_GE(runners[1]->discoveredFraction(3), runners[0]->discoveredFraction(3));
+  EXPECT_GT(runners[1]->discoveredFraction(1), 0.9);
 }
 
 // -- l-out-of-K supportability (Section 4.3) -------------------------------
@@ -181,9 +222,7 @@ TEST(LoadBalance, ComputationSpreadIsTight) {
 
   const auto comps = runner.computationsPerSecond();
   ASSERT_GT(comps.size(), 10u);
-  double sum = 0;
-  for (double c : comps) sum += c;
-  const double mean = sum / static_cast<double>(comps.size());
+  const double mean = meanOf(comps);
   ASSERT_GT(mean, 0.0);
   // No measured node does more than 3x the average work.
   for (double c : comps) EXPECT_LT(c, 3.0 * mean);

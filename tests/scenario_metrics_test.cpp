@@ -1,8 +1,11 @@
 // ScenarioRunner metric plumbing: measured-set overrides, accuracy
-// alignment, bandwidth normalization, and probe helpers.
+// alignment, bandwidth normalization, probe helpers, and the golden-hash
+// determinism regression for the simulator core.
 #include <gtest/gtest.h>
 
+#include "experiments/parallel_runner.hpp"
 #include "experiments/scenario.hpp"
+#include "golden_hash.hpp"
 
 namespace avmon::experiments {
 namespace {
@@ -111,6 +114,38 @@ TEST(ScenarioMetricsTest, EffectiveNOverridesForTraceModels) {
   EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kPlanetLab)).effectiveN(), 239u);
   EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kOvernet)).effectiveN(), 550u);
   EXPECT_EQ(ScenarioRunner(tiny(churn::Model::kStat)).effectiveN(), 120u);
+}
+
+TEST(ScenarioMetricsTest, SeededRunsMatchGoldenHashes) {
+  // Scheduler-determinism regression. These fingerprints (summaries,
+  // accuracy table, and per-node CSV rows — see golden_hash.hpp) were
+  // captured from the pre-calendar-queue simulator core
+  // (std::priority_queue + std::function, PR 2 tree) and must survive
+  // every scheduler, transport, or harness rewrite bit-for-bit. If a
+  // change legitimately alters protocol behaviour (not just performance),
+  // recapture by printing the hashes below — but that is an experiment
+  // semantics change and the PR must say so.
+  struct Golden {
+    const char* name;
+    std::uint64_t summary;
+    std::uint64_t perNode;
+  };
+  const Golden expected[] = {
+      {"STAT", 0x7e80fb309067df5fULL, 0x1889e660c3a103ceULL},
+      {"SYNTH-BD", 0xc2afb1a3c40a944eULL, 0x9d97502826d95569ULL},
+      {"SYNTH+drop", 0x7dcd1cf3fcd1c8b2ULL, 0x92c56996406dad65ULL},
+  };
+
+  // Running the three worlds through the parallel harness also pins the
+  // pool's determinism to the same golden values.
+  const auto runners = ParallelScenarioRunner().runAll(goldenScenarios());
+  ASSERT_EQ(runners.size(), 3u);
+  for (std::size_t i = 0; i < runners.size(); ++i) {
+    EXPECT_EQ(summaryHash(*runners[i]), expected[i].summary)
+        << expected[i].name << " summary metrics drifted";
+    EXPECT_EQ(perNodeHash(*runners[i]), expected[i].perNode)
+        << expected[i].name << " per-node metrics drifted";
+  }
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 // Discrete-event simulator and network model tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/inline_action.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -106,6 +111,161 @@ TEST(SimulatorTest, StepExecutesExactlyOne) {
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(fired, 2);
   EXPECT_FALSE(sim.step());
+}
+
+// ---- calendar-queue internals (two-tier ordering) ----
+
+TEST(SimulatorTest, SameInstantFifoSpansBothTiers) {
+  // Two events land at T while T is beyond the ring window (overflow
+  // tier); after the window slides over T they are promoted, and a third
+  // event is then scheduled at T directly into its bucket. All three must
+  // run in original scheduling order.
+  Simulator sim;
+  constexpr SimTime kT = 10'000;  // > kBucketCount from time 0
+  static_assert(kT >= static_cast<SimTime>(Simulator::kBucketCount));
+  std::vector<int> order;
+  sim.at(kT, [&] { order.push_back(1); });
+  sim.at(kT, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.overflowEvents(), 2u);
+
+  // Slide the window: an executed event at 3000 puts kT inside
+  // [3000, 3000 + kBucketCount) and triggers promotion.
+  sim.at(3'000, [&] { order.push_back(0); });
+  sim.runUntil(3'000);
+  EXPECT_EQ(sim.overflowEvents(), 0u);
+
+  sim.at(kT, [&] { order.push_back(3); });  // direct bucket insert
+  sim.runUntil(kT);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, FarFutureEventsPromoteAndFireOnTime) {
+  Simulator sim;
+  SimTime firedAt = -1;
+  sim.at(2 * kHour, [&] { firedAt = sim.now(); });
+  EXPECT_EQ(sim.overflowEvents(), 1u);
+  sim.runUntil(3 * kHour);
+  EXPECT_EQ(firedAt, 2 * kHour);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, GlobalOrderMatchesStableSortAcrossTiers) {
+  // Randomized workload spanning both tiers: execution order must equal a
+  // stable sort by time (stability = scheduling order for ties).
+  Simulator sim;
+  Rng rng(2024);
+  constexpr int kEvents = 2'000;
+  std::vector<SimTime> when(kEvents);
+  std::vector<int> fired;
+  for (int i = 0; i < kEvents; ++i) {
+    // Mix of bucket-window times and far-future overflow times, with
+    // plenty of exact collisions.
+    when[i] = static_cast<SimTime>(rng.below(40'000));
+    sim.at(when[i], [&fired, i] { fired.push_back(i); });
+  }
+  sim.runUntil(50'000);
+
+  std::vector<int> expected(kEvents);
+  for (int i = 0; i < kEvents; ++i) expected[i] = i;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](int a, int b) { return when[a] < when[b]; });
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sim.executedEvents(), static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(SimulatorTest, EveryCancellationLeavesNoPendingEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.every(10, 10, [&] {
+    ++count;
+    return count < 3;
+  });
+  sim.runUntil(1'000);
+  EXPECT_EQ(count, 3);
+  // The cancelled periodic chain reschedules nothing further.
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, PendingPlusExecutedEqualsScheduled) {
+  Simulator sim;
+  std::uint64_t scheduled = 0;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.below(20'000));
+    sim.at(t, [&sim, &scheduled, &rng] {
+      // Half the events spawn a follow-up, some into the overflow tier.
+      if (rng.chance(0.5)) {
+        sim.after(static_cast<SimDuration>(rng.below(30'000)), [] {});
+        ++scheduled;
+      }
+    });
+    ++scheduled;
+  }
+  while (sim.pendingEvents() > 0) {
+    EXPECT_EQ(sim.executedEvents() + sim.pendingEvents(), scheduled);
+    sim.step();
+  }
+  EXPECT_EQ(sim.executedEvents(), scheduled);
+}
+
+TEST(SimulatorTest, PastSchedulingAfterBoundedRunStillFires) {
+  // After runUntil(until) the clock sits at `until`; scheduling at or
+  // before it must clamp to now and fire on the next run.
+  Simulator sim;
+  sim.runUntil(5'000);
+  EXPECT_EQ(sim.now(), 5'000);
+  SimTime observed = -1;
+  sim.at(1'000, [&] { observed = sim.now(); });  // "in the past"
+  sim.runUntil(5'000);
+  EXPECT_EQ(observed, 5'000);
+}
+
+// ---- InlineAction ----
+
+TEST(InlineActionTest, SmallCapturesStayInline) {
+  struct Small {
+    void* a;
+    std::uint64_t b[4];
+    void operator()() {}
+  };
+  static_assert(InlineAction::kInlineCapacity >= 48);
+  EXPECT_TRUE(InlineAction::storedInline<Small>());
+}
+
+TEST(InlineActionTest, LargeCapturesFallBackToHeapAndStillRun) {
+  std::array<char, 200> big{};
+  big[0] = 42;
+  int result = 0;
+  auto lambda = [big, &result] { result = big[0]; };
+  EXPECT_FALSE(InlineAction::storedInline<decltype(lambda)>());
+  InlineAction action(std::move(lambda));
+  ASSERT_TRUE(static_cast<bool>(action));
+  action();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(InlineActionTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineAction a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);  // original + stored copy
+  InlineAction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);   // no duplicate made by the move
+  b();
+  EXPECT_EQ(*counter, 1);
+  b.reset();
+  EXPECT_FALSE(static_cast<bool>(b));
+  EXPECT_EQ(counter.use_count(), 1);  // stored copy destroyed
+}
+
+TEST(InlineActionTest, MoveAssignReplacesExisting) {
+  int first = 0, second = 0;
+  InlineAction a([&first] { ++first; });
+  InlineAction b([&second] { ++second; });
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
 }
 
 // ---- network ----
