@@ -3,19 +3,26 @@
 namespace avmon::churn {
 
 void TracePlayer::schedule(LifecycleListener& listener) {
+  schedule(listener, [this](const NodeId&) -> sim::Simulator& { return sim_; });
+}
+
+void TracePlayer::schedule(
+    LifecycleListener& listener,
+    const std::function<sim::Simulator&(const NodeId&)>& simFor) {
   for (const trace::NodeTrace& node : trace_.nodes()) {
     const NodeId id = node.id;
+    sim::Simulator& sim = simFor(id);
     for (std::size_t i = 0; i < node.sessions.size(); ++i) {
       const trace::Interval& s = node.sessions[i];
       const bool firstJoin = (i == 0);
-      sim_.at(s.start,
-              [&listener, id, firstJoin] { listener.onJoin(id, firstJoin); });
+      sim.at(s.start,
+             [&listener, id, firstJoin] { listener.onJoin(id, firstJoin); });
       // A session ending at the horizon is still "up at the end" — emit the
       // leave anyway; runners usually stop measuring before the horizon.
-      sim_.at(s.end, [&listener, id] { listener.onLeave(id); });
+      sim.at(s.end, [&listener, id] { listener.onLeave(id); });
     }
     if (node.death) {
-      sim_.at(*node.death, [&listener, id] { listener.onDeath(id); });
+      sim.at(*node.death, [&listener, id] { listener.onDeath(id); });
     }
   }
 }

@@ -7,6 +7,8 @@
 // but are invisible to protocol nodes — the paper's deaths are silent.
 #pragma once
 
+#include <functional>
+
 #include "common/node_id.hpp"
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
@@ -46,6 +48,13 @@ class TracePlayer {
   /// Enqueues all join/leave/death events. Transitions at identical times
   /// are delivered in node order (deterministic).
   void schedule(LifecycleListener& listener);
+
+  /// Sharded form: like schedule(), but each node's transitions go to the
+  /// simulator `simFor` returns for that node (its home shard). Insertion
+  /// stays in trace order per simulator, so same-time transitions of the
+  /// same node keep their relative order on any shard layout.
+  void schedule(LifecycleListener& listener,
+                const std::function<sim::Simulator&(const NodeId&)>& simFor);
 
  private:
   sim::Simulator& sim_;

@@ -63,7 +63,7 @@ std::vector<std::unique_ptr<ScenarioRunner>> ParallelScenarioRunner::runAll(
     const std::vector<Scenario>& scenarios) const {
   std::vector<std::unique_ptr<ScenarioRunner>> runners(scenarios.size());
   parallelForIndex(scenarios.size(), threads_, [&](std::size_t i) {
-    auto runner = std::make_unique<ScenarioRunner>(scenarios[i]);
+    auto runner = std::make_unique<ScenarioRunner>(applyShards(scenarios[i]));
     runner->run();
     runners[i] = std::move(runner);
   });

@@ -37,8 +37,15 @@ void parallelForIndex(std::size_t count, unsigned threads,
 /// Fans complete scenario runs out across a worker pool.
 class ParallelScenarioRunner {
  public:
-  /// `threads` = 0 uses defaultWorkerThreads().
-  explicit ParallelScenarioRunner(unsigned threads = 0) : threads_(threads) {}
+  /// `threads` = 0 uses defaultWorkerThreads(). `shardsPerScenario`
+  /// overrides Scenario::shards for every run when non-zero — the knob a
+  /// sweep uses to shard each world without editing its scenarios. Shard
+  /// counts never change results (ShardedSimulator's invariance
+  /// guarantee), so the override is safe on any workload; pool threads ×
+  /// shards is the total concurrency, so oversubscribe deliberately.
+  explicit ParallelScenarioRunner(unsigned threads = 0,
+                                  unsigned shardsPerScenario = 0)
+      : threads_(threads), shardsPerScenario_(shardsPerScenario) {}
 
   /// Builds and runs every scenario to its horizon, each on its own
   /// worker-owned Simulator + Network + RNG, and returns the completed
@@ -60,7 +67,7 @@ class ParallelScenarioRunner {
     // distinct optionals are always race-free to write concurrently.
     std::vector<std::optional<Result>> slots(scenarios.size());
     parallelForIndex(scenarios.size(), threads_, [&](std::size_t i) {
-      ScenarioRunner runner(scenarios[i]);
+      ScenarioRunner runner(applyShards(scenarios[i]));
       runner.run();
       slots[i].emplace(collect(runner));
     });
@@ -73,9 +80,16 @@ class ParallelScenarioRunner {
   }
 
   unsigned threads() const noexcept { return threads_; }
+  unsigned shardsPerScenario() const noexcept { return shardsPerScenario_; }
 
  private:
+  Scenario applyShards(Scenario scenario) const {
+    if (shardsPerScenario_ != 0) scenario.shards = shardsPerScenario_;
+    return scenario;
+  }
+
   unsigned threads_;
+  unsigned shardsPerScenario_ = 0;
 };
 
 }  // namespace avmon::experiments

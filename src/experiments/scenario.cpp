@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace avmon::experiments {
 
@@ -22,30 +23,66 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   config_.forgetful.ewmaSessionLength = scenario_.forgetfulEwma;
   config_.validate();
 
+  // Resolve the auto shard count BEFORE validating: shards = 0 expands to
+  // the hardware width, which must not smuggle instantaneous RPC into a
+  // multi-shard world on a multi-core host.
+  const unsigned effectiveShards =
+      scenario_.shards != 0 ? scenario_.shards
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (!scenario_.deferredRpc && effectiveShards > 1) {
+    throw std::invalid_argument(
+        "Scenario: instantaneous RPC (deferredRpc = false) cannot cross a "
+        "shard boundary — use shards = 1 for the collapsed-RTT lane");
+  }
+
   hashFn_ = hash::makeHashFunction(scenario_.hashName);
   selector_ = std::make_unique<HashMonitorSelector>(*hashFn_, config_.k,
                                                     effectiveN_);
-  memoSelector_ = std::make_unique<MemoizedMonitorSelector>(*selector_);
 
-  sim::NetworkConfig netConfig;
-  netConfig.messageDropProbability = scenario_.messageDropProbability;
-  netConfig.rpcFailProbability = scenario_.rpcFailProbability;
-  net_ = std::make_unique<sim::Network>(sim_, netConfig, rootRng_.fork());
+  sim::ShardedSimulator::Config worldConfig;
+  worldConfig.shards = effectiveShards;
+  worldConfig.net.messageDropProbability = scenario_.messageDropProbability;
+  worldConfig.net.rpcFailProbability = scenario_.rpcFailProbability;
+  worldConfig.net.deferredRpc = scenario_.deferredRpc;
+  // One draw from the root stream seeds every shard network identically;
+  // per-node latency/fault streams derive from (seed, node id), so the
+  // shard count never shifts anyone's randomness.
+  worldConfig.netSeed = rootRng_.fork()();
+  world_ = std::make_unique<sim::ShardedSimulator>(worldConfig);
+
+  for (std::size_t s = 0; s < world_->shardCount(); ++s) {
+    memoSelectors_.push_back(
+        std::make_unique<MemoizedMonitorSelector>(*selector_));
+  }
 
   trace_ = churn::generate(scenario_.model, workload);
-  player_ = std::make_unique<churn::TracePlayer>(sim_, trace_);
+  player_ = std::make_unique<churn::TracePlayer>(world_->simOf(0), trace_);
+
+  // Register the whole population first: global indices follow trace order
+  // (partition-independent), and every id must be known to the router
+  // before its endpoint attaches.
+  for (const trace::NodeTrace& nt : trace_.nodes()) {
+    world_->registerNode(nt.id);
+  }
+
+  precomputeBootstrapPicks();
 
   // One protocol node per scheduled node, all constructed up front (they
-  // start down; the trace player brings them up).
-  const auto bootstrap = [this](const NodeId& self) {
-    return pickBootstrap(self);
-  };
+  // start down; the trace player brings them up). Each node lives in its
+  // home shard's sub-world and checks the consistency condition through
+  // that shard's memo.
+  std::uint32_t index = 0;
   for (const trace::NodeTrace& nt : trace_.nodes()) {
-    auto node = std::make_unique<AvmonNode>(nt.id, config_, *memoSelector_,
-                                            sim_, *net_, bootstrap,
-                                            rootRng_.fork());
+    const std::size_t shard = world_->shardOfIndex(index);
+    const auto bootstrap = [this, index](const NodeId&) {
+      return nextBootstrapPick(index);
+    };
+    auto node = std::make_unique<AvmonNode>(
+        nt.id, config_, *memoSelectors_[shard], world_->simOf(shard),
+        world_->netOf(shard), bootstrap, rootRng_.fork());
     traceByNode_[nt.id] = &nt;
     nodes_.emplace(nt.id, std::move(node));
+    ++index;
   }
 
   // Overreporting attackers (Figure 20): a uniformly random fraction.
@@ -88,35 +125,88 @@ void ScenarioRunner::buildMeasuredSet() {
   }
 }
 
-NodeId ScenarioRunner::pickBootstrap(const NodeId& self) {
-  if (alive_.empty()) return NodeId{};
-  // A couple of draws are enough to dodge `self`; if the caller is the
-  // only alive node there is genuinely nobody to contact.
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    const NodeId pick = alive_[rootRng_.index(alive_.size())];
-    if (pick != self) return pick;
+void ScenarioRunner::precomputeBootstrapPicks() {
+  // The alive set at any instant is fully determined by the availability
+  // trace, so the bootstrap oracle ("a random alive node other than the
+  // joiner") can be evaluated up front: replay the trace's transitions in
+  // a canonical order and bank one pick per session start. At run time a
+  // join just consumes its node's next pick — no global alive list exists,
+  // which is what lets joins on different shards proceed without sharing
+  // (and keeps the draws shard-count-invariant).
+  Rng bootRng = rootRng_.fork();
+  const auto& nodes = trace_.nodes();
+  bootstrapPicks_.assign(nodes.size(), {});
+  bootstrapCursor_.assign(nodes.size(), 0);
+
+  struct Transition {
+    SimTime t;
+    std::uint32_t node;
+    std::uint32_t session;
+    bool join;
+  };
+  std::vector<Transition> transitions;
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    const auto& sessions = nodes[i].sessions;
+    for (std::uint32_t j = 0; j < sessions.size(); ++j) {
+      transitions.push_back({sessions[j].start, i, j, true});
+      transitions.push_back({sessions[j].end, i, j, false});
+    }
   }
-  return NodeId{};
+  // Canonical order: time, then trace position, then session, join before
+  // the (zero-length-session) leave at the same instant.
+  std::sort(transitions.begin(), transitions.end(),
+            [](const Transition& a, const Transition& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.node != b.node) return a.node < b.node;
+              if (a.session != b.session) return a.session < b.session;
+              return a.join && !b.join;
+            });
+
+  std::vector<NodeId> alive;
+  std::unordered_map<NodeId, std::size_t> alivePos;
+  for (const Transition& tr : transitions) {
+    const NodeId id = nodes[tr.node].id;
+    if (tr.join) {
+      // Pick before the joiner becomes visible; a few draws are enough to
+      // dodge self, and a lone first node genuinely has nobody to call.
+      NodeId pick{};
+      if (!alive.empty()) {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const NodeId candidate = alive[bootRng.index(alive.size())];
+          if (candidate != id) {
+            pick = candidate;
+            break;
+          }
+        }
+      }
+      bootstrapPicks_[tr.node].push_back(pick);
+      if (!alivePos.count(id)) {
+        alivePos[id] = alive.size();
+        alive.push_back(id);
+      }
+    } else if (const auto it = alivePos.find(id); it != alivePos.end()) {
+      const std::size_t pos = it->second;
+      alive[pos] = alive.back();
+      alivePos[alive[pos]] = pos;
+      alive.pop_back();
+      alivePos.erase(id);
+    }
+  }
+}
+
+NodeId ScenarioRunner::nextBootstrapPick(std::uint32_t nodeIndex) {
+  const auto& picks = bootstrapPicks_[nodeIndex];
+  std::size_t& cursor = bootstrapCursor_[nodeIndex];
+  if (cursor >= picks.size()) return NodeId{};  // more joins than sessions?
+  return picks[cursor++];
 }
 
 void ScenarioRunner::onJoin(const NodeId& id, bool firstJoin) {
-  auto& node = nodes_.at(id);
-  node->join(firstJoin);
-  if (!alivePos_.count(id)) {
-    alivePos_[id] = alive_.size();
-    alive_.push_back(id);
-  }
+  nodes_.at(id)->join(firstJoin);
 }
 
 void ScenarioRunner::onLeave(const NodeId& id) {
   nodes_.at(id)->leave();
-  if (const auto it = alivePos_.find(id); it != alivePos_.end()) {
-    const std::size_t pos = it->second;
-    alive_[pos] = alive_.back();
-    alivePos_[alive_[pos]] = pos;
-    alive_.pop_back();
-    alivePos_.erase(it);
-  }
 }
 
 void ScenarioRunner::onDeath(const NodeId& /*id*/) {
@@ -128,10 +218,20 @@ void ScenarioRunner::onDeath(const NodeId& /*id*/) {
 void ScenarioRunner::run() {
   if (ran_) throw std::logic_error("ScenarioRunner::run called twice");
   ran_ = true;
-  player_->schedule(*this);
-  // Scope bandwidth measurement to the post-warm-up window.
-  sim_.at(scenario_.warmup, [this] { net_->resetTraffic(); });
-  sim_.runUntil(scenario_.horizon);
+  player_->schedule(*this, [this](const NodeId& id) -> sim::Simulator& {
+    return world_->simFor(id);
+  });
+  // Scope bandwidth measurement to the post-warm-up window (each shard
+  // resets its own counters at its local warm-up instant).
+  for (std::size_t s = 0; s < world_->shardCount(); ++s) {
+    sim::Network* net = &world_->netOf(s);
+    world_->simOf(s).at(scenario_.warmup, [net] { net->resetTraffic(); });
+  }
+  world_->runUntil(scenario_.horizon);
+}
+
+sim::TrafficCounters ScenarioRunner::trafficOf(const NodeId& id) const {
+  return world_->netFor(id).traffic(id);
 }
 
 std::vector<double> ScenarioRunner::discoveryDelaysSeconds(std::size_t k) const {
@@ -199,7 +299,7 @@ std::vector<double> ScenarioRunner::outgoingBytesPerSecond() const {
     // The paper normalizes by wall-clock time, not up-time (nodes spend
     // nothing while down); nodes born mid-window get their shorter window.
     const double windowSeconds = toSeconds(to - std::max(from, nt->birth));
-    out.push_back(static_cast<double>(net_->traffic(id).bytesSent) /
+    out.push_back(static_cast<double>(trafficOf(id).bytesSent) /
                   windowSeconds);
   }
   return out;
@@ -273,7 +373,7 @@ NodeId ScenarioRunner::maxBandwidthNode() const {
   NodeId best;
   std::uint64_t bestBytes = 0;
   for (const auto& [id, node] : nodes_) {
-    const std::uint64_t bytes = net_->traffic(id).bytesSent;
+    const std::uint64_t bytes = trafficOf(id).bytesSent;
     if (bytes > bestBytes) {
       bestBytes = bytes;
       best = id;

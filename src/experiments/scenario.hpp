@@ -13,6 +13,11 @@
 //    and every node for the trace-driven models (PL/OV);
 //  * discovery time of the k-th monitor is measured from a node's first
 //    join to the instant its pinging set reached size k.
+//
+// Execution: every scenario runs inside a sim::ShardedSimulator —
+// Scenario::shards sub-worlds in lock-stepped windows (shards = 1, the
+// default, is the degenerate single sub-world). Shard counts change wall
+// clock only, never metrics; see sharded_simulator.hpp for the model.
 #pragma once
 
 #include <memory>
@@ -29,6 +34,7 @@
 #include "common/rng.hpp"
 #include "hash/hash_function.hpp"
 #include "sim/network.hpp"
+#include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "trace/availability_trace.hpp"
 
@@ -75,6 +81,18 @@ struct Scenario {
   double rpcFailProbability = 0.0;
 
   MeasuredSet measured = MeasuredSet::kAuto;
+
+  /// Shards the node population is partitioned across (sim::ShardedSimulator).
+  /// 1 = single sub-world (still windowed, so its metrics are bit-identical
+  /// to any other shard count); 0 = one shard per hardware thread. The
+  /// shard count never changes results, only wall-clock time.
+  unsigned shards = 1;
+
+  /// Model both RPC legs with latency as simulator events (the harness
+  /// default). Required whenever shards > 1 — an instantaneous RPC cannot
+  /// cross a shard boundary. Turning it off keeps the paper's collapsed-RTT
+  /// accounting as a single-shard lane.
+  bool deferredRpc = true;
 };
 
 /// Estimated-vs-actual availability for one node (Figures 17 and 20).
@@ -140,13 +158,22 @@ class ScenarioRunner final : public churn::LifecycleListener {
   const AvmonNode& node(const NodeId& id) const;
   AvmonNode& mutableNode(const NodeId& id);
 
+  /// The sharded world the scenario runs in (always present; a plain run
+  /// is the one-shard case). Exposes per-shard simulators/networks and the
+  /// window/hand-off counters for tests and benches.
+  const sim::ShardedSimulator& world() const noexcept { return *world_; }
+
+  /// Outgoing-traffic counters for `id`, read from its home shard.
+  sim::TrafficCounters trafficOf(const NodeId& id) const;
+
   // ---- LifecycleListener ----
   void onJoin(const NodeId& id, bool firstJoin) override;
   void onLeave(const NodeId& id) override;
   void onDeath(const NodeId& id) override;
 
  private:
-  NodeId pickBootstrap(const NodeId& self);
+  void precomputeBootstrapPicks();
+  NodeId nextBootstrapPick(std::uint32_t nodeIndex);
   void buildMeasuredSet();
 
   Scenario scenario_;
@@ -154,14 +181,14 @@ class ScenarioRunner final : public churn::LifecycleListener {
   AvmonConfig config_;
 
   Rng rootRng_;
-  sim::Simulator sim_;
-  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::ShardedSimulator> world_;
   std::unique_ptr<hash::HashFunction> hashFn_;
   std::unique_ptr<HashMonitorSelector> selector_;
-  // Nodes check the consistency condition through this memo: verdicts are
-  // identical (the selector is a pure function) but the ~10^8 repeated
-  // checks of a long run become single table probes.
-  std::unique_ptr<MemoizedMonitorSelector> memoSelector_;
+  // Nodes check the consistency condition through per-shard memos:
+  // verdicts are identical (the selector is a pure function) but the
+  // ~10^8 repeated checks of a long run become single table probes. One
+  // memo per shard keeps the caches thread-private.
+  std::vector<std::unique_ptr<MemoizedMonitorSelector>> memoSelectors_;
 
   trace::AvailabilityTrace trace_;
   std::unique_ptr<churn::TracePlayer> player_;
@@ -169,9 +196,12 @@ class ScenarioRunner final : public churn::LifecycleListener {
   std::unordered_map<NodeId, std::unique_ptr<AvmonNode>> nodes_;
   std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
 
-  // O(1) random sampling over the alive set for bootstrap picks.
-  std::vector<NodeId> alive_;
-  std::unordered_map<NodeId, std::size_t> alivePos_;
+  // Bootstrap picks, precomputed from the trace (the alive set at any
+  // instant is trace-determined, not protocol-determined). Node i's j-th
+  // join consumes picks_[i][j]; the cursor is only ever touched by i's
+  // home shard, so joins on different shards need no shared alive list.
+  std::vector<std::vector<NodeId>> bootstrapPicks_;
+  std::vector<std::size_t> bootstrapCursor_;
 
   std::vector<NodeId> measured_;
   bool ran_ = false;

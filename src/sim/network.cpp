@@ -23,7 +23,18 @@ RpcResponse Endpoint::onRpc(const NodeId& /*from*/, const RpcRequest& request) {
 std::uint32_t Network::slotFor(const NodeId& id) {
   const auto [it, inserted] =
       slotOf_.emplace(id, static_cast<std::uint32_t>(slots_.size()));
-  if (inserted) slots_.emplace_back();
+  if (inserted) {
+    slots_.emplace_back();
+    NodeState& state = slots_.back();
+    // The per-sender stream is keyed by (network seed, node id) — not by
+    // slot number or attach order — so the same node gets the same stream
+    // in every partitioning of the population.
+    const std::uint64_t idKey =
+        (static_cast<std::uint64_t>(id.ip()) << 16) | id.port();
+    state.stream = Rng(splitmix64Mix(streamBase_ ^ splitmix64Mix(idKey)));
+    state.globalIndex =
+        router_ != nullptr ? router_->globalIndexOf(id) : it->second;
+  }
   return it->second;
 }
 
@@ -51,40 +62,113 @@ bool Network::isUp(const NodeId& id) const {
          slots_[slot].endpoint != nullptr;
 }
 
-SimDuration Network::sampleLatency() {
+SimDuration Network::sampleLatency(NodeState& sender) {
   return config_.minLatency +
-         static_cast<SimDuration>(rng_.below(static_cast<std::uint64_t>(
+         static_cast<SimDuration>(sender.stream.below(static_cast<std::uint64_t>(
              config_.maxLatency - config_.minLatency + 1)));
 }
 
 void Network::send(const NodeId& from, const NodeId& to, Message message) {
-  charge(slots_[slotFor(from)], wireBytes(message));
+  NodeState& sender = slots_[slotFor(from)];
+  charge(sender, wireBytes(message));
   if (config_.messageDropProbability > 0 &&
-      rng_.chance(config_.messageDropProbability)) {
+      sender.stream.chance(config_.messageDropProbability)) {
     ++lost_;
     return;
   }
-  const SimDuration latency = sampleLatency();
+  const SimDuration latency = sampleLatency(sender);
+  if (router_ != nullptr) {
+    // Sharded mode: every inter-node delivery — even one whose target
+    // lives on this shard — crosses the hand-off layer, so insertion
+    // order at the destination depends only on (due, sender, sender seq),
+    // never on which shard the target happens to share with the sender.
+    router_->handoffMessage(sim_.now() + latency, nextKey(sender), from, to,
+                            std::move(message));
+    return;
+  }
   // The target's slot is resolved now; delivery addresses it directly. The
   // closure fits InlineAction's inline buffer, so scheduling a delivery
   // allocates nothing.
   const std::uint32_t toSlot = slotFor(to);
   sim_.after(latency, [this, from, toSlot, message = std::move(message)]() {
-    NodeState& target = slots_[toSlot];
-    if (!target.up || target.endpoint == nullptr) {
-      ++lost_;
-      return;
-    }
-    ++delivered_;
-    target.endpoint->onMessage(from, message);
+    deliver(from, toSlot, message);
+  });
+}
+
+void Network::deliver(const NodeId& from, std::uint32_t toSlot,
+                      const Message& message) {
+  NodeState& target = slots_[toSlot];
+  if (!target.up || target.endpoint == nullptr) {
+    ++lost_;
+    return;
+  }
+  ++delivered_;
+  target.endpoint->onMessage(from, message);
+}
+
+void Network::serveRpc(const NodeId& from, std::uint32_t toSlot,
+                       const RpcRequest& request, RpcTicket ticket) {
+  NodeState& target = slots_[toSlot];
+  if (!target.up || target.endpoint == nullptr) {
+    return;  // unreachable target: the caller's backstop reports it
+  }
+  // The target serves the request and spends its response bytes even if
+  // the caller's deadline has already passed — a late response is still
+  // sent, just never seen.
+  charge(target, responseWireBytes(request));
+  Endpoint* endpoint = target.endpoint;
+  RpcResponse response = endpoint->onRpc(from, request);
+  NodeState& responder = slots_[toSlot];  // re-fetch: onRpc may grow slots_
+  const SimDuration latency = sampleLatency(responder);
+  if (router_ != nullptr) {
+    router_->handoffRpcResponse(sim_.now() + latency, nextKey(responder), from,
+                                std::move(response), std::move(ticket));
+    return;
+  }
+  sim_.after(latency, [response = std::move(response),
+                       ticket = std::move(ticket)]() mutable {
+    completeRpc(std::move(response), ticket);
+  });
+}
+
+void Network::completeRpc(RpcResponse response, const RpcTicket& ticket) {
+  if (*ticket.settled) return;  // beaten by the deadline
+  *ticket.settled = true;
+  (*ticket.handler)(std::optional<RpcResponse>(std::move(response)));
+}
+
+void Network::scheduleHandoffDelivery(SimTime due, const NodeId& from,
+                                      const NodeId& to, Message message) {
+  const std::uint32_t toSlot = slotFor(to);
+  sim_.at(due, [this, from, toSlot, message = std::move(message)]() {
+    deliver(from, toSlot, message);
+  });
+}
+
+void Network::scheduleHandoffServe(SimTime due, const NodeId& from,
+                                   const NodeId& to, RpcRequest request,
+                                   RpcTicket ticket) {
+  const std::uint32_t toSlot = slotFor(to);
+  sim_.at(due, [this, from, toSlot, request = std::move(request),
+                ticket = std::move(ticket)]() mutable {
+    serveRpc(from, toSlot, request, std::move(ticket));
+  });
+}
+
+void Network::scheduleHandoffComplete(SimTime due, RpcResponse response,
+                                      RpcTicket ticket) {
+  sim_.at(due, [response = std::move(response),
+                ticket = std::move(ticket)]() mutable {
+    completeRpc(std::move(response), ticket);
   });
 }
 
 std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
                                          const RpcRequest& request) {
-  charge(slots_[slotFor(from)], requestWireBytes(request));
+  NodeState& sender = slots_[slotFor(from)];
+  charge(sender, requestWireBytes(request));
   if (config_.rpcFailProbability > 0 &&
-      rng_.chance(config_.rpcFailProbability)) {
+      sender.stream.chance(config_.rpcFailProbability)) {
     return std::nullopt;  // injected timeout; request bytes already spent
   }
   NodeState& target = slots_[slotFor(to)];
@@ -107,7 +191,8 @@ void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
   // with nullopt unless a response landed first, so every failure mode —
   // injected fault, dead target, or a round trip slower than the deadline
   // — surfaces at the same instant and is indistinguishable by timing.
-  charge(slots_[slotFor(from)], requestWireBytes(request));
+  NodeState& sender = slots_[slotFor(from)];
+  charge(sender, requestWireBytes(request));
   auto settled = std::make_shared<bool>(false);
   auto sharedHandler = std::make_shared<RpcHandler>(std::move(handler));
   sim_.after(config_.rpcTimeout, [settled, sharedHandler] {
@@ -116,29 +201,25 @@ void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
     (*sharedHandler)(std::nullopt);
   });
   if (config_.rpcFailProbability > 0 &&
-      rng_.chance(config_.rpcFailProbability)) {
+      sender.stream.chance(config_.rpcFailProbability)) {
     return;  // the request is lost; the backstop reports the timeout
   }
-  const SimDuration requestLatency = sampleLatency();
+  const SimDuration requestLatency = sampleLatency(sender);
+  RpcTicket ticket{settled, sharedHandler};
+  if (router_ != nullptr) {
+    // Sharded mode: the request leg crosses the hand-off layer to the
+    // target's home shard; the response leg crosses back. The backstop
+    // above stays caller-local, so every failure mode still surfaces at
+    // exactly rpcTimeout.
+    router_->handoffRpcRequest(sim_.now() + requestLatency, nextKey(sender),
+                               from, to, std::move(request),
+                               std::move(ticket));
+    return;
+  }
   const std::uint32_t toSlot = slotFor(to);
-  sim_.after(requestLatency, [this, from, toSlot, settled, sharedHandler,
-                              request = std::move(request)]() mutable {
-    NodeState& target = slots_[toSlot];
-    if (!target.up || target.endpoint == nullptr) {
-      return;  // unreachable target: the backstop reports the timeout
-    }
-    // The target serves the request and spends its response bytes even if
-    // the caller's deadline has already passed — a late response is still
-    // sent, just never seen.
-    charge(target, responseWireBytes(request));
-    Endpoint* endpoint = target.endpoint;
-    RpcResponse response = endpoint->onRpc(from, request);
-    sim_.after(sampleLatency(), [settled, sharedHandler,
-                                 response = std::move(response)]() mutable {
-      if (*settled) return;  // beaten by the deadline
-      *settled = true;
-      (*sharedHandler)(std::move(response));
-    });
+  sim_.after(requestLatency, [this, from, toSlot, request = std::move(request),
+                              ticket = std::move(ticket)]() mutable {
+    serveRpc(from, toSlot, request, std::move(ticket));
   });
 }
 

@@ -35,6 +35,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -103,12 +104,68 @@ struct TrafficCounters {
 /// never materializes a std::function.)
 using RpcHandler = std::function<void(std::optional<RpcResponse>)>;
 
+/// Shard-count-invariant ordering key carried by every cross-shard
+/// hand-off: the sender's global node index plus a per-sender sequence
+/// number. Events due at the same instant are inserted into their
+/// destination shard in (due, src, seq) order, which depends only on what
+/// each node did — never on how the population was partitioned — so any
+/// shard count replays the same global execution order.
+struct HandoffKey {
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Caller-side completion state of an in-flight deferred RPC. The ticket
+/// travels with the request to the target shard and back; both fields are
+/// only ever dereferenced in the caller's shard (serve side just carries
+/// them), so no locking is needed beyond the barrier hand-off.
+struct RpcTicket {
+  std::shared_ptr<bool> settled;
+  std::shared_ptr<RpcHandler> handler;
+};
+
+/// Hook a sharded driver installs on each shard's Network. When present,
+/// every inter-node hand-off (one-way delivery, deferred-RPC request leg,
+/// deferred-RPC response leg) is routed through it instead of being
+/// scheduled directly, so the driver can carry it across the shard
+/// boundary and insert it at a window barrier in deterministic key order.
+class CrossShardRouter {
+ public:
+  virtual ~CrossShardRouter() = default;
+
+  /// Global (partition-independent) index of a registered node.
+  virtual std::uint32_t globalIndexOf(const NodeId& id) const = 0;
+
+  /// One-way message, already charged/rolled/latency-stamped by the
+  /// sending shard; due for delivery at `due` on `to`'s home shard.
+  virtual void handoffMessage(SimTime due, HandoffKey key, const NodeId& from,
+                              const NodeId& to, Message message) = 0;
+
+  /// Deferred-RPC request leg, arriving at `to`'s home shard at `due`.
+  virtual void handoffRpcRequest(SimTime due, HandoffKey key,
+                                 const NodeId& from, const NodeId& to,
+                                 RpcRequest request, RpcTicket ticket) = 0;
+
+  /// Deferred-RPC response leg, completing on the *caller*'s home shard
+  /// (`caller`) at `due`.
+  virtual void handoffRpcResponse(SimTime due, HandoffKey key,
+                                  const NodeId& caller, RpcResponse response,
+                                  RpcTicket ticket) = 0;
+};
+
 /// Simulated network switchboard. Endpoints attach under their NodeId; an
 /// external lifecycle manager toggles per-node aliveness as churn dictates.
 class Network {
  public:
+  /// `rng` seeds the network's randomness. Internally every attached node
+  /// gets its own latency/fault stream derived from (rng's first output,
+  /// node id), so the draws a sender consumes depend only on that sender's
+  /// own operation order — the property that lets a sharded run reproduce
+  /// a single-shard run bit-for-bit. Two Networks built from equal-seeded
+  /// Rngs give every node identical streams.
   Network(Simulator& sim, NetworkConfig config, Rng rng)
-      : sim_(sim), config_(config), rng_(std::move(rng)) {}
+      : sim_(sim), config_(config), rng_(std::move(rng)),
+        streamBase_(rng_()) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -206,6 +263,32 @@ class Network {
               });
   }
 
+  // ---- sharded execution (driven by sim::ShardedSimulator) ----
+
+  /// Installs (or clears) the cross-shard router. While set, inter-node
+  /// hand-offs are pushed to the router instead of being scheduled into
+  /// the local simulator; the router re-inserts them via the
+  /// scheduleHandoff* methods at window barriers. Must be set before any
+  /// endpoint attaches (slots cache their global index at attach time).
+  void setRouter(CrossShardRouter* router) { router_ = router; }
+
+  /// Destination-side re-insertion of a routed one-way message: schedules
+  /// local delivery at `due` (target liveness judged then, as usual).
+  void scheduleHandoffDelivery(SimTime due, const NodeId& from,
+                               const NodeId& to, Message message);
+
+  /// Destination-side re-insertion of a routed RPC request leg: at `due`
+  /// the target (if up) is charged the response leg and serves the
+  /// request; the response travels back through the router. A down target
+  /// answers nothing — the caller's rpcTimeout backstop reports it.
+  void scheduleHandoffServe(SimTime due, const NodeId& from, const NodeId& to,
+                            RpcRequest request, RpcTicket ticket);
+
+  /// Caller-side re-insertion of a routed RPC response leg: at `due` the
+  /// handler fires with the response unless the backstop won the race.
+  void scheduleHandoffComplete(SimTime due, RpcResponse response,
+                               RpcTicket ticket);
+
   /// Outgoing-traffic counters for a node (zeroes if unknown).
   TrafficCounters traffic(const NodeId& id) const;
 
@@ -223,6 +306,13 @@ class Network {
     Endpoint* endpoint = nullptr;
     bool up = false;
     TrafficCounters traffic;
+    /// Per-sender latency/fault stream: draws depend only on this node's
+    /// own operation order, never on global interleaving.
+    Rng stream;
+    /// Partition-independent index (from the router when sharded, the
+    /// dense slot otherwise) + sequence counter forming hand-off keys.
+    std::uint32_t globalIndex = 0;
+    std::uint64_t handoffSeq = 0;
   };
 
   // Resolves `id` to its dense slot, creating one on first sight. The one
@@ -238,7 +328,23 @@ class Network {
     state.traffic.messagesSent += 1;
   }
 
-  SimDuration sampleLatency();
+  SimDuration sampleLatency(NodeState& sender);
+
+  HandoffKey nextKey(NodeState& sender) noexcept {
+    return HandoffKey{sender.globalIndex, sender.handoffSeq++};
+  }
+
+  // The one place each transport rule lives, shared by the local and
+  // routed lanes (so the S = 1 and S > 1 paths cannot drift apart):
+  // delivery of a one-way message at its due instant...
+  void deliver(const NodeId& from, std::uint32_t toSlot,
+               const Message& message);
+  // ...the target side of a deferred RPC (liveness at arrival, response
+  // charge, onRpc, response leg — via the router when sharded)...
+  void serveRpc(const NodeId& from, std::uint32_t toSlot,
+                const RpcRequest& request, RpcTicket ticket);
+  // ...and the caller-side completion racing the rpcTimeout backstop.
+  static void completeRpc(RpcResponse response, const RpcTicket& ticket);
 
   // The latency-modeled two-leg exchange (deferredRpc on).
   void callAsyncDeferred(const NodeId& from, const NodeId& to,
@@ -247,6 +353,8 @@ class Network {
   Simulator& sim_;
   NetworkConfig config_;
   Rng rng_;
+  std::uint64_t streamBase_;
+  CrossShardRouter* router_ = nullptr;
   std::unordered_map<NodeId, std::uint32_t> slotOf_;
   std::vector<NodeState> slots_;
   std::uint64_t delivered_ = 0;

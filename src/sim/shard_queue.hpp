@@ -1,0 +1,109 @@
+// Single-producer/single-consumer hand-off queue for cross-shard traffic.
+//
+// Each (source shard, destination shard) pair owns one of these queues.
+// During a window the source shard's thread pushes hand-off records while
+// the destination shard's thread may already be draining — the queue is a
+// chunked unbounded SPSC ring, so both sides progress without locks. In
+// the sharded simulator the heavy synchronization actually comes from the
+// window barrier (production for window k strictly precedes the drain at
+// barrier k), but the queue is independently thread-safe so fault-
+// injection tests can hammer it concurrently and TSan can prove it.
+//
+// Memory model: the producer publishes an element by a release store of
+// the chunk's `filled` counter; the consumer acquires it before reading
+// slots. Chunk hand-over uses a release store of `next` (producer) and an
+// acquire load (consumer). Fully consumed chunks are freed by the
+// consumer; the producer never revisits a full chunk.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace avmon::sim {
+
+template <class T, std::size_t ChunkSize = 128>
+class SpscHandoffQueue {
+  static_assert(ChunkSize >= 2, "chunks must hold at least two elements");
+
+ public:
+  SpscHandoffQueue() : head_(new Chunk), tail_(head_) {}
+
+  SpscHandoffQueue(const SpscHandoffQueue&) = delete;
+  SpscHandoffQueue& operator=(const SpscHandoffQueue&) = delete;
+
+  ~SpscHandoffQueue() {
+    Chunk* c = head_;
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Producer side. Never blocks; allocates a fresh chunk when the tail
+  /// chunk fills up (steady-state cost is one relaxed load + one release
+  /// store per push).
+  void push(T item) {
+    Chunk* c = tail_;
+    std::size_t n = c->filled.load(std::memory_order_relaxed);
+    if (n == ChunkSize) {
+      Chunk* fresh = new Chunk;
+      // Publish the link only after the chunk is fully constructed.
+      c->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      c = fresh;
+      n = 0;
+    }
+    c->slots[n] = std::move(item);
+    c->filled.store(n + 1, std::memory_order_release);
+  }
+
+  /// Consumer side: moves every element published so far into `out`
+  /// (appending), in FIFO order. Returns the number drained. Elements
+  /// pushed concurrently with the drain are picked up either now or by
+  /// the next drain — never lost, never duplicated.
+  template <class OutVector>
+  std::size_t drainInto(OutVector& out) {
+    std::size_t drained = 0;
+    for (;;) {
+      Chunk* c = head_;
+      const std::size_t ready = c->filled.load(std::memory_order_acquire);
+      while (consumed_ < ready) {
+        out.push_back(std::move(c->slots[consumed_++]));
+        ++drained;
+      }
+      if (ready < ChunkSize) break;  // producer is still on this chunk
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // full chunk, link not published yet
+      head_ = next;
+      consumed_ = 0;
+      delete c;
+    }
+    return drained;
+  }
+
+  /// Consumer-side emptiness probe (exact once producers are quiescent,
+  /// conservative while they are not).
+  bool empty() const {
+    const Chunk* c = head_;
+    return consumed_ == c->filled.load(std::memory_order_acquire) &&
+           c->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Chunk {
+    std::array<T, ChunkSize> slots{};
+    std::atomic<std::size_t> filled{0};
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  // Consumer-owned cursor.
+  Chunk* head_;
+  std::size_t consumed_ = 0;
+  // Producer-owned cursor.
+  Chunk* tail_;
+};
+
+}  // namespace avmon::sim

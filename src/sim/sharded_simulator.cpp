@@ -1,0 +1,321 @@
+#include "sim/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace avmon::sim {
+
+namespace {
+
+// Total order on hand-offs: due time, then the shard-count-invariant
+// sender key. (src, seq) pairs are unique, so the order is strict.
+bool handoffBefore(const Handoff& a, const Handoff& b) noexcept {
+  if (a.due != b.due) return a.due < b.due;
+  if (a.key.src != b.key.src) return a.key.src < b.key.src;
+  return a.key.seq < b.key.seq;
+}
+
+}  // namespace
+
+// Per-shard adapter handed to that shard's Network: stamps the source
+// shard onto every hand-off and forwards it to the owner's queues.
+class ShardedSimulator::ShardPort final : public CrossShardRouter {
+ public:
+  ShardPort(ShardedSimulator& owner, std::size_t shard)
+      : owner_(owner), shard_(shard) {}
+
+  std::uint32_t globalIndexOf(const NodeId& id) const override {
+    return owner_.globalIndexOf(id);
+  }
+
+  void handoffMessage(SimTime due, HandoffKey key, const NodeId& from,
+                      const NodeId& to, Message message) override {
+    owner_.enqueue(shard_, Handoff{due, key, from, to, std::move(message)});
+  }
+
+  void handoffRpcRequest(SimTime due, HandoffKey key, const NodeId& from,
+                         const NodeId& to, RpcRequest request,
+                         RpcTicket ticket) override {
+    owner_.enqueue(
+        shard_, Handoff{due, key, from, to,
+                        RpcRequestHandoff{std::move(request),
+                                          std::move(ticket)}});
+  }
+
+  void handoffRpcResponse(SimTime due, HandoffKey key, const NodeId& caller,
+                          RpcResponse response, RpcTicket ticket) override {
+    owner_.enqueue(
+        shard_, Handoff{due, key, NodeId{}, caller,
+                        RpcResponseHandoff{std::move(response),
+                                           std::move(ticket)}});
+  }
+
+ private:
+  ShardedSimulator& owner_;
+  std::size_t shard_;
+};
+
+struct ShardedSimulator::Shard {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<ShardPort> port;
+  std::unique_ptr<Network> net;
+  /// out[d]: hand-offs produced by this shard for destination shard d.
+  std::vector<std::unique_ptr<SpscHandoffQueue<Handoff>>> out;
+  /// Drain scratch owned by this shard in its role as a DESTINATION;
+  /// capacity is retained across windows.
+  std::vector<Handoff> inbox;
+  /// Items this shard inserted at barriers (its destination-side tally).
+  std::uint64_t drained = 0;
+};
+
+void ShardedSimulator::SpinBarrier::arriveAndWait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (++spins > 512) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+unsigned ShardedSimulator::computeWorkerCount(const Config& config) noexcept {
+  const std::size_t shardCount = std::max<std::size_t>(1, config.shards);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested = config.threads == 0 ? hw : config.threads;
+  return static_cast<unsigned>(std::min<std::size_t>(requested, shardCount));
+}
+
+ShardedSimulator::ShardedSimulator(Config config)
+    : window_(std::max<SimDuration>(1, config.net.minLatency)),
+      workerCount_(computeWorkerCount(config)),
+      barrier_(workerCount_) {
+  const std::size_t shardCount = std::max<std::size_t>(1, config.shards);
+  if (config.net.minLatency < 1 && shardCount > 1) {
+    throw std::invalid_argument(
+        "ShardedSimulator: minLatency must be >= 1 ms — it is the lookahead "
+        "that keeps shards independent within a window");
+  }
+  if (config.net.minLatency > config.net.maxLatency) {
+    throw std::invalid_argument("ShardedSimulator: minLatency > maxLatency");
+  }
+  shards_.reserve(shardCount);
+  for (std::size_t s = 0; s < shardCount; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->sim = std::make_unique<Simulator>();
+    shard->port = std::make_unique<ShardPort>(*this, s);
+    // Every shard network gets the SAME seed: per-node streams are keyed
+    // by (seed, node id), so equality of seeds — not of shard layout — is
+    // what makes a node's draws partition-independent.
+    shard->net =
+        std::make_unique<Network>(*shard->sim, config.net, Rng(config.netSeed));
+    shard->net->setRouter(shard->port.get());
+    shard->out.reserve(shardCount);
+    for (std::size_t d = 0; d < shardCount; ++d) {
+      shard->out.push_back(std::make_unique<SpscHandoffQueue<Handoff>>());
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  for (unsigned w = 1; w < workerCount_; ++w) {
+    workers_.emplace_back([this, w] { workerLoop(w); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    stop_.store(true, std::memory_order_release);
+    barrier_.arriveAndWait();  // releases workers into the stop check
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+Simulator& ShardedSimulator::simOf(std::size_t shard) {
+  return *shards_[shard]->sim;
+}
+
+Network& ShardedSimulator::netOf(std::size_t shard) {
+  return *shards_[shard]->net;
+}
+
+const Network& ShardedSimulator::netOf(std::size_t shard) const {
+  return *shards_[shard]->net;
+}
+
+std::uint32_t ShardedSimulator::registerNode(const NodeId& id) {
+  const auto [it, inserted] =
+      indexOf_.emplace(id, static_cast<std::uint32_t>(indexOf_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+std::size_t ShardedSimulator::shardOf(const NodeId& id) const {
+  return shardOfIndex(globalIndexOf(id));
+}
+
+std::uint32_t ShardedSimulator::globalIndexOf(const NodeId& id) const {
+  const auto it = indexOf_.find(id);
+  assert(it != indexOf_.end() &&
+         "node must be registered with ShardedSimulator::registerNode before "
+         "attaching or receiving traffic");
+  if (it == indexOf_.end()) return 0;  // degraded (assertions compiled out)
+  return it->second;
+}
+
+void ShardedSimulator::enqueue(std::size_t srcShard, Handoff handoff) {
+  const std::size_t dst = shardOf(handoff.to);
+  shards_[srcShard]->out[dst]->push(std::move(handoff));
+}
+
+void ShardedSimulator::runOwnedShards(unsigned worker, SimTime target) {
+  try {
+    for (std::size_t s = worker; s < shards_.size(); s += workerCount_) {
+      shards_[s]->sim->runUntil(target);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+}
+
+void ShardedSimulator::drainOwnedShards(unsigned worker) {
+  try {
+    for (std::size_t d = worker; d < shards_.size(); d += workerCount_) {
+      Shard& dest = *shards_[d];
+      dest.inbox.clear();
+      for (const auto& src : shards_) {
+        src->out[d]->drainInto(dest.inbox);
+      }
+      if (dest.inbox.empty()) continue;
+      std::sort(dest.inbox.begin(), dest.inbox.end(), handoffBefore);
+      for (Handoff& h : dest.inbox) {
+        std::visit(Overloaded{
+                       [&](Message& message) {
+                         dest.net->scheduleHandoffDelivery(
+                             h.due, h.from, h.to, std::move(message));
+                       },
+                       [&](RpcRequestHandoff& leg) {
+                         dest.net->scheduleHandoffServe(
+                             h.due, h.from, h.to, std::move(leg.request),
+                             std::move(leg.ticket));
+                       },
+                       [&](RpcResponseHandoff& leg) {
+                         dest.net->scheduleHandoffComplete(
+                             h.due, std::move(leg.response),
+                             std::move(leg.ticket));
+                       },
+                   },
+                   h.payload);
+      }
+      dest.drained += dest.inbox.size();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+}
+
+void ShardedSimulator::workerLoop(unsigned worker) {
+  for (;;) {
+    barrier_.arriveAndWait();  // A: coordinator published phaseTarget_
+    if (stop_.load(std::memory_order_acquire)) return;
+    runOwnedShards(worker, phaseTarget_);
+    barrier_.arriveAndWait();  // B: every shard reached the window end
+    drainOwnedShards(worker);
+    barrier_.arriveAndWait();  // C: every barrier insertion done
+  }
+}
+
+std::uint64_t ShardedSimulator::executeWindow(SimTime wEnd) {
+  std::uint64_t drainedBefore = 0;
+  for (const auto& s : shards_) drainedBefore += s->drained;
+  if (workers_.empty()) {
+    runOwnedShards(0, wEnd);
+    drainOwnedShards(0);
+  } else {
+    phaseTarget_ = wEnd;
+    barrier_.arriveAndWait();  // A
+    runOwnedShards(0, wEnd);
+    barrier_.arriveAndWait();  // B
+    drainOwnedShards(0);
+    barrier_.arriveAndWait();  // C
+  }
+  rethrowPendingError();
+  std::uint64_t drainedAfter = 0;
+  for (const auto& s : shards_) drainedAfter += s->drained;
+  return drainedAfter - drainedBefore;
+}
+
+void ShardedSimulator::rethrowPendingError() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    error = firstError_;
+    firstError_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardedSimulator::runUntil(SimTime until) {
+  while (windowStart_ <= until) {
+    const SimTime fullEnd = windowStart_ + window_ - 1;
+    const SimTime wEnd = std::min(fullEnd, until);
+    const std::uint64_t executedBefore = totalExecuted();
+    const std::uint64_t drained = executeWindow(wEnd);
+    ++windowsRun_;
+    handoffsCarried_ += drained;
+    if (wEnd != fullEnd) break;  // stopped mid-window; resume here later
+    if (drained == 0 && totalExecuted() == executedBefore) {
+      // Idle window: hop straight to the window holding the next pending
+      // event instead of grinding through empty ones. (Safe: the queues
+      // were just drained, so every pending event is inside a simulator.)
+      SimTime next = Simulator::kNoPendingEvent;
+      for (const auto& s : shards_) {
+        next = std::min(next, s->sim->nextEventTime());
+      }
+      if (next > until) break;
+      windowStart_ = next - (next % window_);
+    } else {
+      windowStart_ = fullEnd + 1;
+    }
+  }
+  // No pending event at or before `until` remains; advance every clock and
+  // park the window cursor at the window containing `until` (a later call
+  // resumes there instead of re-walking skipped idle windows).
+  for (const auto& s : shards_) s->sim->runUntil(until);
+  if (until >= 0) {
+    windowStart_ = std::max(windowStart_, until - (until % window_));
+  }
+  if (now_ < until) now_ = until;
+}
+
+std::uint64_t ShardedSimulator::totalExecuted() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim->executedEvents();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::executedEvents() const {
+  return totalExecuted();
+}
+
+std::uint64_t ShardedSimulator::delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->net->delivered();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::lost() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->net->lost();
+  return total;
+}
+
+}  // namespace avmon::sim

@@ -1,0 +1,193 @@
+// Multi-core execution of ONE scenario: the node population is partitioned
+// across S shards, each shard owning a full sub-world (Simulator + dense-
+// slot Network), and the shards run in lock-stepped time windows on a
+// thread pool.
+//
+// Correctness model (conservative parallel discrete-event simulation with
+// the network's minimum latency as lookahead):
+//
+//  * The window length W equals the minimum network latency (>= 1 ms). A
+//    message sent at time t inside window [kW, (k+1)W) is due no earlier
+//    than t + W >= (k+1)W — i.e. always in a LATER window — so shards
+//    never need to see each other's state mid-window and can run their
+//    windows fully in parallel.
+//  * Every inter-node hand-off (one-way delivery, deferred-RPC request
+//    leg, deferred-RPC response leg) — including traffic whose endpoints
+//    share a shard — is pushed onto an SPSC queue (one per source/dest
+//    shard pair) instead of being scheduled directly. At the window
+//    barrier each destination shard drains its column of queues, sorts
+//    the batch by the shard-count-invariant key (due, sender index,
+//    per-sender seq), and inserts it into its simulator.
+//
+// Determinism: because (a) the barrier at which an item is inserted is a
+// function of its send time alone, (b) batches are sorted by a key that
+// depends only on what each node did, and (c) all network randomness is
+// drawn from per-sender streams keyed by node id (see Network), the
+// execution each node observes is bit-identical for EVERY shard count —
+// S = 8 reproduces S = 1 exactly, which the sharded property suite pins
+// against golden fingerprints. The price of that guarantee: callers must
+// route synchronous state exchanges through the deferred-RPC mode when
+// S > 1 (an instantaneous Network::call cannot cross a shard boundary),
+// and scenario metrics must be per-node or order-insensitive aggregates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/time.hpp"
+#include "sim/network.hpp"
+#include "sim/shard_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace avmon::sim {
+
+/// Deferred-RPC request leg crossing to the target's shard.
+struct RpcRequestHandoff {
+  RpcRequest request;
+  RpcTicket ticket;
+};
+
+/// Deferred-RPC response leg crossing back to the caller's shard.
+struct RpcResponseHandoff {
+  RpcResponse response;
+  RpcTicket ticket;
+};
+
+/// One cross-shard event in flight: a one-way message, a deferred-RPC
+/// request leg, or a deferred-RPC response leg. The payload is a variant
+/// — these records are queued, sorted, and moved on the per-window hot
+/// path, so each carries only its own alternative.
+struct Handoff {
+  SimTime due = 0;
+  HandoffKey key;
+  NodeId from;  ///< sender (message / request legs)
+  NodeId to;    ///< destination node, or the RPC caller for response legs
+  std::variant<Message, RpcRequestHandoff, RpcResponseHandoff> payload;
+};
+
+/// Runs one simulated world on up to `threads` cores by partitioning its
+/// node population across `shards` sub-worlds.
+class ShardedSimulator {
+ public:
+  struct Config {
+    /// Number of shards (>= 1). Shard 1 is the degenerate case: same
+    /// window/barrier/hand-off mechanics, no threads — which is exactly
+    /// why its runs are bit-identical to any other shard count.
+    std::size_t shards = 1;
+    /// Shared latency/fault model. minLatency must be >= 1 ms (it is the
+    /// cross-shard lookahead that bounds the window length).
+    NetworkConfig net;
+    /// Seed shared by every shard's Network; per-node streams derive from
+    /// (seed, node id), so the partitioning never shifts a node's draws.
+    std::uint64_t netSeed = 1;
+    /// Worker threads; 0 = min(shards, hardware concurrency).
+    unsigned threads = 0;
+  };
+
+  explicit ShardedSimulator(Config config);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::size_t shardCount() const noexcept { return shards_.size(); }
+  SimDuration windowLength() const noexcept { return window_; }
+  unsigned workerThreads() const noexcept { return workerCount_; }
+
+  /// Registers a node and assigns it a global index (round-robin over
+  /// shards by index). Must be called for every node id that will attach
+  /// to a shard network, before running. Returns the global index.
+  std::uint32_t registerNode(const NodeId& id);
+
+  std::size_t shardOfIndex(std::uint32_t index) const noexcept {
+    return static_cast<std::size_t>(index) % shards_.size();
+  }
+  std::size_t shardOf(const NodeId& id) const;
+  std::uint32_t globalIndexOf(const NodeId& id) const;
+
+  Simulator& simOf(std::size_t shard);
+  Network& netOf(std::size_t shard);
+  const Network& netOf(std::size_t shard) const;
+  Simulator& simFor(const NodeId& id) { return simOf(shardOf(id)); }
+  Network& netFor(const NodeId& id) { return netOf(shardOf(id)); }
+  const Network& netFor(const NodeId& id) const { return netOf(shardOf(id)); }
+
+  /// Runs every shard in lock-stepped windows until all simulated clocks
+  /// reach `until` (events exactly at `until` are executed). May be called
+  /// repeatedly with increasing horizons.
+  void runUntil(SimTime until);
+
+  /// Watermark: all shards have fully executed up to and including now().
+  SimTime now() const noexcept { return now_; }
+
+  // ---- aggregates (valid while shards are quiescent) ----
+  std::uint64_t executedEvents() const;
+  std::uint64_t delivered() const;
+  std::uint64_t lost() const;
+  /// Windows actually executed (idle stretches are skipped in one hop).
+  std::uint64_t windowsRun() const noexcept { return windowsRun_; }
+  /// Hand-off items carried across window barriers so far.
+  std::uint64_t handoffsCarried() const noexcept { return handoffsCarried_; }
+
+ private:
+  class ShardPort;
+  struct Shard;
+
+  // Reusable sense-reversing spin barrier (short spin, then yield — the
+  // window cadence is far too fast for a condvar round-trip per phase).
+  class SpinBarrier {
+   public:
+    explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+    void arriveAndWait();
+
+   private:
+    const unsigned parties_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+  };
+
+  void enqueue(std::size_t srcShard, Handoff handoff);
+
+  // Phase bodies, each executed by every worker for the shards it owns
+  // (shard s belongs to worker s % workerCount_).
+  void runOwnedShards(unsigned worker, SimTime target);
+  void drainOwnedShards(unsigned worker);
+
+  // One full window on the current thread layout; returns items drained.
+  std::uint64_t executeWindow(SimTime wEnd);
+
+  void workerLoop(unsigned worker);
+  void rethrowPendingError();
+
+  std::uint64_t totalExecuted() const;
+
+  static unsigned computeWorkerCount(const Config& config) noexcept;
+
+  SimDuration window_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<NodeId, std::uint32_t> indexOf_;
+
+  SimTime windowStart_ = 0;  ///< start of the next (or partially run) window
+  SimTime now_ = 0;
+  std::uint64_t windowsRun_ = 0;
+  std::uint64_t handoffsCarried_ = 0;
+
+  // Thread pool (empty when one worker suffices).
+  unsigned workerCount_ = 1;
+  std::vector<std::thread> workers_;
+  SpinBarrier barrier_;
+  SimTime phaseTarget_ = 0;       // published by the coordinator before A
+  std::atomic<bool> stop_{false};
+  std::exception_ptr firstError_;  // guarded by errorMutex_
+  std::mutex errorMutex_;
+};
+
+}  // namespace avmon::sim

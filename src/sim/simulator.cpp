@@ -40,6 +40,27 @@ void Simulator::promote() {
   }
 }
 
+SimTime Simulator::nextEventTime() const noexcept {
+  if (size_ == 0) return kNoPendingEvent;
+  SimTime best = kNoPendingEvent;
+  if (ringCount_ > 0) {
+    // Every ring event lives in [cursor_, cursor_ + kBucketCount), and the
+    // bucket at (t & kMask) holds exactly the events at time t within that
+    // window — so the first occupied bucket in window order is the minimum.
+    for (std::size_t off = 0; off < kBucketCount; ++off) {
+      const SimTime t = cursor_ + static_cast<SimTime>(off);
+      if (!buckets_[static_cast<std::size_t>(t) & kMask].empty()) {
+        best = t;
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty() && overflow_.front().when < best) {
+    best = overflow_.front().when;
+  }
+  return best;
+}
+
 bool Simulator::findNext(SimTime until) {
   if (size_ == 0) return false;
   for (;;) {

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/time.hpp"
@@ -75,6 +76,16 @@ class Simulator {
 
   /// Number of pending events (for tests).
   std::size_t pendingEvents() const noexcept { return size_; }
+
+  /// Sentinel returned by nextEventTime() when nothing is pending.
+  static constexpr SimTime kNoPendingEvent =
+      std::numeric_limits<SimTime>::max();
+
+  /// Time of the earliest pending event without executing or repositioning
+  /// anything, or kNoPendingEvent. Used by the sharded driver to skip idle
+  /// windows; O(ring span) worst case when the queue is sparse, O(first
+  /// occupied bucket) when it is busy.
+  SimTime nextEventTime() const noexcept;
 
   /// Total events executed so far (for tests and sanity checks).
   std::uint64_t executedEvents() const noexcept { return executed_; }

@@ -1,12 +1,13 @@
-// Golden-hash helper for the scheduler-determinism regression test.
+// Golden-hash helper for the scheduler-determinism regression tests.
 //
 // Folds every metric a completed ScenarioRunner exposes — the summary
 // vectors, the accuracy table, and a per-node "CSV" row in schedule order —
 // into one FNV-1a fingerprint. Any change to event ordering, RNG draw
 // order, or metric arithmetic moves the hash; identical seeded runs are
-// bit-identical and reproduce it exactly. Golden values were captured from
-// the pre-calendar-queue simulator (std::priority_queue + std::function)
-// and must survive every scheduler/transport rewrite.
+// bit-identical and reproduce it exactly. scenario_metrics_test pins the
+// current values per RPC lane (they must survive every scheduler /
+// transport / harness rewrite), and sharded_sim_test additionally proves
+// them identical for every shard count of the sharded simulator.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,375 @@
+// Sharded-execution proof layer: SPSC hand-off queue units, window-barrier
+// ordering, cross-shard deferred RPC, and the headline property — for a
+// fixed seed and scenario, EVERY shard count reproduces the single-shard
+// metrics bit-for-bit (summaries, accuracy table, and per-node CSV rows).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "experiments/scenario.hpp"
+#include "golden_hash.hpp"
+#include "sim/shard_queue.hpp"
+#include "sim/sharded_simulator.hpp"
+
+namespace avmon::sim {
+namespace {
+
+// ---------------------------------------------------------------- queue
+
+TEST(ShardQueueTest, FifoAcrossChunkBoundaries) {
+  SpscHandoffQueue<int, 4> q;  // tiny chunks force several hand-overs
+  for (int i = 0; i < 37; ++i) q.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.drainInto(out), 37u);
+  ASSERT_EQ(out.size(), 37u);
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardQueueTest, DrainPicksUpLaterPushes) {
+  SpscHandoffQueue<int, 8> q;
+  std::vector<int> out;
+  q.push(1);
+  q.drainInto(out);
+  q.push(2);
+  q.push(3);
+  q.drainInto(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardQueueTest, ConcurrentProducerConsumerKeepsOrderAndCount) {
+  constexpr int kItems = 200000;
+  SpscHandoffQueue<int, 64> q;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+  });
+  std::vector<int> out;
+  out.reserve(kItems);
+  while (out.size() < kItems) {
+    q.drainInto(out);
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], i) << "FIFO order broken";
+  }
+}
+
+// ------------------------------------------------------------ sub-worlds
+
+class RecordingEndpoint final : public Endpoint {
+ public:
+  explicit RecordingEndpoint(Simulator& sim) : sim_(sim) {}
+
+  void onMessage(const NodeId& from, const Message& message) override {
+    std::string text;
+    if (const auto* t = std::get_if<TextMessage>(&message)) text = t->text;
+    received.push_back({sim_.now(), from, text});
+  }
+
+  struct Record {
+    SimTime at;
+    NodeId from;
+    std::string text;
+  };
+  std::vector<Record> received;
+
+ private:
+  Simulator& sim_;
+};
+
+ShardedSimulator::Config fixedLatencyConfig(std::size_t shards,
+                                            SimDuration latency) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = shards;
+  cfg.net.minLatency = latency;
+  cfg.net.maxLatency = latency;  // deterministic due times for assertions
+  cfg.net.deferredRpc = true;
+  cfg.netSeed = 7;
+  return cfg;
+}
+
+TEST(ShardedSimulatorTest, RegistersRoundRobinAndResolvesHomes) {
+  ShardedSimulator world(fixedLatencyConfig(3, 10));
+  const NodeId a = NodeId::fromIndex(1), b = NodeId::fromIndex(2),
+               c = NodeId::fromIndex(3), d = NodeId::fromIndex(4);
+  EXPECT_EQ(world.registerNode(a), 0u);
+  EXPECT_EQ(world.registerNode(b), 1u);
+  EXPECT_EQ(world.registerNode(c), 2u);
+  EXPECT_EQ(world.registerNode(d), 3u);
+  EXPECT_EQ(world.shardOf(a), 0u);
+  EXPECT_EQ(world.shardOf(b), 1u);
+  EXPECT_EQ(world.shardOf(c), 2u);
+  EXPECT_EQ(world.shardOf(d), 0u);  // wraps
+  EXPECT_EQ(&world.simFor(a), &world.simOf(0));
+  EXPECT_EQ(&world.netFor(c), &world.netOf(2));
+  EXPECT_EQ(world.windowLength(), 10);
+}
+
+TEST(ShardedSimulatorTest, CrossShardMessageLandsAfterItsSendWindow) {
+  ShardedSimulator world(fixedLatencyConfig(2, 10));
+  const NodeId a = NodeId::fromIndex(1), b = NodeId::fromIndex(2);
+  world.registerNode(a);  // shard 0
+  world.registerNode(b);  // shard 1
+  RecordingEndpoint ea(world.simOf(0)), eb(world.simOf(1));
+  world.netOf(0).attach(a, ea);
+  world.netOf(1).attach(b, eb);
+  world.netOf(0).setUp(a, true);
+  world.netOf(1).setUp(b, true);
+
+  // Send at t = 3 (mid-window 0): due at exactly 13 — inside window 1,
+  // inserted at the barrier between the windows, never mid-window.
+  world.simOf(0).at(3, [&] { world.netOf(0).send(a, b, TextMessage{"x", 1}); });
+  world.runUntil(100);
+
+  ASSERT_EQ(eb.received.size(), 1u);
+  EXPECT_EQ(eb.received[0].at, 13);
+  EXPECT_EQ(eb.received[0].from, a);
+  EXPECT_GE(world.handoffsCarried(), 1u);
+  EXPECT_EQ(world.delivered(), 1u);
+  EXPECT_EQ(world.now(), 100);
+}
+
+TEST(ShardedSimulatorTest, SameInstantDeliveriesRunInSenderKeyOrder) {
+  // Three senders on three shards all hit the same target at the same
+  // instant; execution order must follow the global sender index — the
+  // shard-count-invariant key — not thread timing or queue arrival.
+  ShardedSimulator world(fixedLatencyConfig(4, 10));
+  const NodeId t = NodeId::fromIndex(10);
+  const NodeId s1 = NodeId::fromIndex(11), s2 = NodeId::fromIndex(12),
+               s3 = NodeId::fromIndex(13);
+  world.registerNode(t);   // index 0, shard 0
+  world.registerNode(s1);  // index 1, shard 1
+  world.registerNode(s2);  // index 2, shard 2
+  world.registerNode(s3);  // index 3, shard 3
+  RecordingEndpoint et(world.simOf(0));
+  RecordingEndpoint e1(world.simOf(1)), e2(world.simOf(2)), e3(world.simOf(3));
+  world.netOf(0).attach(t, et);
+  world.netOf(1).attach(s1, e1);
+  world.netOf(2).attach(s2, e2);
+  world.netOf(3).attach(s3, e3);
+  world.netOf(0).setUp(t, true);
+  world.netOf(1).setUp(s1, true);
+  world.netOf(2).setUp(s2, true);
+  world.netOf(3).setUp(s3, true);
+
+  // Highest-index sender schedules first; all sends happen at t = 5, all
+  // deliveries land at t = 15.
+  world.simOf(3).at(5, [&] { world.netOf(3).send(s3, t, TextMessage{"c", 1}); });
+  world.simOf(2).at(5, [&] { world.netOf(2).send(s2, t, TextMessage{"b", 1}); });
+  world.simOf(1).at(5, [&] { world.netOf(1).send(s1, t, TextMessage{"a", 1}); });
+  world.runUntil(50);
+
+  ASSERT_EQ(et.received.size(), 3u);
+  EXPECT_EQ(et.received[0].text, "a");  // sender index 1
+  EXPECT_EQ(et.received[1].text, "b");  // sender index 2
+  EXPECT_EQ(et.received[2].text, "c");  // sender index 3
+  for (const auto& r : et.received) EXPECT_EQ(r.at, 15);
+}
+
+TEST(ShardedSimulatorTest, SameShardTrafficAlsoRidesTheHandoffLayer) {
+  // A message between two nodes of the SAME shard still crosses the
+  // barrier layer — insertion order at a destination can never depend on
+  // which shard the sender happens to share with it.
+  ShardedSimulator world(fixedLatencyConfig(2, 10));
+  const NodeId a = NodeId::fromIndex(1), b = NodeId::fromIndex(2);
+  world.registerNode(a);                 // shard 0
+  world.registerNode(NodeId::fromIndex(9));  // pad index 1 → shard 1
+  world.registerNode(b);                 // index 2 → shard 0 (same as a)
+  RecordingEndpoint ea(world.simOf(0)), eb(world.simOf(0));
+  world.netOf(0).attach(a, ea);
+  world.netOf(0).attach(b, eb);
+  world.netOf(0).setUp(a, true);
+  world.netOf(0).setUp(b, true);
+
+  world.simOf(0).at(0, [&] { world.netOf(0).send(a, b, TextMessage{"m", 1}); });
+  world.runUntil(40);
+
+  ASSERT_EQ(eb.received.size(), 1u);
+  EXPECT_EQ(eb.received[0].at, 10);
+  EXPECT_GE(world.handoffsCarried(), 1u);
+}
+
+TEST(ShardedSimulatorTest, DeferredRpcCrossesShardsAndBack) {
+  ShardedSimulator world(fixedLatencyConfig(2, 10));
+  const NodeId a = NodeId::fromIndex(1), b = NodeId::fromIndex(2);
+  world.registerNode(a);
+  world.registerNode(b);
+  RecordingEndpoint ea(world.simOf(0)), eb(world.simOf(1));
+  world.netOf(0).attach(a, ea);
+  world.netOf(1).attach(b, eb);
+  world.netOf(0).setUp(a, true);
+  world.netOf(1).setUp(b, true);
+
+  std::optional<SimTime> completedAt;
+  bool gotResponse = false;
+  world.simOf(0).at(0, [&] {
+    world.netOf(0).callAsync(a, b, PingRequest{8},
+                             [&](std::optional<RpcResponse> r) {
+                               completedAt = world.simOf(0).now();
+                               gotResponse = r.has_value();
+                             });
+  });
+  world.runUntil(kSecond);
+
+  ASSERT_TRUE(completedAt.has_value());
+  EXPECT_TRUE(gotResponse);
+  EXPECT_EQ(*completedAt, 20);  // request leg 10 ms + response leg 10 ms
+  // Request charged to the caller, response to the responder.
+  EXPECT_EQ(world.netOf(0).traffic(a).bytesSent, 8u);
+  EXPECT_GT(world.netOf(1).traffic(b).bytesSent, 0u);
+}
+
+TEST(ShardedSimulatorTest, DeferredRpcToDownNodeTimesOutAtExactDeadline) {
+  ShardedSimulator world(fixedLatencyConfig(2, 10));
+  const NodeId a = NodeId::fromIndex(1), b = NodeId::fromIndex(2);
+  world.registerNode(a);
+  world.registerNode(b);
+  RecordingEndpoint ea(world.simOf(0)), eb(world.simOf(1));
+  world.netOf(0).attach(a, ea);
+  world.netOf(1).attach(b, eb);
+  world.netOf(0).setUp(a, true);  // b stays down
+
+  std::optional<SimTime> completedAt;
+  bool gotResponse = true;
+  world.simOf(0).at(0, [&] {
+    world.netOf(0).callAsync(a, b, PingRequest{8},
+                             [&](std::optional<RpcResponse> r) {
+                               completedAt = world.simOf(0).now();
+                               gotResponse = r.has_value();
+                             });
+  });
+  world.runUntil(kSecond);
+
+  ASSERT_TRUE(completedAt.has_value());
+  EXPECT_FALSE(gotResponse);
+  EXPECT_EQ(*completedAt, NetworkConfig{}.rpcTimeout);
+  EXPECT_EQ(world.netOf(1).traffic(b).bytesSent, 0u);  // never served
+}
+
+TEST(ShardedSimulatorTest, ForcedThreadPoolMatchesSerialExecution) {
+  // Config::threads = 4 forces the spin-barrier worker pool even on a
+  // single-core host (threads = 0 would collapse to one worker there), so
+  // the barrier/drain phases run on real threads in every environment —
+  // and under TSan this validates their happens-before edges. The pooled
+  // run must reproduce the serial run exactly.
+  auto runWorld = [](unsigned threads) {
+    ShardedSimulator::Config cfg = fixedLatencyConfig(4, 10);
+    cfg.net.maxLatency = 40;  // varied latencies → real cross-window traffic
+    cfg.threads = threads;
+    ShardedSimulator world(cfg);
+    std::vector<NodeId> ids;
+    std::vector<std::unique_ptr<RecordingEndpoint>> endpoints;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const NodeId id = NodeId::fromIndex(100 + i);
+      world.registerNode(id);
+      const std::size_t shard = world.shardOf(id);
+      endpoints.push_back(
+          std::make_unique<RecordingEndpoint>(world.simOf(shard)));
+      world.netOf(shard).attach(id, *endpoints.back());
+      world.netOf(shard).setUp(id, true);
+      ids.push_back(id);
+    }
+    // Every node bombards every other node across several windows.
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const std::size_t shard = world.shardOf(ids[i]);
+      world.simOf(shard).at(0, [&world, &ids, i, shard] {
+        for (int round = 0; round < 20; ++round) {
+          for (std::uint32_t j = 0; j < 8; ++j) {
+            if (j == i) continue;
+            world.netOf(shard).send(ids[i], ids[j],
+                                    TextMessage{std::to_string(i), 1});
+          }
+        }
+      });
+    }
+    world.runUntil(kSecond);
+    // Fingerprint the observable outcome: per-endpoint arrival streams.
+    std::uint64_t fp = 1469598103934665603ULL;
+    const auto mix = [&fp](std::uint64_t x) {
+      for (int b = 0; b < 8; ++b) {
+        fp ^= (x >> (8 * b)) & 0xFF;
+        fp *= 1099511628211ULL;
+      }
+    };
+    for (const auto& ep : endpoints) {
+      mix(ep->received.size());
+      for (const auto& r : ep->received) {
+        mix(static_cast<std::uint64_t>(r.at));
+        mix((static_cast<std::uint64_t>(r.from.ip()) << 16) | r.from.port());
+      }
+    }
+    return std::pair<std::uint64_t, unsigned>(fp, world.workerThreads());
+  };
+
+  const auto serial = runWorld(1);
+  const auto pooled = runWorld(4);
+  EXPECT_EQ(serial.second, 1u);
+  EXPECT_EQ(pooled.second, 4u);  // the pool really spun up
+  EXPECT_EQ(pooled.first, serial.first);
+}
+
+TEST(ShardedSimulatorTest, IdleStretchesAreSkippedInOneHop) {
+  ShardedSimulator world(fixedLatencyConfig(2, 10));
+  const NodeId a = NodeId::fromIndex(1);
+  world.registerNode(a);
+  // One far-future event; the driver must not grind through the ~6000
+  // empty windows in between.
+  bool fired = false;
+  world.simOf(0).at(kMinute, [&] { fired = true; });
+  world.runUntil(kMinute + 5);
+  EXPECT_TRUE(fired);
+  EXPECT_LT(world.windowsRun(), 50u);
+}
+
+}  // namespace
+}  // namespace avmon::sim
+
+// --------------------------------------------------------------- property
+
+namespace avmon::experiments {
+namespace {
+
+// The tentpole guarantee: for a fixed seed and scenario, metrics are
+// bit-identical for EVERY shard count — the partition changes wall-clock
+// time, never results. Verified over the same three seeded workloads the
+// golden-hash regression pins (STAT, SYNTH-BD, SYNTH with injected
+// drops + RPC timeouts), across S ∈ {1, 2, 3, 8}.
+TEST(ShardedScenarioTest, ShardCountNeverChangesMetrics) {
+  for (const Scenario& base : goldenScenarios()) {
+    std::optional<std::uint64_t> refSummary, refPerNode;
+    for (const unsigned shards : {1u, 2u, 3u, 8u}) {
+      Scenario s = base;
+      s.shards = shards;
+      ScenarioRunner runner(s);
+      runner.run();
+      const std::uint64_t summary = summaryHash(runner);
+      const std::uint64_t perNode = perNodeHash(runner);
+      if (!refSummary) {
+        refSummary = summary;
+        refPerNode = perNode;
+      } else {
+        EXPECT_EQ(summary, *refSummary)
+            << "summary metrics drifted at shards=" << shards;
+        EXPECT_EQ(perNode, *refPerNode)
+            << "per-node metrics drifted at shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardedScenarioTest, InstantaneousModeRequiresSingleShard) {
+  Scenario s;
+  s.deferredRpc = false;
+  s.shards = 4;
+  EXPECT_THROW(ScenarioRunner{s}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

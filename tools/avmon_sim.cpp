@@ -38,6 +38,10 @@ using namespace avmon;
       << "  --no-forgetful   disable forgetful pinging\n"
       << "  --overreport F   fraction of misreporting nodes (default 0)\n"
       << "  --drop P         one-way message drop probability (default 0)\n"
+      << "  --shards S       sub-worlds run in parallel (default 1; 0 = one\n"
+      << "                   per hardware thread; results are identical for\n"
+      << "                   every shard count)\n"
+      << "  --instant-rpc    collapsed-RTT RPC lane (forces --shards 1)\n"
       << "  --csv PREFIX     write PREFIX.{discovery,memory,bandwidth}.csv\n";
   std::exit(2);
 }
@@ -90,6 +94,8 @@ int main(int argc, char** argv) {
       else if (arg == "--no-forgetful") scenario.forgetful = false;
       else if (arg == "--overreport") scenario.overreportFraction = std::stod(next());
       else if (arg == "--drop") scenario.messageDropProbability = std::stod(next());
+      else if (arg == "--shards") scenario.shards = static_cast<unsigned>(std::stoul(next()));
+      else if (arg == "--instant-rpc") { scenario.deferredRpc = false; scenario.shards = 1; }
       else if (arg == "--csv") csvPrefix = next();
       else usageAndExit(argv[0]);
     }
