@@ -38,7 +38,7 @@ void BroadcastNode::considerPeer(const NodeId& peer) {
   // Both orientations of the consistency condition against the peer.
   ++hashChecks_;
   if (selector_.isMonitor(peer, id_) && ps_.insert(peer).second) {
-    if (firstMonitorTime_ < 0) firstMonitorTime_ = sim_.now();
+    psDiscoveryTimes_.push_back(sim_.now());
   }
   ++hashChecks_;
   if (selector_.isMonitor(id_, peer)) ts_.insert(peer);
@@ -61,8 +61,13 @@ void BroadcastNode::onMessage(const NodeId& /*from*/,
 }
 
 std::optional<SimDuration> BroadcastNode::firstMonitorDelay() const {
-  if (firstMonitorTime_ < 0 || firstJoinTime_ < 0) return std::nullopt;
-  return firstMonitorTime_ - firstJoinTime_;
+  return discoveryDelay(1);
+}
+
+std::optional<SimDuration> BroadcastNode::discoveryDelay(std::size_t k) const {
+  if (k == 0 || psDiscoveryTimes_.size() < k || firstJoinTime_ < 0)
+    return std::nullopt;
+  return psDiscoveryTimes_[k - 1] - firstJoinTime_;
 }
 
 }  // namespace avmon::baselines

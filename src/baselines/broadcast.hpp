@@ -62,6 +62,11 @@ class BroadcastNode final : public sim::Endpoint {
   /// Delay from this node's first join to its first PS entry, if any.
   std::optional<SimDuration> firstMonitorDelay() const;
 
+  /// Delay from the first join to the k-th PS entry (k from 1), nullopt if
+  /// fewer than k monitors were ever discovered — the same k-th-monitor
+  /// convention ScenarioRunner measures AVMON with.
+  std::optional<SimDuration> discoveryDelay(std::size_t k) const;
+
   void onMessage(const NodeId& from, const sim::Message& message) override;
 
  private:
@@ -75,7 +80,7 @@ class BroadcastNode final : public sim::Endpoint {
 
   bool alive_ = false;
   SimTime firstJoinTime_ = -1;
-  SimTime firstMonitorTime_ = -1;
+  std::vector<SimTime> psDiscoveryTimes_;  // absolute time of k-th PS entry
 
   std::unordered_set<NodeId> members_;
   std::unordered_set<NodeId> ps_;

@@ -28,6 +28,7 @@ void CentralServer::tick() {
     ++pingsSent_;
     const bool up =
         net_.exchange(id_, member, sim::PingRequest{pingBytes_}).has_value();
+    if (!up) ++uselessPings_;
     hist.record(sim_.now(), up);
   }
 }
@@ -37,11 +38,24 @@ double CentralServer::estimateOf(const NodeId& member) const {
   return it == members_.end() ? 0.0 : it->second.estimate();
 }
 
+const history::RawHistory* CentralServer::historyOf(
+    const NodeId& member) const {
+  const auto it = members_.find(member);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::optional<SimTime> CentralServer::registeredAt(const NodeId& member) const {
+  const auto it = registeredAt_.find(member);
+  if (it == registeredAt_.end()) return std::nullopt;
+  return it->second;
+}
+
 void CentralServer::onMessage(const NodeId& /*from*/,
                               const sim::Message& message) {
   std::visit(sim::Overloaded{
                  [this](const RegisterMessage& reg) {
                    members_.try_emplace(reg.origin);
+                   registeredAt_.try_emplace(reg.origin, sim_.now());
                  },
                  [](const auto&) {},  // not this scheme's traffic
              },

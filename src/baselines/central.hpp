@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,8 +42,22 @@ class CentralServer final : public sim::Endpoint {
   /// The server's availability estimate for a member (0 if unknown).
   double estimateOf(const NodeId& member) const;
 
+  /// The server's ping history for a member (null if never registered) —
+  /// the probe surface the experiment harness reads estimates and
+  /// observation windows from.
+  const history::RawHistory* historyOf(const NodeId& member) const;
+
+  /// When the member's registration first reached the server, if ever —
+  /// the instant the scheme's only monitor learned of it (its discovery).
+  std::optional<SimTime> registeredAt(const NodeId& member) const;
+
   /// Pings sent in total — the server's O(N)-per-period load.
   std::uint64_t pingsSent() const noexcept { return pingsSent_; }
+
+  /// Pings that got no answer (member down or departed): the central
+  /// scheme keeps pinging every registrant forever, so long-dead members
+  /// cost it bandwidth the same way AVMON's non-forgetful pinging does.
+  std::uint64_t uselessPings() const noexcept { return uselessPings_; }
 
   void onMessage(const NodeId& from, const sim::Message& message) override;
 
@@ -57,7 +72,9 @@ class CentralServer final : public sim::Endpoint {
   bool started_ = false;
 
   std::unordered_map<NodeId, history::RawHistory> members_;
+  std::unordered_map<NodeId, SimTime> registeredAt_;
   std::uint64_t pingsSent_ = 0;
+  std::uint64_t uselessPings_ = 0;
 };
 
 /// A member of the centrally monitored system: registers with the server

@@ -5,6 +5,8 @@
 // against the selfish-node model.
 #pragma once
 
+#include <optional>
+
 #include "common/node_id.hpp"
 #include "common/time.hpp"
 
@@ -33,6 +35,13 @@ class SelfReportNode {
 
   void setSelfish(bool on) noexcept { selfish_ = on; }
   bool isSelfish() const noexcept { return selfish_; }
+
+  /// Instant of the node's very first join, if it ever joined — the start
+  /// of its self-observation window.
+  std::optional<SimTime> firstJoinTime() const {
+    if (firstJoin_ < 0) return std::nullopt;
+    return firstJoin_;
+  }
 
  private:
   NodeId id_;

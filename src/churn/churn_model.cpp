@@ -18,6 +18,18 @@ std::string modelName(Model m) {
   throw std::logic_error("unreachable: bad Model");
 }
 
+Model modelFromName(const std::string& name) {
+  if (name == "STAT") return Model::kStat;
+  if (name == "SYNTH") return Model::kSynth;
+  if (name == "SYNTH-BD") return Model::kSynthBD;
+  if (name == "SYNTH-BD2") return Model::kSynthBD2;
+  if (name == "PL") return Model::kPlanetLab;
+  if (name == "OV") return Model::kOvernet;
+  throw std::invalid_argument(
+      "unknown model: " + name +
+      " (expected STAT|SYNTH|SYNTH-BD|SYNTH-BD2|PL|OV)");
+}
+
 trace::AvailabilityTrace generate(Model m, const WorkloadParams& params) {
   switch (m) {
     case Model::kStat: {

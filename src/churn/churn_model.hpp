@@ -24,6 +24,10 @@ enum class Model {
 /// Paper-facing label ("STAT", "SYNTH", "SYNTH-BD", "SYNTH-BD2", "PL", "OV").
 std::string modelName(Model m);
 
+/// Inverse of modelName; throws std::invalid_argument on unknown names.
+/// The one model parser behind the tools' flags and the spec grammar.
+Model modelFromName(const std::string& name);
+
 /// Workload knobs shared by all models. `stableSize` is ignored by the
 /// fixed-size trace models (PL and OV).
 struct WorkloadParams {

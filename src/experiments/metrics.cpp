@@ -1,0 +1,316 @@
+#include "experiments/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "experiments/protocol.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table_printer.hpp"
+
+namespace avmon::experiments {
+
+namespace {
+
+struct MetricStats {
+  double mean = 0.0, stddev = 0.0, p50 = 0.0, p99 = 0.0;
+  std::size_t count = 0;
+};
+
+MetricStats statsOf(const std::vector<double>& samples) {
+  MetricStats out;
+  stats::Summary summary;
+  for (double x : samples) summary.add(x);
+  const stats::Cdf cdf(samples);
+  out.mean = summary.mean();
+  out.stddev = summary.stddev();
+  out.p50 = cdf.percentile(0.5);
+  out.p99 = cdf.percentile(0.99);
+  out.count = summary.count();
+  return out;
+}
+
+/// The rows every table-shaped backend reports, in one place so the
+/// summary and comparison views can never drift apart.
+struct NamedMetric {
+  const char* name;
+  const std::vector<double> MetricSet::*samples;
+};
+
+constexpr NamedMetric kMetrics[] = {
+    {"first-monitor discovery (s)", &MetricSet::discoverySeconds},
+    {"memory entries", &MetricSet::memoryEntries},
+    {"outgoing Bps", &MetricSet::outgoingBytesPerSecond},
+    {"useless pings/min", &MetricSet::uselessPingsPerMinute},
+    {"computations/s", &MetricSet::computationsPerSecond},
+};
+
+void writeTextFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("metrics sink: cannot open " + path +
+                             " for writing");
+  }
+  f << content;
+  f.flush();
+  f.close();
+  // A full disk or vanished directory must be an error, not a silently
+  // truncated file — this is the failure the old avmon_sim CSV writer
+  // swallowed in the ofstream destructor.
+  if (f.fail()) {
+    throw std::runtime_error("metrics sink: write to " + path +
+                             " failed (file may be truncated)");
+  }
+}
+
+std::string csvOfSamples(const char* header,
+                         const std::vector<double>& values) {
+  std::ostringstream out;
+  out << header << "\n";
+  for (double v : values) out << v << "\n";
+  return out.str();
+}
+
+void appendJsonStats(std::ostringstream& out, const char* key,
+                     const MetricStats& s) {
+  out << "    \"" << key << "\": {\"mean\": " << s.mean
+      << ", \"stddev\": " << s.stddev << ", \"p50\": " << s.p50
+      << ", \"p99\": " << s.p99 << ", \"count\": " << s.count << "}";
+}
+
+std::string jsonKeyOf(const char* name) {
+  // "first-monitor discovery (s)" -> "first_monitor_discovery_s"
+  std::string key;
+  for (const char* p = name; *p != '\0'; ++p) {
+    const char c = *p;
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      key += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      key += static_cast<char>(c - 'A' + 'a');
+    } else if (!key.empty() && key.back() != '_') {
+      key += '_';
+    }
+  }
+  while (!key.empty() && key.back() == '_') key.pop_back();
+  return key;
+}
+
+}  // namespace
+
+std::string MetricSet::label() const {
+  std::ostringstream out;
+  out << protocol << " " << model << " N=" << effectiveN << " seed=" << seed;
+  if (dropProbability > 0) out << " drop=" << dropProbability;
+  if (rpcFailProbability > 0) out << " rpcfail=" << rpcFailProbability;
+  return out.str();
+}
+
+std::string MetricSet::fileLabel() const {
+  std::ostringstream out;
+  out << protocol << "-" << model << "-n" << effectiveN << "-s" << seed;
+  if (dropProbability > 0) out << "-d" << dropProbability;
+  if (rpcFailProbability > 0) out << "-rf" << rpcFailProbability;
+  std::string s = out.str();
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+double MetricSet::accuracyMeanAbsError() const {
+  if (accuracy.empty()) return 0.0;
+  double sum = 0.0;
+  for (const AvailabilityAccuracy& a : accuracy) {
+    sum += std::fabs(a.estimated - a.actual);
+  }
+  return sum / static_cast<double>(accuracy.size());
+}
+
+MetricSet collectMetrics(const ScenarioRunner& runner) {
+  const Scenario& s = runner.scenario();
+  MetricSet out;
+  out.protocol = s.protocol;
+  out.model = churn::modelName(s.model);
+  out.hashName = s.hashName;
+  out.effectiveN = runner.effectiveN();
+  out.seed = s.seed;
+  out.shards = s.shards;
+  out.horizonSeconds = toSeconds(s.horizon);
+  out.warmupSeconds = toSeconds(s.warmup);
+  out.dropProbability = s.messageDropProbability;
+  out.rpcFailProbability = s.rpcFailProbability;
+
+  out.discoverySeconds = runner.discoveryDelaysSeconds(1);
+  out.discoveredFraction = runner.discoveredFraction(1);
+  out.memoryEntries = runner.memoryEntries(/*measuredOnly=*/false);
+  out.outgoingBytesPerSecond = runner.outgoingBytesPerSecond();
+  out.uselessPingsPerMinute = runner.uselessPingsPerMinute();
+  out.computationsPerSecond = runner.computationsPerSecond();
+  out.accuracy = runner.availabilityAccuracy(/*measuredOnly=*/true);
+
+  const Protocol& protocol = runner.protocol();
+  for (const trace::NodeTrace& nt : runner.schedule().nodes()) {
+    MetricSet::PerNodeRow row;
+    row.id = nt.id;
+    const sim::TrafficCounters traffic = runner.trafficOf(nt.id);
+    row.bytesSent = traffic.bytesSent;
+    row.messagesSent = traffic.messagesSent;
+    row.memoryEntries = protocol.memoryEntries(nt.id);
+    row.hashChecks = protocol.hashChecks(nt.id);
+    row.uselessPings = protocol.uselessPings(nt.id);
+    if (const auto d = protocol.discoveryDelay(nt.id, 1)) {
+      row.discoverySeconds = toSeconds(*d);
+    }
+    out.perNode.push_back(row);
+  }
+  return out;
+}
+
+// ---- SummaryTableSink ----
+
+void SummaryTableSink::add(const MetricSet& metrics) {
+  sets_.push_back(metrics);
+}
+
+void SummaryTableSink::close() {
+  std::ostream& out = *out_;
+  for (const MetricSet& set : sets_) {
+    stats::TablePrinter table("scenario summary: " + set.label());
+    table.setHeader({"metric", "mean", "stddev", "p50", "p99", "n"});
+    for (const NamedMetric& metric : kMetrics) {
+      const MetricStats s = statsOf(set.*(metric.samples));
+      table.addRow({metric.name, stats::TablePrinter::num(s.mean, 2),
+                    stats::TablePrinter::num(s.stddev, 2),
+                    stats::TablePrinter::num(s.p50, 2),
+                    stats::TablePrinter::num(s.p99, 2),
+                    std::to_string(s.count)});
+    }
+    table.print(out);
+    out << "discovered fraction (>=1 monitor): "
+        << stats::TablePrinter::num(set.discoveredFraction, 4) << "\n";
+    if (!set.accuracy.empty()) {
+      out << "availability estimate mean |error|: "
+          << stats::TablePrinter::num(set.accuracyMeanAbsError(), 4) << " ("
+          << set.accuracy.size() << " nodes)\n";
+    }
+    out << "\n";
+  }
+
+  // Two or more runs: the head-to-head view, one column per run. This is
+  // the paper's comparison-table shape (Table 1 measured, not analytic).
+  if (sets_.size() >= 2) {
+    stats::TablePrinter table("protocol comparison (column = run)");
+    std::vector<std::string> header = {"metric"};
+    for (const MetricSet& set : sets_) header.push_back(set.label());
+    table.setHeader(std::move(header));
+    for (const NamedMetric& metric : kMetrics) {
+      for (const char* stat : {"mean", "p99"}) {
+        std::vector<std::string> row = {std::string(metric.name) + " " + stat};
+        for (const MetricSet& set : sets_) {
+          const MetricStats s = statsOf(set.*(metric.samples));
+          row.push_back(stats::TablePrinter::num(
+              std::string(stat) == "mean" ? s.mean : s.p99, 2));
+        }
+        table.addRow(std::move(row));
+      }
+    }
+    std::vector<std::string> discovered = {"discovered fraction"};
+    std::vector<std::string> accuracyRow = {"estimate mean |error|"};
+    for (const MetricSet& set : sets_) {
+      discovered.push_back(
+          stats::TablePrinter::num(set.discoveredFraction, 4));
+      accuracyRow.push_back(
+          set.accuracy.empty()
+              ? std::string("-")
+              : stats::TablePrinter::num(set.accuracyMeanAbsError(), 4));
+    }
+    table.addRow(std::move(discovered));
+    table.addRow(std::move(accuracyRow));
+    table.print(out);
+  }
+
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("metrics sink: summary output stream failed");
+  }
+}
+
+// ---- CsvSink ----
+
+void CsvSink::add(const MetricSet& metrics) { sets_.push_back(metrics); }
+
+void CsvSink::close() {
+  for (const MetricSet& set : sets_) {
+    // Single-run sweeps keep the historical avmon_sim file names; multi-
+    // run sweeps get one set of files per run, keyed by its label.
+    const std::string base =
+        sets_.size() == 1 ? prefix_ : prefix_ + "." + set.fileLabel();
+
+    const auto emit = [&](const std::string& suffix,
+                          const std::string& content) {
+      const std::string path = base + suffix;
+      writeTextFile(path, content);
+      written_.push_back(path);
+    };
+
+    emit(".discovery.csv",
+         csvOfSamples("discovery_seconds", set.discoverySeconds));
+    emit(".memory.csv", csvOfSamples("memory_entries", set.memoryEntries));
+    emit(".bandwidth.csv",
+         csvOfSamples("outgoing_bps", set.outgoingBytesPerSecond));
+
+    std::ostringstream perNode;
+    perNode << "node,bytes_sent,messages_sent,memory_entries,hash_checks,"
+               "useless_pings,discovery_seconds\n";
+    for (const MetricSet::PerNodeRow& row : set.perNode) {
+      perNode << row.id.toString() << "," << row.bytesSent << ","
+              << row.messagesSent << "," << row.memoryEntries << ","
+              << row.hashChecks << "," << row.uselessPings << ","
+              << row.discoverySeconds << "\n";
+    }
+    emit(".pernode.csv", perNode.str());
+  }
+}
+
+// ---- JsonSink ----
+
+void JsonSink::add(const MetricSet& metrics) { sets_.push_back(metrics); }
+
+void JsonSink::close() {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    const MetricSet& set = sets_[i];
+    out << "  {\n";
+    out << "    \"protocol\": \"" << set.protocol << "\",\n";
+    out << "    \"model\": \"" << set.model << "\",\n";
+    out << "    \"hash\": \"" << set.hashName << "\",\n";
+    out << "    \"n\": " << set.effectiveN << ",\n";
+    out << "    \"seed\": " << set.seed << ",\n";
+    out << "    \"shards\": " << set.shards << ",\n";
+    out << "    \"horizon_seconds\": " << set.horizonSeconds << ",\n";
+    out << "    \"warmup_seconds\": " << set.warmupSeconds << ",\n";
+    out << "    \"drop_probability\": " << set.dropProbability << ",\n";
+    out << "    \"rpc_fail_probability\": " << set.rpcFailProbability
+        << ",\n";
+    for (const NamedMetric& metric : kMetrics) {
+      appendJsonStats(out, jsonKeyOf(metric.name).c_str(),
+                      statsOf(set.*(metric.samples)));
+      out << ",\n";
+    }
+    out << "    \"discovered_fraction\": " << set.discoveredFraction << ",\n";
+    out << "    \"accuracy_mean_abs_error\": " << set.accuracyMeanAbsError()
+        << ",\n";
+    out << "    \"accuracy_nodes\": " << set.accuracy.size() << "\n";
+    out << "  }" << (i + 1 < sets_.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  writeTextFile(path_, out.str());
+}
+
+}  // namespace avmon::experiments

@@ -1,0 +1,132 @@
+// Unified metrics sink: one snapshot type (MetricSet) for everything a
+// completed scenario reports, and pluggable backends (MetricsSink) that
+// consume snapshots — a summary/comparison table, per-node CSVs, JSON.
+//
+// Every protocol the registry knows produces the same MetricSet through
+// the same ScenarioRunner code path, so cross-protocol comparison tables
+// (the paper's Sections 5–6 head-to-heads) fall out of feeding several
+// snapshots to one sink; no per-scheme reporting code exists anywhere.
+//
+// Sink contract: add() each completed run's snapshot, then close() once.
+// close() performs (or finishes) the writes and THROWS std::runtime_error
+// if any backing stream failed — a full disk truncating a CSV is an error,
+// never a silently shorter file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+
+/// Snapshot of everything one completed scenario run reports.
+struct MetricSet {
+  // ---- provenance (which run produced this) ----
+  std::string protocol;
+  std::string model;
+  std::string hashName;
+  std::size_t effectiveN = 0;
+  std::uint64_t seed = 0;
+  unsigned shards = 1;
+  double horizonSeconds = 0.0;
+  double warmupSeconds = 0.0;
+  /// Fault-injection axes — part of the run's identity (a drop sweep must
+  /// not collapse onto one label).
+  double dropProbability = 0.0;
+  double rpcFailProbability = 0.0;
+
+  // ---- summary sample vectors (one sample per qualifying node) ----
+  std::vector<double> discoverySeconds;  ///< first-monitor delay, measured set
+  double discoveredFraction = 0.0;       ///< >= 1 monitor, measured set
+  std::vector<double> memoryEntries;     ///< per node with any state
+  std::vector<double> outgoingBytesPerSecond;
+  std::vector<double> uselessPingsPerMinute;
+  std::vector<double> computationsPerSecond;
+  std::vector<AvailabilityAccuracy> accuracy;  ///< measured set
+
+  /// One row per trace node, in schedule order (plotting / debugging).
+  struct PerNodeRow {
+    NodeId id;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t messagesSent = 0;
+    std::size_t memoryEntries = 0;
+    std::uint64_t hashChecks = 0;
+    std::uint64_t uselessPings = 0;
+    double discoverySeconds = -1.0;  ///< -1 = never discovered a monitor
+  };
+  std::vector<PerNodeRow> perNode;
+
+  /// "protocol model N=.. seed=.." — how sinks caption this run.
+  std::string label() const;
+  /// label() restricted to filesystem-safe characters, for file suffixes.
+  std::string fileLabel() const;
+  /// Mean |estimated - actual| over the accuracy table (0 if empty).
+  double accuracyMeanAbsError() const;
+};
+
+/// Snapshots a completed (run()) ScenarioRunner.
+MetricSet collectMetrics(const ScenarioRunner& runner);
+
+/// Backend interface; see the contract above.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void add(const MetricSet& metrics) = 0;
+  virtual void close() = 0;
+};
+
+/// Human-readable tables on an ostream: one summary table per run, plus —
+/// when two or more runs were added — a side-by-side comparison table
+/// (runs as columns, metrics as rows).
+class SummaryTableSink final : public MetricsSink {
+ public:
+  /// `out` must outlive the sink.
+  explicit SummaryTableSink(std::ostream& out) : out_(&out) {}
+
+  void add(const MetricSet& metrics) override;
+  void close() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<MetricSet> sets_;
+};
+
+/// Per-metric CSV files: PREFIX[.<run>].{discovery,memory,bandwidth,
+/// pernode}.csv — the run infix appears only when several runs are added.
+class CsvSink final : public MetricsSink {
+ public:
+  explicit CsvSink(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void add(const MetricSet& metrics) override;
+  void close() override;
+
+  /// Paths written by close() (for logs and tests).
+  const std::vector<std::string>& writtenFiles() const noexcept {
+    return written_;
+  }
+
+ private:
+  std::string prefix_;
+  std::vector<MetricSet> sets_;
+  std::vector<std::string> written_;
+};
+
+/// One JSON document holding every added run (summary statistics, not the
+/// raw sample vectors) — the machine-readable artifact CI uploads.
+class JsonSink final : public MetricsSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+
+  void add(const MetricSet& metrics) override;
+  void close() override;
+
+ private:
+  std::string path_;
+  std::vector<MetricSet> sets_;
+};
+
+}  // namespace avmon::experiments

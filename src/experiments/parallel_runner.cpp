@@ -6,7 +6,25 @@
 #include <mutex>
 #include <thread>
 
+#include "experiments/protocol_registry.hpp"
+
 namespace avmon::experiments {
+
+Scenario ParallelScenarioRunner::applyShards(Scenario scenario) const {
+  if (shardsPerScenario_ == 0) return scenario;
+  unsigned shards = shardsPerScenario_;
+  // Clamp to the protocol's shard ceiling so one override works across a
+  // mixed AVMON-vs-baselines sweep (unknown protocols pass through; the
+  // runner's validate() reports them with the full name list).
+  if (const ProtocolFactory* factory =
+          ProtocolRegistry::instance().find(scenario.protocol)) {
+    if (factory->maxShards != 0) {
+      shards = std::min(shards, factory->maxShards);
+    }
+  }
+  scenario.shards = shards;
+  return scenario;
+}
 
 unsigned defaultWorkerThreads() {
   const unsigned hw = std::thread::hardware_concurrency();

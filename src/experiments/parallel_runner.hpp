@@ -41,8 +41,10 @@ class ParallelScenarioRunner {
   /// overrides Scenario::shards for every run when non-zero — the knob a
   /// sweep uses to shard each world without editing its scenarios. Shard
   /// counts never change results (ShardedSimulator's invariance
-  /// guarantee), so the override is safe on any workload; pool threads ×
-  /// shards is the total concurrency, so oversubscribe deliberately.
+  /// guarantee), so the override is safe on any workload: scenarios whose
+  /// protocol cannot shard that wide (the single-shard baselines) are
+  /// clamped to their protocol's limit rather than rejected. Pool threads
+  /// × shards is the total concurrency, so oversubscribe deliberately.
   explicit ParallelScenarioRunner(unsigned threads = 0,
                                   unsigned shardsPerScenario = 0)
       : threads_(threads), shardsPerScenario_(shardsPerScenario) {}
@@ -83,10 +85,7 @@ class ParallelScenarioRunner {
   unsigned shardsPerScenario() const noexcept { return shardsPerScenario_; }
 
  private:
-  Scenario applyShards(Scenario scenario) const {
-    if (shardsPerScenario_ != 0) scenario.shards = shardsPerScenario_;
-    return scenario;
-  }
+  Scenario applyShards(Scenario scenario) const;
 
   unsigned threads_;
   unsigned shardsPerScenario_ = 0;

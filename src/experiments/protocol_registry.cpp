@@ -1,0 +1,86 @@
+#include "experiments/protocol_registry.hpp"
+
+#include <stdexcept>
+
+#include "experiments/protocols/avmon_protocol.hpp"
+#include "experiments/protocols/broadcast_protocol.hpp"
+#include "experiments/protocols/central_protocol.hpp"
+#include "experiments/protocols/dht_ring_protocol.hpp"
+#include "experiments/protocols/self_report_protocol.hpp"
+
+namespace avmon::experiments {
+
+ProtocolRegistry::ProtocolRegistry() {
+  add({"avmon",
+       "AVMON: consistent & verifiable availability monitoring overlay",
+       /*maxShards=*/0, [] { return std::make_unique<AvmonProtocol>(); }});
+  add({"broadcast",
+       "AVCast-style presence broadcast: instant discovery, O(N) cost",
+       /*maxShards=*/1, [] { return std::make_unique<BroadcastProtocol>(); }});
+  add({"central",
+       "central monitor: one server pings everyone, O(N) load imbalance",
+       /*maxShards=*/1, [] { return std::make_unique<CentralProtocol>(); }});
+  add({"dht_ring",
+       "DHT replica sets: K ring successors, churn-unstable selection",
+       /*maxShards=*/1, [] { return std::make_unique<DhtRingProtocol>(); }});
+  add({"self_report",
+       "self-reporting: PS(x) = {x}, trivially gamed by selfish nodes",
+       /*maxShards=*/1,
+       [] { return std::make_unique<SelfReportProtocol>(); }});
+}
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolFactory factory) {
+  if (factory.name.empty()) {
+    throw std::invalid_argument("ProtocolRegistry: factory name is empty");
+  }
+  if (find(factory.name) != nullptr) {
+    throw std::invalid_argument("ProtocolRegistry: duplicate protocol '" +
+                                factory.name + "'");
+  }
+  if (!factory.make) {
+    throw std::invalid_argument("ProtocolRegistry: protocol '" +
+                                factory.name + "' has no make function");
+  }
+  factories_.push_back(std::move(factory));
+}
+
+const ProtocolFactory* ProtocolRegistry::find(const std::string& name) const {
+  for (const ProtocolFactory& factory : factories_) {
+    if (factory.name == name) return &factory;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Protocol> ProtocolRegistry::create(
+    const std::string& name) const {
+  const ProtocolFactory* factory = find(name);
+  if (factory == nullptr) {
+    throw std::invalid_argument("ProtocolRegistry: unknown protocol '" +
+                                name + "' — known protocols: " +
+                                namesJoined());
+  }
+  return factory->make();
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const ProtocolFactory& factory : factories_) out.push_back(factory.name);
+  return out;
+}
+
+std::string ProtocolRegistry::namesJoined() const {
+  std::string out;
+  for (const ProtocolFactory& factory : factories_) {
+    if (!out.empty()) out += ", ";
+    out += factory.name;
+  }
+  return out;
+}
+
+}  // namespace avmon::experiments

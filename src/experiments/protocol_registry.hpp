@@ -1,0 +1,60 @@
+// Name -> Protocol factory table. One registry serves the whole process:
+// Scenario::validate() resolves protocol names through it, ScenarioRunner
+// instantiates through it, and the tools enumerate it for --help / spec
+// error messages. The five built-in schemes (AVMON and the paper's four
+// Section-1 baselines) are pre-registered; tests and downstream code can
+// add more.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/protocol.hpp"
+
+namespace avmon::experiments {
+
+/// How a registered scheme is created, plus the metadata the tools print
+/// and Scenario::validate() checks.
+struct ProtocolFactory {
+  std::string name;         ///< registry key, also Scenario::protocol
+  std::string description;  ///< one-liner for --help and spec errors
+  /// Most shards the scheme can run across; 0 = unlimited. Baselines
+  /// built around shared global state (a membership directory, a central
+  /// server, one hash ring) are inherently single-shard — enforced by
+  /// Scenario::validate(), not silently clamped.
+  unsigned maxShards = 1;
+  std::function<std::unique_ptr<Protocol>()> make;
+};
+
+class ProtocolRegistry {
+ public:
+  /// The process-wide registry with the built-ins pre-registered:
+  /// avmon, broadcast, central, dht_ring, self_report.
+  static ProtocolRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate or
+  /// empty name.
+  void add(ProtocolFactory factory);
+
+  /// Factory for `name`, or nullptr when unknown.
+  const ProtocolFactory* find(const std::string& name) const;
+
+  /// Instantiates `name`; throws std::invalid_argument listing the known
+  /// protocols when the name is unknown.
+  std::unique_ptr<Protocol> create(const std::string& name) const;
+
+  /// Registered names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+  /// "avmon, broadcast, ..." — for error messages and usage text.
+  std::string namesJoined() const;
+
+ private:
+  ProtocolRegistry();
+
+  std::vector<ProtocolFactory> factories_;
+};
+
+}  // namespace avmon::experiments

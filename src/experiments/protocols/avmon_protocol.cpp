@@ -1,0 +1,188 @@
+#include "experiments/protocols/avmon_protocol.hpp"
+
+#include <algorithm>
+
+namespace avmon::experiments {
+
+void AvmonProtocol::build(const ProtocolContext& ctx) {
+  monitoringPeriod_ = ctx.config.monitoringPeriod;
+  horizon_ = ctx.scenario.horizon;
+
+  precomputeBootstrapPicks(ctx);
+
+  // One protocol node per scheduled node, all constructed up front (they
+  // start down; the trace player brings them up). Each node lives in its
+  // home shard's sub-world and checks the consistency condition through
+  // that shard's memo.
+  std::uint32_t index = 0;
+  for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
+    const std::size_t shard = ctx.world.shardOfIndex(index);
+    const auto bootstrap = [this, index](const NodeId&) {
+      return nextBootstrapPick(index);
+    };
+    auto node = std::make_unique<AvmonNode>(
+        nt.id, ctx.config, *ctx.memoSelectors[shard], ctx.world.simOf(shard),
+        ctx.world.netOf(shard), bootstrap, ctx.rootRng.fork());
+    nodes_.emplace(nt.id, std::move(node));
+    ++index;
+  }
+
+  // Overreporting attackers (Figure 20): a uniformly random fraction.
+  if (ctx.scenario.overreportFraction > 0) {
+    for (auto& [id, node] : nodes_) {
+      if (ctx.rootRng.chance(ctx.scenario.overreportFraction))
+        node->setOverreporting(true);
+    }
+  }
+}
+
+void AvmonProtocol::precomputeBootstrapPicks(const ProtocolContext& ctx) {
+  // The alive set at any instant is fully determined by the availability
+  // trace, so the bootstrap oracle ("a random alive node other than the
+  // joiner") can be evaluated up front: replay the trace's transitions in
+  // a canonical order and bank one pick per session start. At run time a
+  // join just consumes its node's next pick — no global alive list exists,
+  // which is what lets joins on different shards proceed without sharing
+  // (and keeps the draws shard-count-invariant).
+  Rng bootRng = ctx.rootRng.fork();
+  const auto& nodes = ctx.trace.nodes();
+  bootstrapPicks_.assign(nodes.size(), {});
+  bootstrapCursor_.assign(nodes.size(), 0);
+
+  struct Transition {
+    SimTime t;
+    std::uint32_t node;
+    std::uint32_t session;
+    bool join;
+  };
+  std::vector<Transition> transitions;
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    const auto& sessions = nodes[i].sessions;
+    for (std::uint32_t j = 0; j < sessions.size(); ++j) {
+      transitions.push_back({sessions[j].start, i, j, true});
+      transitions.push_back({sessions[j].end, i, j, false});
+    }
+  }
+  // Canonical order: time, then trace position, then session, join before
+  // the (zero-length-session) leave at the same instant.
+  std::sort(transitions.begin(), transitions.end(),
+            [](const Transition& a, const Transition& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.node != b.node) return a.node < b.node;
+              if (a.session != b.session) return a.session < b.session;
+              return a.join && !b.join;
+            });
+
+  std::vector<NodeId> alive;
+  std::unordered_map<NodeId, std::size_t> alivePos;
+  for (const Transition& tr : transitions) {
+    const NodeId id = nodes[tr.node].id;
+    if (tr.join) {
+      // Pick before the joiner becomes visible; a few draws are enough to
+      // dodge self, and a lone first node genuinely has nobody to call.
+      NodeId pick{};
+      if (!alive.empty()) {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const NodeId candidate = alive[bootRng.index(alive.size())];
+          if (candidate != id) {
+            pick = candidate;
+            break;
+          }
+        }
+      }
+      bootstrapPicks_[tr.node].push_back(pick);
+      if (!alivePos.count(id)) {
+        alivePos[id] = alive.size();
+        alive.push_back(id);
+      }
+    } else if (const auto it = alivePos.find(id); it != alivePos.end()) {
+      const std::size_t pos = it->second;
+      alive[pos] = alive.back();
+      alivePos[alive[pos]] = pos;
+      alive.pop_back();
+      alivePos.erase(id);
+    }
+  }
+}
+
+NodeId AvmonProtocol::nextBootstrapPick(std::uint32_t nodeIndex) {
+  const auto& picks = bootstrapPicks_[nodeIndex];
+  std::size_t& cursor = bootstrapCursor_[nodeIndex];
+  if (cursor >= picks.size()) return NodeId{};  // more joins than sessions?
+  return picks[cursor++];
+}
+
+void AvmonProtocol::onJoin(const NodeId& id, bool firstJoin) {
+  nodes_.at(id)->join(firstJoin);
+}
+
+void AvmonProtocol::onLeave(const NodeId& id) { nodes_.at(id)->leave(); }
+
+void AvmonProtocol::forEachNode(
+    const std::function<void(const NodeId&)>& fn) const {
+  for (const auto& [id, node] : nodes_) fn(id);
+}
+
+std::optional<SimDuration> AvmonProtocol::discoveryDelay(
+    const NodeId& id, std::size_t k) const {
+  return nodes_.at(id)->discoveryDelay(k);
+}
+
+std::size_t AvmonProtocol::memoryEntries(const NodeId& id) const {
+  return nodes_.at(id)->memoryEntries();
+}
+
+std::uint64_t AvmonProtocol::hashChecks(const NodeId& id) const {
+  return nodes_.at(id)->metrics().hashChecks;
+}
+
+std::uint64_t AvmonProtocol::uselessPings(const NodeId& id) const {
+  return nodes_.at(id)->metrics().uselessPings;
+}
+
+bool AvmonProtocol::isMonitoring(const NodeId& id) const {
+  return !nodes_.at(id)->targetSet().empty();
+}
+
+std::vector<NodeId> AvmonProtocol::monitorsOf(const NodeId& id) const {
+  const auto& ps = nodes_.at(id)->pingingSet();
+  return std::vector<NodeId>(ps.begin(), ps.end());
+}
+
+std::optional<EstimateSample> AvmonProtocol::estimate(
+    const NodeId& monitor, const NodeId& target) const {
+  const auto monIt = nodes_.find(monitor);
+  if (monIt == nodes_.end()) return std::nullopt;
+  const auto est = monIt->second->availabilityEstimateOf(target);
+  if (!est) return std::nullopt;
+  // Window aligned to this monitor's observation stream: its samples
+  // start at discovery (correlated with the target's up periods), so
+  // comparing truth over any other window would bias the accuracy ratio.
+  const auto& ts = monIt->second->targetSet();
+  const auto recIt = ts.find(target);
+  if (recIt == ts.end()) return std::nullopt;
+  const history::AvailabilityHistory& hist = *recIt->second.history;
+  const auto span = hist.sampleSpan();
+  // Monitors with a handful of samples carry no statistical weight
+  // (the paper's 48 h runs give every monitor thousands of pings).
+  if (!span || hist.sampleCount() < 10) return std::nullopt;
+  EstimateSample sample;
+  sample.estimated = *est;
+  sample.windowStart = span->first;
+  // Window end matters too: a monitor that left before the horizon
+  // stopped sampling then, so truth is measured over its sample span.
+  sample.windowEnd = std::min(span->last + monitoringPeriod_, horizon_);
+  return sample;
+}
+
+const AvmonNode* AvmonProtocol::avmonNode(const NodeId& id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+AvmonNode* AvmonProtocol::mutableAvmonNode(const NodeId& id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace avmon::experiments

@@ -1,0 +1,58 @@
+#include "experiments/protocols/broadcast_protocol.hpp"
+
+namespace avmon::experiments {
+
+void BroadcastProtocol::build(const ProtocolContext& ctx) {
+  const auto directory = [this] {
+    std::vector<NodeId> aliveIds;
+    aliveIds.reserve(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (alive_[i]) aliveIds.push_back(order_[i]);
+    }
+    return aliveIds;
+  };
+
+  for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
+    indexOf_[nt.id] = order_.size();
+    order_.push_back(nt.id);
+    alive_.push_back(false);
+    nodes_.emplace(nt.id, std::make_unique<baselines::BroadcastNode>(
+                              nt.id, *ctx.memoSelectors[0], ctx.world.simOf(0),
+                              ctx.world.netOf(0), directory));
+  }
+}
+
+void BroadcastProtocol::onJoin(const NodeId& id, bool /*firstJoin*/) {
+  alive_[indexOf_.at(id)] = true;
+  nodes_.at(id)->join();
+}
+
+void BroadcastProtocol::onLeave(const NodeId& id) {
+  alive_[indexOf_.at(id)] = false;
+  nodes_.at(id)->leave();
+}
+
+void BroadcastProtocol::forEachNode(
+    const std::function<void(const NodeId&)>& fn) const {
+  for (const NodeId& id : order_) fn(id);
+}
+
+std::optional<SimDuration> BroadcastProtocol::discoveryDelay(
+    const NodeId& id, std::size_t k) const {
+  return nodes_.at(id)->discoveryDelay(k);
+}
+
+std::size_t BroadcastProtocol::memoryEntries(const NodeId& id) const {
+  return nodes_.at(id)->memoryEntries();
+}
+
+std::uint64_t BroadcastProtocol::hashChecks(const NodeId& id) const {
+  return nodes_.at(id)->hashChecks();
+}
+
+std::vector<NodeId> BroadcastProtocol::monitorsOf(const NodeId& id) const {
+  const auto& ps = nodes_.at(id)->pingingSet();
+  return std::vector<NodeId>(ps.begin(), ps.end());
+}
+
+}  // namespace avmon::experiments

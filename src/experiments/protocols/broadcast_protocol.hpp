@@ -1,0 +1,49 @@
+// The AVCast-style Broadcast baseline as a pluggable Protocol (paper
+// Table 1): every (re)joining node broadcasts its presence to the full
+// membership, so discovery is near-instant but joins cost O(N) messages
+// and every node stores O(N) membership. Replaces the retired ad-hoc
+// BroadcastRunner — the scheme now rides the same ScenarioRunner, traces,
+// and MetricSet as AVMON, so Table-1 comparisons are one sweep.
+//
+// Single-shard: the scheme's membership directory is a shared alive list
+// (exactly the complete membership graph AVCast maintains anyway).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/broadcast.hpp"
+#include "experiments/protocol.hpp"
+
+namespace avmon::experiments {
+
+class BroadcastProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "broadcast"; }
+
+  void build(const ProtocolContext& ctx) override;
+
+  void onJoin(const NodeId& id, bool firstJoin) override;
+  void onLeave(const NodeId& id) override;
+
+  void forEachNode(
+      const std::function<void(const NodeId&)>& fn) const override;
+  std::optional<SimDuration> discoveryDelay(const NodeId& id,
+                                            std::size_t k) const override;
+  std::size_t memoryEntries(const NodeId& id) const override;
+  std::uint64_t hashChecks(const NodeId& id) const override;
+  std::vector<NodeId> monitorsOf(const NodeId& id) const override;
+
+ private:
+  // Alive list in trace order: deterministic directory snapshots (an
+  // unordered map would make broadcast order depend on hash layout).
+  std::vector<NodeId> order_;
+  std::vector<bool> alive_;
+  std::unordered_map<NodeId, std::size_t> indexOf_;
+
+  std::unordered_map<NodeId, std::unique_ptr<baselines::BroadcastNode>>
+      nodes_;
+};
+
+}  // namespace avmon::experiments

@@ -1,0 +1,98 @@
+#include "experiments/protocols/central_protocol.hpp"
+
+#include <algorithm>
+
+namespace avmon::experiments {
+
+// 192.0.2.1:9 — TEST-NET, far outside the simulation's 10.x.y.z block.
+const NodeId CentralProtocol::kServerId = NodeId(0xC0000201u, 9);
+
+void CentralProtocol::build(const ProtocolContext& ctx) {
+  monitoringPeriod_ = ctx.config.monitoringPeriod;
+  horizon_ = ctx.scenario.horizon;
+  sim_ = &ctx.world.simOf(0);
+
+  // The server is a real network participant (its O(N) ping load is the
+  // point of the comparison), so it registers with the world like any
+  // trace node — just after them, and outside the churn schedule.
+  ctx.world.registerNode(kServerId);
+  server_ = std::make_unique<baselines::CentralServer>(
+      kServerId, ctx.world.simOf(0), ctx.world.netOf(0),
+      ctx.config.monitoringPeriod, ctx.config.pingBytes);
+  server_->start();
+
+  for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
+    order_.push_back(nt.id);
+    members_.emplace(nt.id, std::make_unique<baselines::CentralMember>(
+                                nt.id, kServerId, ctx.world.netOf(0)));
+  }
+  order_.push_back(kServerId);
+}
+
+void CentralProtocol::onJoin(const NodeId& id, bool /*firstJoin*/) {
+  firstJoinAt_.try_emplace(id, sim_->now());
+  members_.at(id)->join();
+}
+
+void CentralProtocol::onLeave(const NodeId& id) {
+  // Horizon-instant leaves are the trace's session teardown, not churn:
+  // the trace counts the node as up AT the horizon, and the server's
+  // minute-aligned ping loop would otherwise race those leaves at the
+  // final tick and record one spurious down sample per member. Mid-run
+  // leaves are real and processed normally.
+  if (sim_->now() >= horizon_) return;
+  members_.at(id)->leave();
+}
+
+void CentralProtocol::forEachNode(
+    const std::function<void(const NodeId&)>& fn) const {
+  for (const NodeId& id : order_) fn(id);
+}
+
+std::optional<SimDuration> CentralProtocol::discoveryDelay(
+    const NodeId& id, std::size_t k) const {
+  // PS(x) = {server}: there is exactly one monitor to discover, and it
+  // knows the member once the registration message lands.
+  if (k != 1 || id == kServerId) return std::nullopt;
+  const auto registered = server_->registeredAt(id);
+  const auto joined = firstJoinAt_.find(id);
+  if (!registered || joined == firstJoinAt_.end()) return std::nullopt;
+  return *registered - joined->second;
+}
+
+std::size_t CentralProtocol::memoryEntries(const NodeId& id) const {
+  // The server's member table is the scheme's O(N) memory; each member
+  // that ever joined holds one entry (the server's address).
+  if (id == kServerId) return server_->memberCount();
+  return firstJoinAt_.count(id) ? 1 : 0;
+}
+
+std::uint64_t CentralProtocol::uselessPings(const NodeId& id) const {
+  return id == kServerId ? server_->uselessPings() : 0;
+}
+
+bool CentralProtocol::isMonitoring(const NodeId& id) const {
+  return id == kServerId && server_->memberCount() > 0;
+}
+
+std::vector<NodeId> CentralProtocol::monitorsOf(const NodeId& id) const {
+  if (id == kServerId || !server_->registeredAt(id)) return {};
+  return {kServerId};
+}
+
+std::optional<EstimateSample> CentralProtocol::estimate(
+    const NodeId& monitor, const NodeId& target) const {
+  if (monitor != kServerId) return std::nullopt;
+  const history::RawHistory* hist = server_->historyOf(target);
+  if (hist == nullptr) return std::nullopt;
+  const auto span = hist->sampleSpan();
+  // Same statistical-weight threshold as the AVMON probe.
+  if (!span || hist->sampleCount() < 10) return std::nullopt;
+  EstimateSample sample;
+  sample.estimated = hist->estimate();
+  sample.windowStart = span->first;
+  sample.windowEnd = std::min(span->last + monitoringPeriod_, horizon_);
+  return sample;
+}
+
+}  // namespace avmon::experiments

@@ -1,0 +1,57 @@
+// The central-monitor baseline as a pluggable Protocol (paper Section 1,
+// existing approach (2)): PS(x) = {server} for every x. One designated
+// always-up host (outside the churn trace) pings every registered member
+// each monitoring period. Running it through ScenarioRunner quantifies
+// the load-imbalance failure the paper motivates: the server's memory and
+// bandwidth rows of the comparison table grow as O(N) while every member
+// pays O(1).
+//
+// Single-shard: the server is one globally shared endpoint.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/central.hpp"
+#include "experiments/protocol.hpp"
+
+namespace avmon::experiments {
+
+class CentralProtocol final : public Protocol {
+ public:
+  /// The server's synthetic address: outside NodeId::fromIndex's 10.x.y.z
+  /// range, so it can never collide with a trace node.
+  static const NodeId kServerId;
+
+  std::string name() const override { return "central"; }
+
+  void build(const ProtocolContext& ctx) override;
+
+  void onJoin(const NodeId& id, bool firstJoin) override;
+  void onLeave(const NodeId& id) override;
+
+  void forEachNode(
+      const std::function<void(const NodeId&)>& fn) const override;
+  std::optional<SimDuration> discoveryDelay(const NodeId& id,
+                                            std::size_t k) const override;
+  std::size_t memoryEntries(const NodeId& id) const override;
+  std::uint64_t uselessPings(const NodeId& id) const override;
+  bool isMonitoring(const NodeId& id) const override;
+  std::vector<NodeId> monitorsOf(const NodeId& id) const override;
+  std::optional<EstimateSample> estimate(const NodeId& monitor,
+                                         const NodeId& target) const override;
+
+ private:
+  SimDuration monitoringPeriod_ = 0;
+  SimTime horizon_ = 0;
+  sim::Simulator* sim_ = nullptr;  // shard 0's clock (single-shard scheme)
+
+  std::unique_ptr<baselines::CentralServer> server_;
+  std::vector<NodeId> order_;  // trace order, server last
+  std::unordered_map<NodeId, std::unique_ptr<baselines::CentralMember>>
+      members_;
+  std::unordered_map<NodeId, SimTime> firstJoinAt_;
+};
+
+}  // namespace avmon::experiments

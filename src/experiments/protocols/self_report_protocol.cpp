@@ -1,0 +1,71 @@
+#include "experiments/protocols/self_report_protocol.hpp"
+
+namespace avmon::experiments {
+
+void SelfReportProtocol::build(const ProtocolContext& ctx) {
+  horizon_ = ctx.scenario.horizon;
+  sim_ = &ctx.world.simOf(0);
+
+  for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
+    order_.push_back(nt.id);
+    nodes_.emplace(nt.id, baselines::SelfReportNode(nt.id));
+  }
+
+  // The scenario's overreport fraction maps onto the scheme's own threat
+  // model: a selfish node simply reports 100%.
+  if (ctx.scenario.overreportFraction > 0) {
+    for (const NodeId& id : order_) {
+      if (ctx.rootRng.chance(ctx.scenario.overreportFraction))
+        nodes_.at(id).setSelfish(true);
+    }
+  }
+}
+
+void SelfReportProtocol::onJoin(const NodeId& id, bool /*firstJoin*/) {
+  nodes_.at(id).join(sim_->now());
+}
+
+void SelfReportProtocol::onLeave(const NodeId& id) {
+  nodes_.at(id).leave(sim_->now());
+}
+
+void SelfReportProtocol::forEachNode(
+    const std::function<void(const NodeId&)>& fn) const {
+  for (const NodeId& id : order_) fn(id);
+}
+
+std::optional<SimDuration> SelfReportProtocol::discoveryDelay(
+    const NodeId& id, std::size_t k) const {
+  // A node is its own (only) monitor the instant it first joins.
+  if (k != 1 || !nodes_.at(id).firstJoinTime()) return std::nullopt;
+  return SimDuration{0};
+}
+
+std::size_t SelfReportProtocol::memoryEntries(const NodeId& id) const {
+  // One entry: the node's own up-time accumulator.
+  return nodes_.at(id).firstJoinTime() ? 1 : 0;
+}
+
+std::vector<NodeId> SelfReportProtocol::monitorsOf(const NodeId& id) const {
+  if (!nodes_.at(id).firstJoinTime()) return {};
+  return {id};
+}
+
+std::optional<EstimateSample> SelfReportProtocol::estimate(
+    const NodeId& monitor, const NodeId& target) const {
+  if (monitor != target) return std::nullopt;
+  const auto it = nodes_.find(monitor);
+  if (it == nodes_.end()) return std::nullopt;
+  const auto firstJoin = it->second.firstJoinTime();
+  if (!firstJoin) return std::nullopt;
+  EstimateSample sample;
+  // Honest nodes report their true up fraction since first join — which
+  // matches the trace's ground truth over the same window exactly;
+  // selfish nodes report 1.0 and the accuracy table shows the gap.
+  sample.estimated = it->second.reportedAvailability(horizon_);
+  sample.windowStart = *firstJoin;
+  sample.windowEnd = horizon_;
+  return sample;
+}
+
+}  // namespace avmon::experiments

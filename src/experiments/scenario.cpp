@@ -4,10 +4,82 @@
 #include <stdexcept>
 #include <thread>
 
+#include "experiments/protocol.hpp"
+#include "experiments/protocol_registry.hpp"
+
 namespace avmon::experiments {
+
+namespace {
+
+// The shard count a scenario actually runs with (0 = hardware width).
+// Resolved before validation so shards = 0 cannot smuggle instantaneous
+// RPC into a multi-shard world on a multi-core host.
+unsigned resolveShards(unsigned shards) {
+  return shards != 0 ? shards
+                     : std::max(1u, std::thread::hardware_concurrency());
+}
+
+void requireUnit(double value, const char* what) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("Scenario: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  const ProtocolFactory* factory = ProtocolRegistry::instance().find(protocol);
+  if (factory == nullptr) {
+    throw std::invalid_argument(
+        "Scenario: unknown protocol '" + protocol + "' — known protocols: " +
+        ProtocolRegistry::instance().namesJoined());
+  }
+  const bool traceModel = model == churn::Model::kPlanetLab ||
+                          model == churn::Model::kOvernet;
+  if (!traceModel && stableSize == 0) {
+    throw std::invalid_argument(
+        "Scenario: stableSize must be nonzero for model " +
+        churn::modelName(model) + " (only PL/OV fix their own N)");
+  }
+  if (horizon <= 0) {
+    throw std::invalid_argument(
+        "Scenario: horizon must be a positive duration");
+  }
+  if (warmup < 0 || warmup >= horizon) {
+    throw std::invalid_argument(
+        "Scenario: warmup must satisfy 0 <= warmup < horizon (got warmup = " +
+        std::to_string(warmup) + " ms, horizon = " + std::to_string(horizon) +
+        " ms)");
+  }
+  if (!hash::isKnownHashName(hashName)) {
+    throw std::invalid_argument(
+        "Scenario: unknown hash '" + hashName +
+        "' — known hashes: md5, sha1, splitmix64");
+  }
+  requireUnit(controlFraction, "controlFraction");
+  requireUnit(overreportFraction, "overreportFraction");
+  requireUnit(messageDropProbability, "messageDropProbability");
+  requireUnit(rpcFailProbability, "rpcFailProbability");
+
+  const unsigned effectiveShards = resolveShards(shards);
+  if (!deferredRpc && effectiveShards > 1) {
+    throw std::invalid_argument(
+        "Scenario: instantaneous RPC (deferredRpc = false) cannot cross a "
+        "shard boundary — use shards = 1 for the collapsed-RTT lane");
+  }
+  if (factory->maxShards != 0 && effectiveShards > factory->maxShards) {
+    throw std::invalid_argument(
+        "Scenario: protocol '" + protocol + "' keeps shared global state and "
+        "runs on at most " + std::to_string(factory->maxShards) +
+        " shard(s) — got shards = " + std::to_string(effectiveShards));
+  }
+}
 
 ScenarioRunner::ScenarioRunner(Scenario scenario)
     : scenario_(std::move(scenario)), rootRng_(scenario_.seed) {
+  scenario_.validate();
+
   churn::WorkloadParams workload;
   workload.stableSize = scenario_.stableSize;
   workload.horizon = scenario_.horizon;
@@ -23,17 +95,9 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   config_.forgetful.ewmaSessionLength = scenario_.forgetfulEwma;
   config_.validate();
 
-  // Resolve the auto shard count BEFORE validating: shards = 0 expands to
-  // the hardware width, which must not smuggle instantaneous RPC into a
-  // multi-shard world on a multi-core host.
-  const unsigned effectiveShards =
-      scenario_.shards != 0 ? scenario_.shards
-                            : std::max(1u, std::thread::hardware_concurrency());
-  if (!scenario_.deferredRpc && effectiveShards > 1) {
-    throw std::invalid_argument(
-        "Scenario: instantaneous RPC (deferredRpc = false) cannot cross a "
-        "shard boundary — use shards = 1 for the collapsed-RTT lane");
-  }
+  const unsigned effectiveShards = resolveShards(scenario_.shards);
+
+  protocol_ = ProtocolRegistry::instance().create(scenario_.protocol);
 
   hashFn_ = hash::makeHashFunction(scenario_.hashName);
   selector_ = std::make_unique<HashMonitorSelector>(*hashFn_, config_.k,
@@ -63,35 +127,16 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   // before its endpoint attaches.
   for (const trace::NodeTrace& nt : trace_.nodes()) {
     world_->registerNode(nt.id);
-  }
-
-  precomputeBootstrapPicks();
-
-  // One protocol node per scheduled node, all constructed up front (they
-  // start down; the trace player brings them up). Each node lives in its
-  // home shard's sub-world and checks the consistency condition through
-  // that shard's memo.
-  std::uint32_t index = 0;
-  for (const trace::NodeTrace& nt : trace_.nodes()) {
-    const std::size_t shard = world_->shardOfIndex(index);
-    const auto bootstrap = [this, index](const NodeId&) {
-      return nextBootstrapPick(index);
-    };
-    auto node = std::make_unique<AvmonNode>(
-        nt.id, config_, *memoSelectors_[shard], world_->simOf(shard),
-        world_->netOf(shard), bootstrap, rootRng_.fork());
     traceByNode_[nt.id] = &nt;
-    nodes_.emplace(nt.id, std::move(node));
-    ++index;
   }
 
-  // Overreporting attackers (Figure 20): a uniformly random fraction.
-  if (scenario_.overreportFraction > 0) {
-    for (auto& [id, node] : nodes_) {
-      if (rootRng_.chance(scenario_.overreportFraction))
-        node->setOverreporting(true);
-    }
-  }
+  // The protocol populates the world: one participant per trace node,
+  // every scheme-owned RNG stream forked from the root stream so the
+  // scenario seed governs the whole experiment.
+  const ProtocolContext ctx{scenario_,  effectiveN_, config_,
+                            *world_,    trace_,      *hashFn_,
+                            *selector_, memoSelectors_, rootRng_};
+  protocol_->build(ctx);
 
   buildMeasuredSet();
 }
@@ -125,94 +170,17 @@ void ScenarioRunner::buildMeasuredSet() {
   }
 }
 
-void ScenarioRunner::precomputeBootstrapPicks() {
-  // The alive set at any instant is fully determined by the availability
-  // trace, so the bootstrap oracle ("a random alive node other than the
-  // joiner") can be evaluated up front: replay the trace's transitions in
-  // a canonical order and bank one pick per session start. At run time a
-  // join just consumes its node's next pick — no global alive list exists,
-  // which is what lets joins on different shards proceed without sharing
-  // (and keeps the draws shard-count-invariant).
-  Rng bootRng = rootRng_.fork();
-  const auto& nodes = trace_.nodes();
-  bootstrapPicks_.assign(nodes.size(), {});
-  bootstrapCursor_.assign(nodes.size(), 0);
-
-  struct Transition {
-    SimTime t;
-    std::uint32_t node;
-    std::uint32_t session;
-    bool join;
-  };
-  std::vector<Transition> transitions;
-  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
-    const auto& sessions = nodes[i].sessions;
-    for (std::uint32_t j = 0; j < sessions.size(); ++j) {
-      transitions.push_back({sessions[j].start, i, j, true});
-      transitions.push_back({sessions[j].end, i, j, false});
-    }
-  }
-  // Canonical order: time, then trace position, then session, join before
-  // the (zero-length-session) leave at the same instant.
-  std::sort(transitions.begin(), transitions.end(),
-            [](const Transition& a, const Transition& b) {
-              if (a.t != b.t) return a.t < b.t;
-              if (a.node != b.node) return a.node < b.node;
-              if (a.session != b.session) return a.session < b.session;
-              return a.join && !b.join;
-            });
-
-  std::vector<NodeId> alive;
-  std::unordered_map<NodeId, std::size_t> alivePos;
-  for (const Transition& tr : transitions) {
-    const NodeId id = nodes[tr.node].id;
-    if (tr.join) {
-      // Pick before the joiner becomes visible; a few draws are enough to
-      // dodge self, and a lone first node genuinely has nobody to call.
-      NodeId pick{};
-      if (!alive.empty()) {
-        for (int attempt = 0; attempt < 4; ++attempt) {
-          const NodeId candidate = alive[bootRng.index(alive.size())];
-          if (candidate != id) {
-            pick = candidate;
-            break;
-          }
-        }
-      }
-      bootstrapPicks_[tr.node].push_back(pick);
-      if (!alivePos.count(id)) {
-        alivePos[id] = alive.size();
-        alive.push_back(id);
-      }
-    } else if (const auto it = alivePos.find(id); it != alivePos.end()) {
-      const std::size_t pos = it->second;
-      alive[pos] = alive.back();
-      alivePos[alive[pos]] = pos;
-      alive.pop_back();
-      alivePos.erase(id);
-    }
-  }
-}
-
-NodeId ScenarioRunner::nextBootstrapPick(std::uint32_t nodeIndex) {
-  const auto& picks = bootstrapPicks_[nodeIndex];
-  std::size_t& cursor = bootstrapCursor_[nodeIndex];
-  if (cursor >= picks.size()) return NodeId{};  // more joins than sessions?
-  return picks[cursor++];
-}
-
 void ScenarioRunner::onJoin(const NodeId& id, bool firstJoin) {
-  nodes_.at(id)->join(firstJoin);
+  protocol_->onJoin(id, firstJoin);
 }
 
-void ScenarioRunner::onLeave(const NodeId& id) {
-  nodes_.at(id)->leave();
-}
+void ScenarioRunner::onLeave(const NodeId& id) { protocol_->onLeave(id); }
 
-void ScenarioRunner::onDeath(const NodeId& /*id*/) {
+void ScenarioRunner::onDeath(const NodeId& id) {
   // Deaths are silent (Section 3 system model): the node simply never
-  // rejoins. Nothing to tear down — TS/PS garbage is the point of the
-  // forgetful-pinging experiments.
+  // rejoins. Schemes may record them for bookkeeping; none tears down —
+  // TS/PS garbage is the point of the forgetful-pinging experiments.
+  protocol_->onDeath(id);
 }
 
 void ScenarioRunner::run() {
@@ -222,10 +190,14 @@ void ScenarioRunner::run() {
     return world_->simFor(id);
   });
   // Scope bandwidth measurement to the post-warm-up window (each shard
-  // resets its own counters at its local warm-up instant).
-  for (std::size_t s = 0; s < world_->shardCount(); ++s) {
-    sim::Network* net = &world_->netOf(s);
-    world_->simOf(s).at(scenario_.warmup, [net] { net->resetTraffic(); });
+  // resets its own counters at its local warm-up instant). warmup = 0
+  // means "no warm-up": there is no window boundary to reset at, and a
+  // reset event would race the t = 0 joins scheduled above it.
+  if (scenario_.warmup > 0) {
+    for (std::size_t s = 0; s < world_->shardCount(); ++s) {
+      sim::Network* net = &world_->netOf(s);
+      world_->simOf(s).at(scenario_.warmup, [net] { net->resetTraffic(); });
+    }
   }
   world_->runUntil(scenario_.horizon);
 }
@@ -238,7 +210,7 @@ std::vector<double> ScenarioRunner::discoveryDelaysSeconds(std::size_t k) const 
   std::vector<double> out;
   out.reserve(measured_.size());
   for (const NodeId& id : measured_) {
-    if (const auto d = nodes_.at(id)->discoveryDelay(k))
+    if (const auto d = protocol_->discoveryDelay(id, k))
       out.push_back(toSeconds(*d));
   }
   return out;
@@ -252,7 +224,7 @@ double ScenarioRunner::discoveredFraction(std::size_t k) const {
   for (const NodeId& id : measured_) {
     if (!traceByNode_.at(id)->firstJoin()) continue;
     ++joined;
-    if (nodes_.at(id)->discoveryDelay(k)) ++found;
+    if (protocol_->discoveryDelay(id, k)) ++found;
   }
   return joined == 0
              ? 0.0
@@ -265,8 +237,7 @@ std::vector<double> ScenarioRunner::computationsPerSecond() const {
   for (const NodeId& id : measured_) {
     const double upSeconds = toSeconds(traceByNode_.at(id)->totalUpTime());
     if (upSeconds < 1.0) continue;
-    out.push_back(static_cast<double>(nodes_.at(id)->metrics().hashChecks) /
-                  upSeconds);
+    out.push_back(static_cast<double>(protocol_->hashChecks(id)) / upSeconds);
   }
   return out;
 }
@@ -275,14 +246,14 @@ std::vector<double> ScenarioRunner::memoryEntries(bool measuredOnly) const {
   std::vector<double> out;
   const auto collect = [&](const NodeId& id) {
     // Nodes that never joined have nothing; skip to avoid a wall of zeros.
-    const auto& node = *nodes_.at(id);
-    if (node.memoryEntries() == 0) return;
-    out.push_back(static_cast<double>(node.memoryEntries()));
+    const std::size_t entries = protocol_->memoryEntries(id);
+    if (entries == 0) return;
+    out.push_back(static_cast<double>(entries));
   };
   if (measuredOnly) {
     for (const NodeId& id : measured_) collect(id);
   } else {
-    for (const auto& [id, node] : nodes_) collect(id);
+    protocol_->forEachNode(collect);
   }
   return out;
 }
@@ -291,29 +262,41 @@ std::vector<double> ScenarioRunner::outgoingBytesPerSecond() const {
   std::vector<double> out;
   const SimTime from = scenario_.warmup;
   const SimTime to = scenario_.horizon;
-  for (const auto& [id, node] : nodes_) {
-    const trace::NodeTrace* nt = traceByNode_.at(id);
-    const double upSeconds =
-        nt->availability(from, to) * toSeconds(to - from);
-    if (upSeconds < toSeconds(config_.protocolPeriod)) continue;
-    // The paper normalizes by wall-clock time, not up-time (nodes spend
-    // nothing while down); nodes born mid-window get their shorter window.
-    const double windowSeconds = toSeconds(to - std::max(from, nt->birth));
+  protocol_->forEachNode([&](const NodeId& id) {
+    const auto trIt = traceByNode_.find(id);
+    double upSeconds, windowSeconds;
+    if (trIt != traceByNode_.end()) {
+      const trace::NodeTrace* nt = trIt->second;
+      upSeconds = nt->availability(from, to) * toSeconds(to - from);
+      // The paper normalizes by wall-clock time, not up-time (nodes spend
+      // nothing while down); nodes born mid-window get their shorter window.
+      windowSeconds = toSeconds(to - std::max(from, nt->birth));
+    } else {
+      // Scheme-owned participant outside the trace (e.g. the central
+      // server): always up, measured over the whole window.
+      upSeconds = toSeconds(to - from);
+      windowSeconds = upSeconds;
+    }
+    if (upSeconds < toSeconds(config_.protocolPeriod)) return;
     out.push_back(static_cast<double>(trafficOf(id).bytesSent) /
                   windowSeconds);
-  }
+  });
   return out;
 }
 
 std::vector<double> ScenarioRunner::uselessPingsPerMinute() const {
   std::vector<double> out;
-  for (const auto& [id, node] : nodes_) {
-    if (node->targetSet().empty()) continue;
-    const double upMinutes = toMinutes(traceByNode_.at(id)->totalUpTime());
-    if (upMinutes < 1.0) continue;
-    out.push_back(static_cast<double>(node->metrics().uselessPings) /
+  protocol_->forEachNode([&](const NodeId& id) {
+    if (!protocol_->isMonitoring(id)) return;
+    const auto trIt = traceByNode_.find(id);
+    const double upMinutes =
+        trIt != traceByNode_.end()
+            ? toMinutes(trIt->second->totalUpTime())
+            : toMinutes(scenario_.horizon);
+    if (upMinutes < 1.0) return;
+    out.push_back(static_cast<double>(protocol_->uselessPings(id)) /
                   upMinutes);
-  }
+  });
   return out;
 }
 
@@ -321,8 +304,9 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
     bool measuredOnly) const {
   std::vector<AvailabilityAccuracy> out;
   const auto evaluate = [&](const NodeId& id) {
-    const auto& target = *nodes_.at(id);
-    const trace::NodeTrace* nt = traceByNode_.at(id);
+    const auto trIt = traceByNode_.find(id);
+    if (trIt == traceByNode_.end()) return;  // no ground truth off-trace
+    const trace::NodeTrace* nt = trIt->second;
     const auto firstJoin = nt->firstJoin();
     if (!firstJoin) return;
 
@@ -330,29 +314,14 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
     acc.id = id;
     double estSum = 0.0;
     double actualSum = 0.0;
-    for (const NodeId& monitorId : target.pingingSet()) {
-      const auto monIt = nodes_.find(monitorId);
-      if (monIt == nodes_.end()) continue;
-      const auto est = monIt->second->availabilityEstimateOf(id);
-      if (!est) continue;
-      // Ground truth aligned to this monitor's observation window: its
-      // sample stream starts at discovery, which is correlated with the
-      // target's up periods, so comparing against availability from the
-      // target's first join would bias the ratio upward on short runs.
-      const auto& ts = monIt->second->targetSet();
-      const auto recIt = ts.find(id);
-      if (recIt == ts.end()) continue;
-      const history::AvailabilityHistory& hist = *recIt->second.history;
-      const auto span = hist.sampleSpan();
-      // Monitors with a handful of samples carry no statistical weight
-      // (the paper's 48 h runs give every monitor thousands of pings).
-      if (!span || hist.sampleCount() < 10) continue;
-      estSum += *est;
-      // Window end matters too: a monitor that left before the horizon
-      // stopped sampling then, so truth is measured over its sample span.
-      actualSum += nt->availability(
-          span->first, std::min(span->last + config_.monitoringPeriod,
-                                scenario_.horizon));
+    for (const NodeId& monitorId : protocol_->monitorsOf(id)) {
+      const auto sample = protocol_->estimate(monitorId, id);
+      if (!sample) continue;
+      estSum += sample->estimated;
+      // Ground truth aligned to this monitor's observation window (see
+      // Protocol::estimate): truth over any other window would bias the
+      // ratio on short runs.
+      actualSum += nt->availability(sample->windowStart, sample->windowEnd);
       ++acc.reporters;
     }
     if (acc.reporters == 0) return;
@@ -364,7 +333,7 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
   if (measuredOnly) {
     for (const NodeId& id : measured_) evaluate(id);
   } else {
-    for (const auto& [id, node] : nodes_) evaluate(id);
+    protocol_->forEachNode(evaluate);
   }
   return out;
 }
@@ -372,22 +341,42 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
 NodeId ScenarioRunner::maxBandwidthNode() const {
   NodeId best;
   std::uint64_t bestBytes = 0;
-  for (const auto& [id, node] : nodes_) {
+  protocol_->forEachNode([&](const NodeId& id) {
     const std::uint64_t bytes = trafficOf(id).bytesSent;
     if (bytes > bestBytes) {
       bestBytes = bytes;
       best = id;
     }
-  }
+  });
   return best;
 }
 
 const AvmonNode& ScenarioRunner::node(const NodeId& id) const {
-  return *nodes_.at(id);
+  const AvmonNode* n = protocol_->avmonNode(id);
+  if (n == nullptr) {
+    if (scenario_.protocol != "avmon") {
+      throw std::logic_error(
+          "ScenarioRunner::node(): protocol '" + scenario_.protocol +
+          "' has no AvmonNode — query the Protocol probes instead");
+    }
+    throw std::out_of_range("ScenarioRunner::node(): unknown node " +
+                            id.toString());
+  }
+  return *n;
 }
 
 AvmonNode& ScenarioRunner::mutableNode(const NodeId& id) {
-  return *nodes_.at(id);
+  AvmonNode* n = protocol_->mutableAvmonNode(id);
+  if (n == nullptr) {
+    if (scenario_.protocol != "avmon") {
+      throw std::logic_error(
+          "ScenarioRunner::mutableNode(): protocol '" + scenario_.protocol +
+          "' has no AvmonNode — query the Protocol probes instead");
+    }
+    throw std::out_of_range("ScenarioRunner::mutableNode(): unknown node " +
+                            id.toString());
+  }
+  return *n;
 }
 
 }  // namespace avmon::experiments

@@ -1,10 +1,18 @@
 // Scenario runner: the one harness behind every experiment.
 //
 // Builds a complete simulated deployment — availability schedule from a
-// churn model, a network, one AvmonNode per scheduled node — plays the
-// schedule, and exposes exactly the metrics the paper's figures report:
-// discovery times, per-node memory entries, consistency-check rates,
-// outgoing bandwidth, useless pings, and estimated-vs-real availability.
+// churn model, a network, one protocol participant per scheduled node —
+// plays the schedule, and exposes exactly the metrics the paper's figures
+// report: discovery times, per-node memory entries, consistency-check
+// rates, outgoing bandwidth, useless pings, and estimated-vs-real
+// availability.
+//
+// The monitoring scheme is pluggable: Scenario::protocol names an entry in
+// the ProtocolRegistry (AVMON plus the paper's four Section-1 baselines),
+// and the harness drives whichever Protocol it resolves to — so AVMON and
+// every baseline produce the same MetricSet through the same code path,
+// which is what makes the paper's head-to-head tables (Sections 5–6) one
+// sweep instead of per-scheme harnesses.
 //
 // Measurement conventions (Section 5.1 of the paper):
 //  * a warm-up period runs first; bandwidth counters reset when it ends;
@@ -40,6 +48,8 @@
 
 namespace avmon::experiments {
 
+class Protocol;  // experiments/protocol.hpp
+
 /// Which nodes the metrics cover.
 enum class MeasuredSet {
   kAuto,             ///< per-model default described above
@@ -48,8 +58,14 @@ enum class MeasuredSet {
   kAll,              ///< every node in the trace
 };
 
-/// Full experiment description.
+/// Full experiment description. Declarative: a Scenario round-trips
+/// through the key=value spec grammar (fromSpec/toSpec, experiments/
+/// spec.hpp), so workloads are text files, not code.
 struct Scenario {
+  /// Monitoring scheme, by ProtocolRegistry name ("avmon", "broadcast",
+  /// "central", "dht_ring", "self_report").
+  std::string protocol = "avmon";
+
   churn::Model model = churn::Model::kStat;
   std::size_t stableSize = 1000;    ///< N (ignored by PL/OV)
   SimDuration horizon = 2 * kHour;  ///< total simulated time
@@ -72,7 +88,8 @@ struct Scenario {
   bool forgetfulEwma = false;
 
   /// Fraction of nodes misreporting 100% availability for all their
-  /// targets (Figure 20's attack).
+  /// targets (Figure 20's attack; the self-report baseline maps it to its
+  /// selfish nodes).
   double overreportFraction = 0.0;
 
   /// Failure injection (resilience testing; the paper assumes a reliable
@@ -93,6 +110,23 @@ struct Scenario {
   /// cross a shard boundary. Turning it off keeps the paper's collapsed-RTT
   /// accounting as a single-shard lane.
   bool deferredRpc = true;
+
+  /// Checks every cross-field invariant (known protocol and hash, nonzero
+  /// N/horizon, warmup < horizon, shard/RPC-lane compatibility, protocol
+  /// shard limits, probability ranges) and throws std::invalid_argument
+  /// with an actionable message on the first violation. ScenarioRunner
+  /// validates on construction; tools validate right after parsing so a
+  /// bad spec fails before any world is built.
+  void validate() const;
+
+  /// Parses the key=value spec grammar (see experiments/spec.hpp for the
+  /// key list). Throws std::invalid_argument on unknown keys or malformed
+  /// values. fromSpec(s.toSpec()) reproduces s exactly.
+  static Scenario fromSpec(const std::string& text);
+
+  /// Canonical spec serialization: fixed key order, one key per line.
+  /// parse -> serialize -> parse is a fixed point.
+  std::string toSpec() const;
 };
 
 /// Estimated-vs-actual availability for one node (Figures 17 and 20).
@@ -117,9 +151,13 @@ class ScenarioRunner final : public churn::LifecycleListener {
 
   // ---- results (valid after run()) ----
 
+  const Scenario& scenario() const noexcept { return scenario_; }
   const trace::AvailabilityTrace& schedule() const noexcept { return trace_; }
   const AvmonConfig& config() const noexcept { return config_; }
   std::size_t effectiveN() const noexcept { return effectiveN_; }
+
+  /// The scheme under measurement (probe surface for tests).
+  const Protocol& protocol() const noexcept { return *protocol_; }
 
   /// Ids in the measured set (see MeasuredSet).
   const std::vector<NodeId>& measuredIds() const noexcept { return measured_; }
@@ -135,7 +173,8 @@ class ScenarioRunner final : public churn::LifecycleListener {
   /// node (the paper's computation metric).
   std::vector<double> computationsPerSecond() const;
 
-  /// |CV|+|PS|+|TS| per node at the end of the run.
+  /// Per-node monitoring-state entries at the end of the run (|CV|+|PS|+
+  /// |TS| for AVMON; each scheme's own honest accounting otherwise).
   std::vector<double> memoryEntries(bool measuredOnly) const;
 
   /// Outgoing bytes per second over the post-warm-up window, per node that
@@ -146,8 +185,8 @@ class ScenarioRunner final : public churn::LifecycleListener {
   /// node that monitors at least one target.
   std::vector<double> uselessPingsPerMinute() const;
 
-  /// Estimated (PS-averaged) vs. actual availability for each node in the
-  /// chosen set that has at least one reporting monitor.
+  /// Estimated (monitor-averaged) vs. actual availability for each node in
+  /// the chosen set that has at least one reporting monitor.
   std::vector<AvailabilityAccuracy> availabilityAccuracy(bool measuredOnly) const;
 
   /// Id of the node with the highest outgoing byte count (nil if none) —
@@ -155,6 +194,8 @@ class ScenarioRunner final : public churn::LifecycleListener {
   NodeId maxBandwidthNode() const;
 
   /// Direct node access for custom probes (tests, examples, ablations).
+  /// AVMON scenarios only: throws std::logic_error for other protocols
+  /// (use protocol() probes instead) and std::out_of_range for unknown ids.
   const AvmonNode& node(const NodeId& id) const;
   AvmonNode& mutableNode(const NodeId& id);
 
@@ -172,8 +213,6 @@ class ScenarioRunner final : public churn::LifecycleListener {
   void onDeath(const NodeId& id) override;
 
  private:
-  void precomputeBootstrapPicks();
-  NodeId nextBootstrapPick(std::uint32_t nodeIndex);
   void buildMeasuredSet();
 
   Scenario scenario_;
@@ -193,15 +232,9 @@ class ScenarioRunner final : public churn::LifecycleListener {
   trace::AvailabilityTrace trace_;
   std::unique_ptr<churn::TracePlayer> player_;
 
-  std::unordered_map<NodeId, std::unique_ptr<AvmonNode>> nodes_;
-  std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
+  std::unique_ptr<Protocol> protocol_;
 
-  // Bootstrap picks, precomputed from the trace (the alive set at any
-  // instant is trace-determined, not protocol-determined). Node i's j-th
-  // join consumes picks_[i][j]; the cursor is only ever touched by i's
-  // home shard, so joins on different shards need no shared alive list.
-  std::vector<std::vector<NodeId>> bootstrapPicks_;
-  std::vector<std::size_t> bootstrapCursor_;
+  std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
 
   std::vector<NodeId> measured_;
   bool ran_ = false;

@@ -1,0 +1,384 @@
+#include "experiments/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace avmon::experiments {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> splitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) out.push_back(trim(item));
+  if (out.empty()) out.push_back("");
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("spec line " + std::to_string(line) + ": " +
+                              what);
+}
+
+bool parseBool(const std::string& v, std::size_t line) {
+  if (v == "true" || v == "1" || v == "on" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "off" || v == "no") return false;
+  fail(line, "expected a boolean (true/false), got '" + v + "'");
+}
+
+std::uint64_t parseU64(const std::string& v, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long x = std::stoull(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return x;
+  } catch (const std::exception&) {
+    fail(line, "expected an unsigned integer, got '" + v + "'");
+  }
+}
+
+double parseDouble(const std::string& v, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double x = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return x;
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + v + "'");
+  }
+}
+
+MeasuredSet parseMeasured(const std::string& v, std::size_t line) {
+  if (v == "auto") return MeasuredSet::kAuto;
+  if (v == "control") return MeasuredSet::kControlGroup;
+  if (v == "born_after_warmup") return MeasuredSet::kBornAfterWarmup;
+  if (v == "all") return MeasuredSet::kAll;
+  fail(line, "expected measured = auto|control|born_after_warmup|all, got '" +
+                 v + "'");
+}
+
+const char* measuredName(MeasuredSet m) {
+  switch (m) {
+    case MeasuredSet::kAuto: return "auto";
+    case MeasuredSet::kControlGroup: return "control";
+    case MeasuredSet::kBornAfterWarmup: return "born_after_warmup";
+    case MeasuredSet::kAll: return "all";
+  }
+  return "auto";
+}
+
+}  // namespace
+
+std::optional<AvmonConfig> cvsKOverride(churn::Model model, std::size_t n,
+                                        std::size_t cvs, unsigned k) {
+  if (cvs == 0 && k == 0) return std::nullopt;
+  churn::WorkloadParams wp;
+  wp.stableSize = n;
+  AvmonConfig cfg =
+      AvmonConfig::paperDefaults(churn::effectiveStableSize(model, wp));
+  if (cvs != 0) cfg.cvs = cvs;
+  if (k != 0) cfg.k = k;
+  return cfg;
+}
+
+std::string formatDouble(double d) {
+  // Find the shortest precision whose text parses back to exactly d, so
+  // canonical specs print 0.1 as "0.1" yet never lose a bit.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << d;
+    if (std::stod(out.str()) == d) return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << d;
+  return out.str();
+}
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+  SweepSpec spec;
+  Scenario& base = spec.base;
+  std::vector<std::string> seen;
+
+  std::size_t cvs = 0;
+  unsigned k = 0;
+  bool horizonSet = false, warmupSet = false;
+
+  std::istringstream in(text);
+  std::string rawLine;
+  std::size_t lineNo = 0;
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    const std::size_t comment = rawLine.find('#');
+    if (comment != std::string::npos) rawLine.resize(comment);
+    const std::string line = trim(rawLine);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(lineNo, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(lineNo, "empty key");
+    for (const std::string& prior : seen) {
+      if (prior == key) fail(lineNo, "duplicate key '" + key + "'");
+    }
+    seen.push_back(key);
+
+    if (key == "protocol") {
+      for (const std::string& v : splitList(value)) {
+        if (v.empty()) fail(lineNo, "empty protocol name");
+        spec.protocols.push_back(v);
+      }
+    } else if (key == "model") {
+      for (const std::string& v : splitList(value)) {
+        try {
+          spec.models.push_back(churn::modelFromName(v));
+        } catch (const std::invalid_argument& e) {
+          fail(lineNo, e.what());
+        }
+      }
+    } else if (key == "n") {
+      for (const std::string& v : splitList(value)) {
+        spec.sizes.push_back(
+            static_cast<std::size_t>(parseU64(v, lineNo)));
+      }
+    } else if (key == "seed") {
+      for (const std::string& v : splitList(value)) {
+        spec.seeds.push_back(parseU64(v, lineNo));
+      }
+    } else if (key == "drop") {
+      for (const std::string& v : splitList(value)) {
+        spec.drops.push_back(parseDouble(v, lineNo));
+      }
+    } else if (key == "horizon_min") {
+      base.horizon = static_cast<SimDuration>(parseU64(value, lineNo)) *
+                     kMinute;
+      horizonSet = true;
+    } else if (key == "horizon_ms") {
+      base.horizon = static_cast<SimDuration>(parseU64(value, lineNo));
+      horizonSet = true;
+    } else if (key == "warmup_min") {
+      base.warmup = static_cast<SimTime>(parseU64(value, lineNo)) * kMinute;
+      warmupSet = true;
+    } else if (key == "warmup_ms") {
+      base.warmup = static_cast<SimTime>(parseU64(value, lineNo));
+      warmupSet = true;
+    } else if (key == "control_fraction") {
+      base.controlFraction = parseDouble(value, lineNo);
+    } else if (key == "hash") {
+      base.hashName = value;
+    } else if (key == "cvs") {
+      cvs = static_cast<std::size_t>(parseU64(value, lineNo));
+    } else if (key == "k") {
+      k = static_cast<unsigned>(parseU64(value, lineNo));
+    } else if (key == "pr2") {
+      base.pr2 = parseBool(value, lineNo);
+    } else if (key == "forgetful") {
+      base.forgetful = parseBool(value, lineNo);
+    } else if (key == "forgetful_ewma") {
+      base.forgetfulEwma = parseBool(value, lineNo);
+    } else if (key == "overreport") {
+      base.overreportFraction = parseDouble(value, lineNo);
+    } else if (key == "rpc_fail") {
+      base.rpcFailProbability = parseDouble(value, lineNo);
+    } else if (key == "measured") {
+      base.measured = parseMeasured(value, lineNo);
+    } else if (key == "shards") {
+      base.shards = static_cast<unsigned>(parseU64(value, lineNo));
+    } else if (key == "deferred_rpc") {
+      base.deferredRpc = parseBool(value, lineNo);
+    } else {
+      fail(lineNo, "unknown key '" + key + "'");
+    }
+  }
+
+  if (horizonSet && !warmupSet && base.warmup >= base.horizon) {
+    // A spec that shortens the horizon below the default warm-up almost
+    // certainly forgot warmup_min; say so instead of failing validation
+    // with the defaults' numbers.
+    throw std::invalid_argument(
+        "spec: horizon is shorter than the default 60 min warm-up — set "
+        "warmup_min (or warmup_ms) too");
+  }
+
+  // Absent axes are singletons of the base's value: expand() is always the
+  // full five-way cross product.
+  if (spec.protocols.empty()) spec.protocols.push_back(base.protocol);
+  if (spec.models.empty()) spec.models.push_back(base.model);
+  if (spec.sizes.empty()) spec.sizes.push_back(base.stableSize);
+  if (spec.seeds.empty()) spec.seeds.push_back(base.seed);
+  if (spec.drops.empty()) spec.drops.push_back(base.messageDropProbability);
+
+  // cvs/k overrides mirror the avmon_sim flags: nonzero pins the value,
+  // everything else keeps paper defaults for the (largest) swept size.
+  // The override is resolved per expanded scenario in expand() so each
+  // size gets its own paper baseline.
+  spec.base.configOverride.reset();
+  if (cvs != 0 || k != 0) {
+    // Stash the raw overrides in a config built later; encode via the
+    // first size now and fix up per point in expand().
+    AvmonConfig cfg;  // placeholder; expand() rebuilds per size
+    cfg.cvs = cvs;
+    cfg.k = k;
+    spec.base.configOverride = cfg;
+  }
+
+  return spec;
+}
+
+SweepSpec SweepSpec::parseFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot read spec file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return parse(buffer.str());
+}
+
+std::size_t SweepSpec::pointCount() const {
+  return protocols.size() * models.size() * sizes.size() * seeds.size() *
+         drops.size();
+}
+
+std::vector<Scenario> SweepSpec::expand() const {
+  std::vector<Scenario> out;
+  out.reserve(pointCount());
+  for (const std::string& protocol : protocols) {
+    for (const churn::Model model : models) {
+      for (const std::size_t n : sizes) {
+        for (const std::uint64_t seed : seeds) {
+          for (const double drop : drops) {
+            Scenario s = base;
+            s.protocol = protocol;
+            s.model = model;
+            s.stableSize = n;
+            s.seed = seed;
+            s.messageDropProbability = drop;
+            if (base.configOverride) {
+              // Re-derive per point: each swept size gets its own paper
+              // baseline with the spec's nonzero knobs pinned.
+              s.configOverride = cvsKOverride(model, n,
+                                              base.configOverride->cvs,
+                                              base.configOverride->k);
+            }
+            out.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Scenario Scenario::fromSpec(const std::string& text) {
+  const SweepSpec spec = SweepSpec::parse(text);
+  if (spec.pointCount() != 1) {
+    throw std::invalid_argument(
+        "Scenario::fromSpec: spec expands to " +
+        std::to_string(spec.pointCount()) +
+        " scenarios (list-valued keys) — use SweepSpec::parse for sweeps");
+  }
+  return spec.expand().front();
+}
+
+std::string Scenario::toSpec() const {
+  std::ostringstream out;
+  out << "protocol = " << protocol << "\n";
+  out << "model = " << churn::modelName(model) << "\n";
+  out << "n = " << stableSize << "\n";
+  if (horizon % kMinute == 0) {
+    out << "horizon_min = " << horizon / kMinute << "\n";
+  } else {
+    out << "horizon_ms = " << horizon << "\n";
+  }
+  if (warmup % kMinute == 0) {
+    out << "warmup_min = " << warmup / kMinute << "\n";
+  } else {
+    out << "warmup_ms = " << warmup << "\n";
+  }
+  out << "control_fraction = " << formatDouble(controlFraction) << "\n";
+  out << "seed = " << seed << "\n";
+  out << "hash = " << hashName << "\n";
+  // The spec grammar represents the cvs/k overrides (the avmon_sim knobs);
+  // 0 = paper default. Other AvmonConfig fields are not spec-addressable.
+  out << "cvs = " << (configOverride ? configOverride->cvs : 0) << "\n";
+  out << "k = " << (configOverride ? configOverride->k : 0) << "\n";
+  out << "pr2 = " << (pr2 ? "true" : "false") << "\n";
+  out << "forgetful = " << (forgetful ? "true" : "false") << "\n";
+  out << "forgetful_ewma = " << (forgetfulEwma ? "true" : "false") << "\n";
+  out << "overreport = " << formatDouble(overreportFraction) << "\n";
+  out << "drop = " << formatDouble(messageDropProbability) << "\n";
+  out << "rpc_fail = " << formatDouble(rpcFailProbability) << "\n";
+  out << "measured = " << measuredName(measured) << "\n";
+  out << "shards = " << shards << "\n";
+  out << "deferred_rpc = " << (deferredRpc ? "true" : "false") << "\n";
+  return out.str();
+}
+
+// ---- ArgParser ----
+
+bool ArgParser::next() {
+  if (next_ >= argc_) return false;
+  flag_ = argv_[next_++];
+  return true;
+}
+
+std::string ArgParser::value() {
+  if (next_ >= argc_) {
+    throw UsageError("missing value for " + flag_);
+  }
+  return argv_[next_++];
+}
+
+std::uint64_t ArgParser::valueU64() {
+  const std::string v = value();
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    throw UsageError("bad value for " + flag_ + ": " + v);
+  }
+}
+
+std::size_t ArgParser::valueSize() {
+  return static_cast<std::size_t>(valueU64());
+}
+
+unsigned ArgParser::valueUnsigned() {
+  return static_cast<unsigned>(valueU64());
+}
+
+long ArgParser::valueLong() {
+  const std::string v = value();
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    throw UsageError("bad value for " + flag_ + ": " + v);
+  }
+}
+
+double ArgParser::valueDouble() {
+  const std::string v = value();
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw UsageError("bad value for " + flag_ + ": " + v);
+  }
+}
+
+void ArgParser::failUnknown() const {
+  throw UsageError("unknown option: " + flag_);
+}
+
+}  // namespace avmon::experiments

@@ -1,0 +1,119 @@
+// Declarative scenario specs: scenarios are data, not C++.
+//
+// Grammar — one `key = value` pair per line, `#` starts a comment:
+//
+//     # AVMON vs. the baselines under SYNTH churn, 3 seeds
+//     protocol = avmon, broadcast, central     # list keys sweep
+//     model    = SYNTH
+//     n        = 150
+//     seed     = 1, 2, 3
+//     horizon_min = 80
+//     warmup_min  = 30
+//
+// Scalar keys (applied to every expanded scenario): horizon_min or
+// horizon_ms, warmup_min or warmup_ms, control_fraction, hash, cvs, k
+// (0 = paper default), pr2, forgetful, forgetful_ewma, overreport,
+// rpc_fail, measured (auto|control|born_after_warmup|all), shards,
+// deferred_rpc.  List keys (comma-separated, cross-producted in
+// protocol > model > n > seed > drop order): protocol, model, n, seed,
+// drop.  A spec whose lists are all singletons is exactly one Scenario —
+// Scenario::fromSpec / toSpec round-trip through this grammar, and
+// `avmon_sim --spec file` replaces flag soup with a text file.
+//
+// This header also hosts the small argv reader both command-line tools
+// share, so flag parsing lives in one place.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace avmon::experiments {
+
+/// A parsed sweep: one base scenario plus the axes to cross-product.
+struct SweepSpec {
+  Scenario base;  ///< scalar keys applied to every point
+
+  // Sweep axes; parse() fills absent axes with the base's single value,
+  // so expand() is always the full cross product of five lists.
+  std::vector<std::string> protocols;
+  std::vector<churn::Model> models;
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint64_t> seeds;
+  std::vector<double> drops;  ///< messageDropProbability axis
+
+  /// Parses spec text; throws std::invalid_argument naming the offending
+  /// line on unknown keys, duplicates, or malformed values.
+  static SweepSpec parse(const std::string& text);
+
+  /// Reads and parses a spec file; throws std::runtime_error if the file
+  /// cannot be read.
+  static SweepSpec parseFile(const std::string& path);
+
+  /// Number of scenarios expand() will produce.
+  std::size_t pointCount() const;
+
+  /// The cross product, in deterministic nested order: protocol
+  /// (outermost), model, n, seed, drop (innermost). Same spec, same
+  /// expansion — sweeps are reproducible by construction.
+  std::vector<Scenario> expand() const;
+};
+
+/// Shortest decimal representation of `d` that parses back to exactly the
+/// same double — what toSpec() emits, so specs stay human-readable AND
+/// parse -> serialize -> parse is a fixed point. Exposed for tests.
+std::string formatDouble(double d);
+
+/// The ONE implementation of the cvs/k override semantics shared by the
+/// avmon_sim flags and the spec grammar (the tested guarantee that --spec
+/// reproduces the flag invocation depends on these never diverging):
+/// nonzero pins the knob, everything else keeps paper defaults for the
+/// model's effective size at `n`; nullopt when both knobs are 0 (auto).
+std::optional<AvmonConfig> cvsKOverride(churn::Model model, std::size_t n,
+                                        std::size_t cvs, unsigned k);
+
+/// Malformed command line (unknown flag, missing value): tools catch this
+/// separately to print usage and exit 2, while semantic errors (bad model
+/// name, unreadable spec) stay std::invalid_argument/runtime_error and
+/// exit 1 with a plain message.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Tiny shared argv cursor behind every tool's flag loop: `--key value`
+/// and bare `--flag` styles, typed value accessors, uniform errors
+/// (UsageError, which tools turn into usage text).
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv, int begin = 1)
+      : argc_(argc), argv_(argv), next_(begin) {}
+
+  /// Advances to the next flag; false when arguments are exhausted.
+  bool next();
+
+  /// The current flag, including its leading dashes.
+  const std::string& flag() const noexcept { return flag_; }
+
+  /// Consumes and returns the current flag's value; throws if absent.
+  std::string value();
+
+  std::uint64_t valueU64();
+  std::size_t valueSize();
+  unsigned valueUnsigned();
+  long valueLong();
+  double valueDouble();
+
+  /// Throws "unknown option: <flag>" — the tools' catch-all else branch.
+  [[noreturn]] void failUnknown() const;
+
+ private:
+  int argc_;
+  char** argv_;
+  int next_;
+  std::string flag_;
+};
+
+}  // namespace avmon::experiments

@@ -47,4 +47,8 @@ std::unique_ptr<HashFunction> makeHashFunction(const std::string& name) {
   throw std::invalid_argument("unknown hash function: " + name);
 }
 
+bool isKnownHashName(const std::string& name) {
+  return name == "md5" || name == "sha1" || name == "splitmix64";
+}
+
 }  // namespace avmon::hash

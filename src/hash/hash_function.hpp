@@ -59,4 +59,8 @@ class SplitMix64HashFunction final : public HashFunction {
 /// Factory by name; throws std::invalid_argument on unknown names.
 std::unique_ptr<HashFunction> makeHashFunction(const std::string& name);
 
+/// True if makeHashFunction(name) would succeed — validation without the
+/// construction cost (or the exception).
+bool isKnownHashName(const std::string& name);
+
 }  // namespace avmon::hash

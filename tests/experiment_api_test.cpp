@@ -1,0 +1,436 @@
+// The protocol-agnostic experiment API: protocol registry, declarative
+// scenario specs (round-trip property), sweep expansion determinism,
+// Scenario::validate(), and the metrics sinks' stream-failure contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "experiments/metrics.hpp"
+#include "experiments/protocol_registry.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/spec.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+// ---- registry ----
+
+TEST(ProtocolRegistryTest, EnumeratesAllFiveProtocols) {
+  const auto names = ProtocolRegistry::instance().names();
+  const std::vector<std::string> expected = {"avmon", "broadcast", "central",
+                                             "dht_ring", "self_report"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ProtocolRegistryTest, CreateInstantiatesEveryRegisteredProtocol) {
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const auto protocol = ProtocolRegistry::instance().create(name);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->name(), name);
+  }
+}
+
+TEST(ProtocolRegistryTest, UnknownNameListsKnownProtocols) {
+  try {
+    ProtocolRegistry::instance().create("gossipmon");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gossipmon"), std::string::npos);
+    EXPECT_NE(what.find("avmon"), std::string::npos);
+    EXPECT_NE(what.find("self_report"), std::string::npos);
+  }
+}
+
+TEST(ProtocolRegistryTest, DuplicateRegistrationThrows) {
+  EXPECT_THROW(ProtocolRegistry::instance().add(
+                   {"avmon", "dup", 1, [] { return nullptr; }}),
+               std::invalid_argument);
+}
+
+TEST(ProtocolRegistryTest, OnlyAvmonIsMultiShard) {
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const ProtocolFactory* f = ProtocolRegistry::instance().find(name);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->maxShards, name == "avmon" ? 0u : 1u) << name;
+  }
+}
+
+// ---- spec round-trip ----
+
+bool scenarioEquals(const Scenario& a, const Scenario& b) {
+  const bool configEqual =
+      a.configOverride.has_value() == b.configOverride.has_value() &&
+      (!a.configOverride || (a.configOverride->cvs == b.configOverride->cvs &&
+                             a.configOverride->k == b.configOverride->k));
+  return a.protocol == b.protocol && a.model == b.model &&
+         a.stableSize == b.stableSize && a.horizon == b.horizon &&
+         a.warmup == b.warmup && a.controlFraction == b.controlFraction &&
+         a.seed == b.seed && a.hashName == b.hashName && configEqual &&
+         a.pr2 == b.pr2 && a.forgetful == b.forgetful &&
+         a.forgetfulEwma == b.forgetfulEwma &&
+         a.overreportFraction == b.overreportFraction &&
+         a.messageDropProbability == b.messageDropProbability &&
+         a.rpcFailProbability == b.rpcFailProbability &&
+         a.measured == b.measured && a.shards == b.shards &&
+         a.deferredRpc == b.deferredRpc;
+}
+
+TEST(ScenarioSpecTest, DefaultScenarioRoundTrips) {
+  const Scenario s;
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_TRUE(scenarioEquals(s, back));
+  EXPECT_EQ(s.toSpec(), back.toSpec());
+}
+
+TEST(ScenarioSpecTest, RoundTripIsFixedPointProperty) {
+  // Pseudo-randomized scenarios over every spec-representable axis:
+  // parse(serialize(s)) must reproduce s, and serialize must be a fixed
+  // point from the first iteration on.
+  const churn::Model models[] = {churn::Model::kStat, churn::Model::kSynth,
+                                 churn::Model::kSynthBD,
+                                 churn::Model::kSynthBD2,
+                                 churn::Model::kPlanetLab,
+                                 churn::Model::kOvernet};
+  const char* hashes[] = {"md5", "sha1", "splitmix64"};
+  const MeasuredSet measured[] = {
+      MeasuredSet::kAuto, MeasuredSet::kControlGroup,
+      MeasuredSet::kBornAfterWarmup, MeasuredSet::kAll};
+  const auto protocols = ProtocolRegistry::instance().names();
+
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  const auto nextRand = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+
+  for (int i = 0; i < 200; ++i) {
+    Scenario s;
+    s.protocol = protocols[nextRand() % protocols.size()];
+    s.model = models[nextRand() % 6];
+    s.stableSize = 1 + nextRand() % 5000;
+    s.horizon = 1 + static_cast<SimDuration>(nextRand() % (5 * kHour));
+    s.warmup = static_cast<SimTime>(nextRand() % (2 * kHour));
+    s.controlFraction = static_cast<double>(nextRand() % 1000) / 999.0;
+    s.seed = nextRand();
+    s.hashName = hashes[nextRand() % 3];
+    s.pr2 = nextRand() % 2 == 0;
+    s.forgetful = nextRand() % 2 == 0;
+    s.forgetfulEwma = nextRand() % 2 == 0;
+    s.overreportFraction = static_cast<double>(nextRand() % 100) / 99.0;
+    s.messageDropProbability = static_cast<double>(nextRand() % 100) / 99.0;
+    s.rpcFailProbability = 1.0 / static_cast<double>(1 + nextRand() % 7);
+    s.measured = measured[nextRand() % 4];
+    s.shards = static_cast<unsigned>(nextRand() % 9);
+    s.deferredRpc = nextRand() % 2 == 0;
+
+    const std::string spec1 = s.toSpec();
+    const Scenario s2 = Scenario::fromSpec(spec1);
+    const std::string spec2 = s2.toSpec();
+    EXPECT_TRUE(scenarioEquals(s, s2)) << "iteration " << i << "\n" << spec1;
+    EXPECT_EQ(spec1, spec2) << "iteration " << i;
+  }
+}
+
+TEST(ScenarioSpecTest, CvsAndKOverridesRoundTrip) {
+  const std::string spec =
+      "model = SYNTH\nn = 500\nhorizon_min = 90\nwarmup_min = 30\n"
+      "cvs = 30\nk = 7\n";
+  const Scenario s = Scenario::fromSpec(spec);
+  ASSERT_TRUE(s.configOverride.has_value());
+  EXPECT_EQ(s.configOverride->cvs, 30u);
+  EXPECT_EQ(s.configOverride->k, 7u);
+  // Everything but the pinned knobs keeps paper defaults for N=500.
+  const AvmonConfig defaults = AvmonConfig::paperDefaults(500);
+  EXPECT_EQ(s.configOverride->protocolPeriod, defaults.protocolPeriod);
+
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_TRUE(scenarioEquals(s, back));
+  EXPECT_EQ(s.toSpec(), back.toSpec());
+}
+
+TEST(ScenarioSpecTest, CommentsAndBlankLinesAreIgnored) {
+  const Scenario s = Scenario::fromSpec(
+      "# a comment line\n\n  model = SYNTH-BD  # trailing comment\n"
+      "\t n\t=\t250 \n");
+  EXPECT_EQ(s.model, churn::Model::kSynthBD);
+  EXPECT_EQ(s.stableSize, 250u);
+}
+
+TEST(ScenarioSpecTest, MillisecondPrecisionSurvives) {
+  Scenario s;
+  s.horizon = 90 * kMinute + 123;  // not minute-aligned
+  s.warmup = 30 * kMinute;
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_EQ(back.horizon, s.horizon);
+  EXPECT_EQ(back.warmup, s.warmup);
+  EXPECT_NE(s.toSpec().find("horizon_ms"), std::string::npos);
+  EXPECT_NE(s.toSpec().find("warmup_min"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, ErrorsNameTheOffendingLine) {
+  const auto expectError = [](const std::string& spec,
+                              const std::string& fragment) {
+    try {
+      SweepSpec::parse(spec);
+      FAIL() << "expected invalid_argument for:\n" << spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("bogus_key = 1\n", "unknown key 'bogus_key'");
+  expectError("model = STAT\nmodel = SYNTH\n", "duplicate key");
+  expectError("model STAT\n", "expected 'key = value'");
+  expectError("n = twelve\n", "unsigned integer");
+  expectError("model = FOO\n", "unknown model");
+  expectError("measured = sometimes\n", "measured");
+  expectError("pr2 = maybe\n", "boolean");
+}
+
+TEST(ScenarioSpecTest, FromSpecRejectsSweeps) {
+  EXPECT_THROW(Scenario::fromSpec("seed = 1, 2\n"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, FormatDoubleIsShortestExact) {
+  EXPECT_EQ(formatDouble(0.1), "0.1");
+  EXPECT_EQ(formatDouble(0.0), "0");
+  EXPECT_EQ(formatDouble(1.0), "1");
+  const double awkward = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(formatDouble(awkward)), awkward);
+}
+
+// ---- sweep expansion ----
+
+TEST(SweepSpecTest, ExpansionCountAndOrderAreDeterministic) {
+  const std::string text =
+      "protocol = avmon, broadcast\n"
+      "model = STAT, SYNTH\n"
+      "n = 50, 80\n"
+      "seed = 1, 2, 3\n"
+      "drop = 0, 0.05\n"
+      "horizon_min = 60\nwarmup_min = 20\n";
+  const SweepSpec sweep = SweepSpec::parse(text);
+  EXPECT_EQ(sweep.pointCount(), 2u * 2u * 2u * 3u * 2u);
+  const auto scenarios = sweep.expand();
+  ASSERT_EQ(scenarios.size(), 48u);
+
+  // Nested order: protocol > model > n > seed > drop (drop innermost).
+  EXPECT_EQ(scenarios[0].protocol, "avmon");
+  EXPECT_EQ(scenarios[0].model, churn::Model::kStat);
+  EXPECT_EQ(scenarios[0].stableSize, 50u);
+  EXPECT_EQ(scenarios[0].seed, 1u);
+  EXPECT_DOUBLE_EQ(scenarios[0].messageDropProbability, 0.0);
+  EXPECT_DOUBLE_EQ(scenarios[1].messageDropProbability, 0.05);
+  EXPECT_EQ(scenarios[2].seed, 2u);
+  EXPECT_EQ(scenarios[6].stableSize, 80u);
+  EXPECT_EQ(scenarios[12].model, churn::Model::kSynth);
+  EXPECT_EQ(scenarios[24].protocol, "broadcast");
+  EXPECT_EQ(scenarios[47].protocol, "broadcast");
+  EXPECT_EQ(scenarios[47].seed, 3u);
+
+  // Same text, same expansion — bit for bit.
+  const auto again = SweepSpec::parse(text).expand();
+  ASSERT_EQ(again.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_TRUE(scenarioEquals(scenarios[i], again[i])) << i;
+    EXPECT_EQ(scenarios[i].toSpec(), again[i].toSpec()) << i;
+  }
+}
+
+TEST(SweepSpecTest, AbsentAxesDefaultToSingletons) {
+  const SweepSpec sweep = SweepSpec::parse("model = SYNTH\nn = 77\n");
+  EXPECT_EQ(sweep.pointCount(), 1u);
+  const auto scenarios = sweep.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].protocol, "avmon");
+  EXPECT_EQ(scenarios[0].stableSize, 77u);
+}
+
+// ---- validate ----
+
+TEST(ScenarioValidateTest, DefaultIsValid) {
+  EXPECT_NO_THROW(Scenario{}.validate());
+}
+
+TEST(ScenarioValidateTest, ActionableErrors) {
+  const auto expectError = [](const std::function<void(Scenario&)>& mutate,
+                              const std::string& fragment) {
+    Scenario s;
+    mutate(s);
+    try {
+      s.validate();
+      FAIL() << "expected invalid_argument containing '" << fragment << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError([](Scenario& s) { s.protocol = "nope"; }, "unknown protocol");
+  expectError([](Scenario& s) { s.stableSize = 0; }, "stableSize");
+  expectError([](Scenario& s) { s.horizon = 0; }, "horizon");
+  expectError([](Scenario& s) { s.warmup = s.horizon; }, "warmup");
+  expectError([](Scenario& s) { s.hashName = "crc32"; }, "unknown hash");
+  expectError([](Scenario& s) { s.controlFraction = 1.5; },
+              "controlFraction");
+  expectError([](Scenario& s) { s.messageDropProbability = -0.1; },
+              "messageDropProbability");
+  expectError(
+      [](Scenario& s) {
+        s.deferredRpc = false;
+        s.shards = 4;
+      },
+      "instantaneous RPC");
+  expectError(
+      [](Scenario& s) {
+        s.protocol = "broadcast";
+        s.shards = 2;
+      },
+      "shared global state");
+}
+
+TEST(ScenarioValidateTest, TraceModelsIgnoreStableSize) {
+  Scenario s;
+  s.model = churn::Model::kPlanetLab;
+  s.stableSize = 0;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ScenarioValidateTest, RunnerValidatesOnConstruction) {
+  Scenario s;
+  s.protocol = "no_such_scheme";
+  EXPECT_THROW(ScenarioRunner{s}, std::invalid_argument);
+}
+
+// ---- metrics sinks ----
+
+MetricSet tinySet(const std::string& protocol, std::uint64_t seed) {
+  MetricSet set;
+  set.protocol = protocol;
+  set.model = "STAT";
+  set.hashName = "splitmix64";
+  set.effectiveN = 10;
+  set.seed = seed;
+  set.discoverySeconds = {1.0, 2.0, 3.0};
+  set.discoveredFraction = 1.0;
+  set.memoryEntries = {5.0, 6.0};
+  set.outgoingBytesPerSecond = {10.0};
+  set.perNode.push_back({NodeId::fromIndex(0), 100, 10, 5, 42, 0, 1.5});
+  return set;
+}
+
+TEST(MetricsSinkTest, CsvSinkReportsStreamFailureOnClose) {
+  CsvSink sink("/nonexistent-dir-for-avmon-test/prefix");
+  sink.add(tinySet("avmon", 1));
+  try {
+    sink.close();
+    FAIL() << "expected runtime_error for unwritable CSV target";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-for-avmon-test"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MetricsSinkTest, CsvSinkWritesAllFilesAndPerNodeRows) {
+  const std::string prefix = ::testing::TempDir() + "avmon_csv_sink";
+  CsvSink sink(prefix);
+  sink.add(tinySet("avmon", 1));
+  sink.close();
+  ASSERT_EQ(sink.writtenFiles().size(), 4u);
+  for (const std::string& path : sink.writtenFiles()) {
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    std::remove(path.c_str());
+  }
+  // Single-run sweeps keep the historical file names.
+  EXPECT_EQ(sink.writtenFiles()[0], prefix + ".discovery.csv");
+}
+
+TEST(MetricsSinkTest, MultiRunCsvFilesAreKeyedByRunLabel) {
+  const std::string prefix = ::testing::TempDir() + "avmon_csv_multi";
+  CsvSink sink(prefix);
+  sink.add(tinySet("avmon", 1));
+  sink.add(tinySet("broadcast", 1));
+  sink.close();
+  ASSERT_EQ(sink.writtenFiles().size(), 8u);
+  EXPECT_NE(sink.writtenFiles()[0].find("avmon-STAT"), std::string::npos);
+  EXPECT_NE(sink.writtenFiles()[4].find("broadcast-STAT"),
+            std::string::npos);
+  for (const std::string& path : sink.writtenFiles()) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MetricsSinkTest, JsonSinkReportsStreamFailureOnClose) {
+  JsonSink sink("/nonexistent-dir-for-avmon-test/metrics.json");
+  sink.add(tinySet("avmon", 1));
+  EXPECT_THROW(sink.close(), std::runtime_error);
+}
+
+TEST(MetricsSinkTest, JsonSinkEmitsOneObjectPerRun) {
+  const std::string path = ::testing::TempDir() + "avmon_metrics.json";
+  JsonSink sink(path);
+  sink.add(tinySet("avmon", 1));
+  sink.add(tinySet("central", 2));
+  sink.close();
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"protocol\": \"avmon\""), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\": \"central\""), std::string::npos);
+  EXPECT_NE(json.find("\"first_monitor_discovery_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"discovered_fraction\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSinkTest, SummaryTableSinkPrintsComparisonForMultipleRuns) {
+  std::ostringstream out;
+  SummaryTableSink sink(out);
+  sink.add(tinySet("avmon", 1));
+  sink.add(tinySet("broadcast", 1));
+  sink.close();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("protocol comparison"), std::string::npos);
+  EXPECT_NE(text.find("avmon"), std::string::npos);
+  EXPECT_NE(text.find("broadcast"), std::string::npos);
+}
+
+TEST(MetricsSinkTest, SummaryTableSinkSingleRunHasNoComparison) {
+  std::ostringstream out;
+  SummaryTableSink sink(out);
+  sink.add(tinySet("avmon", 1));
+  sink.close();
+  EXPECT_EQ(out.str().find("protocol comparison"), std::string::npos);
+}
+
+// ---- --spec reproduces flag-built scenarios ----
+
+TEST(ScenarioSpecTest, SpecReproducesFlagEquivalentScenario) {
+  // The flag path of avmon_sim builds this scenario; its spec twin must
+  // be indistinguishable, which (by the pinned determinism guarantees)
+  // makes the metrics identical too.
+  Scenario flags;
+  flags.hashName = "md5";
+  flags.model = churn::Model::kSynth;
+  flags.stableSize = 300;
+  flags.warmup = 30 * kMinute;
+  flags.horizon = flags.warmup + 90 * kMinute;
+  flags.seed = 7;
+  flags.messageDropProbability = 0.01;
+
+  const Scenario spec = Scenario::fromSpec(
+      "model = SYNTH\nn = 300\nhorizon_min = 120\nwarmup_min = 30\n"
+      "seed = 7\nhash = md5\ndrop = 0.01\n");
+  EXPECT_TRUE(scenarioEquals(flags, spec));
+  EXPECT_EQ(flags.toSpec(), spec.toSpec());
+}
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -1,23 +1,25 @@
 // avmon_sim — command-line scenario driver.
 //
-// Runs one AVMON scenario and prints a metric summary; optionally dumps
-// per-node metric CSVs for plotting. All figure benches are fixed-recipe
-// wrappers over the same runner; this tool is the free-form entry point.
+// Runs one scenario — or a declarative sweep — for any registered
+// protocol and reports through the unified metrics sinks: a summary table
+// (plus a cross-run comparison table for sweeps) on stdout, optional CSV
+// files, optional JSON. All figure benches are fixed-recipe wrappers over
+// the same runner; this tool is the free-form entry point.
 //
 // Usage:
-//   avmon_sim [--model STAT|SYNTH|SYNTH-BD|SYNTH-BD2|PL|OV] [--n 1000]
-//             [--minutes 90] [--warmup-min 30] [--seed 1] [--hash md5]
-//             [--cvs 0(auto)] [--k 0(auto)] [--pr2] [--no-forgetful]
-//             [--overreport 0.0] [--drop 0.0] [--csv PREFIX]
-#include <cstring>
-#include <fstream>
+//   avmon_sim --spec FILE [--csv PREFIX] [--json FILE]
+//   avmon_sim [--protocol P] [--model M] [--n 1000] [--minutes 90]
+//             [--warmup-min 30] [--seed 1] [--hash md5] [--cvs 0] [--k 0]
+//             [--pr2] [--no-forgetful] [--overreport 0.0] [--drop 0.0]
+//             [--shards 1] [--instant-rpc] [--csv PREFIX] [--json FILE]
 #include <iostream>
 #include <string>
 
+#include "experiments/metrics.hpp"
+#include "experiments/parallel_runner.hpp"
+#include "experiments/protocol_registry.hpp"
 #include "experiments/scenario.hpp"
-#include "stats/cdf.hpp"
-#include "stats/summary.hpp"
-#include "stats/table_printer.hpp"
+#include "experiments/spec.hpp"
 
 namespace {
 
@@ -26,6 +28,13 @@ using namespace avmon;
 [[noreturn]] void usageAndExit(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
+      << "  --spec FILE      run the scenario(s) a declarative spec file\n"
+      << "                   describes (see examples/specs/); list-valued\n"
+      << "                   keys sweep and print a comparison table.\n"
+      << "                   Mutually exclusive with the scenario flags.\n"
+      << "  --protocol P     " << experiments::ProtocolRegistry::instance()
+                                     .namesJoined()
+      << " (default avmon)\n"
       << "  --model M        STAT|SYNTH|SYNTH-BD|SYNTH-BD2|PL|OV (default STAT)\n"
       << "  --n N            stable system size (default 1000; PL/OV fixed)\n"
       << "  --minutes M      measured minutes after warm-up (default 90)\n"
@@ -42,27 +51,10 @@ using namespace avmon;
       << "                   per hardware thread; results are identical for\n"
       << "                   every shard count)\n"
       << "  --instant-rpc    collapsed-RTT RPC lane (forces --shards 1)\n"
-      << "  --csv PREFIX     write PREFIX.{discovery,memory,bandwidth}.csv\n";
+      << "  --csv PREFIX     write PREFIX[.<run>].{discovery,memory,\n"
+      << "                   bandwidth,pernode}.csv\n"
+      << "  --json FILE      write summary statistics for every run as JSON\n";
   std::exit(2);
-}
-
-churn::Model parseModel(const std::string& name) {
-  if (name == "STAT") return churn::Model::kStat;
-  if (name == "SYNTH") return churn::Model::kSynth;
-  if (name == "SYNTH-BD") return churn::Model::kSynthBD;
-  if (name == "SYNTH-BD2") return churn::Model::kSynthBD2;
-  if (name == "PL") return churn::Model::kPlanetLab;
-  if (name == "OV") return churn::Model::kOvernet;
-  throw std::invalid_argument("unknown model: " + name);
-}
-
-void writeCsv(const std::string& path, const char* header,
-              const std::vector<double>& values) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot write " + path);
-  f << header << "\n";
-  for (double v : values) f << v << "\n";
-  std::cout << "wrote " << path << " (" << values.size() << " rows)\n";
 }
 
 }  // namespace
@@ -73,85 +65,97 @@ int main(int argc, char** argv) {
   long minutes = 90, warmupMin = 30;
   std::size_t cvsOverride = 0;
   unsigned kOverride = 0;
-  std::string csvPrefix;
+  std::string specPath, csvPrefix, jsonPath;
+  bool scenarioFlagSeen = false;
 
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> std::string {
-        if (i + 1 >= argc) usageAndExit(argv[0]);
-        return argv[++i];
-      };
-      if (arg == "--model") scenario.model = parseModel(next());
-      else if (arg == "--n") scenario.stableSize = std::stoul(next());
-      else if (arg == "--minutes") minutes = std::stol(next());
-      else if (arg == "--warmup-min") warmupMin = std::stol(next());
-      else if (arg == "--seed") scenario.seed = std::stoull(next());
-      else if (arg == "--hash") scenario.hashName = next();
-      else if (arg == "--cvs") cvsOverride = std::stoul(next());
-      else if (arg == "--k") kOverride = static_cast<unsigned>(std::stoul(next()));
+    experiments::ArgParser args(argc, argv);
+    while (args.next()) {
+      const std::string& arg = args.flag();
+      const bool scenarioFlag = arg != "--spec" && arg != "--csv" &&
+                                arg != "--json";
+      if (arg == "--spec") specPath = args.value();
+      else if (arg == "--protocol") scenario.protocol = args.value();
+      else if (arg == "--model") scenario.model = churn::modelFromName(args.value());
+      else if (arg == "--n") scenario.stableSize = args.valueSize();
+      else if (arg == "--minutes") minutes = args.valueLong();
+      else if (arg == "--warmup-min") warmupMin = args.valueLong();
+      else if (arg == "--seed") scenario.seed = args.valueU64();
+      else if (arg == "--hash") scenario.hashName = args.value();
+      else if (arg == "--cvs") cvsOverride = args.valueSize();
+      else if (arg == "--k") kOverride = args.valueUnsigned();
       else if (arg == "--pr2") scenario.pr2 = true;
       else if (arg == "--no-forgetful") scenario.forgetful = false;
-      else if (arg == "--overreport") scenario.overreportFraction = std::stod(next());
-      else if (arg == "--drop") scenario.messageDropProbability = std::stod(next());
-      else if (arg == "--shards") scenario.shards = static_cast<unsigned>(std::stoul(next()));
+      else if (arg == "--overreport") scenario.overreportFraction = args.valueDouble();
+      else if (arg == "--drop") scenario.messageDropProbability = args.valueDouble();
+      else if (arg == "--shards") scenario.shards = args.valueUnsigned();
       else if (arg == "--instant-rpc") { scenario.deferredRpc = false; scenario.shards = 1; }
-      else if (arg == "--csv") csvPrefix = next();
-      else usageAndExit(argv[0]);
+      else if (arg == "--csv") csvPrefix = args.value();
+      else if (arg == "--json") jsonPath = args.value();
+      else args.failUnknown();
+      scenarioFlagSeen = scenarioFlagSeen || scenarioFlag;
     }
 
-    scenario.warmup = warmupMin * kMinute;
-    scenario.horizon = scenario.warmup + minutes * kMinute;
-    if (cvsOverride != 0 || kOverride != 0) {
-      churn::WorkloadParams wp;
-      wp.stableSize = scenario.stableSize;
-      AvmonConfig cfg = AvmonConfig::paperDefaults(
-          churn::effectiveStableSize(scenario.model, wp));
-      if (cvsOverride != 0) cfg.cvs = cvsOverride;
-      if (kOverride != 0) cfg.k = kOverride;
-      scenario.configOverride = cfg;
+    std::vector<experiments::Scenario> scenarios;
+    if (!specPath.empty()) {
+      if (scenarioFlagSeen) {
+        throw std::invalid_argument(
+            "--spec describes the whole scenario; scenario flags cannot be "
+            "combined with it (put the knob in the spec file)");
+      }
+      const auto sweep = experiments::SweepSpec::parseFile(specPath);
+      scenarios = sweep.expand();
+    } else {
+      scenario.warmup = warmupMin * kMinute;
+      scenario.horizon = scenario.warmup + minutes * kMinute;
+      scenario.configOverride = experiments::cvsKOverride(
+          scenario.model, scenario.stableSize, cvsOverride, kOverride);
+      scenarios.push_back(scenario);
     }
 
-    experiments::ScenarioRunner runner(scenario);
-    runner.run();
+    // Fail on a bad scenario before any world is built (validate is also
+    // run by every ScenarioRunner; doing it here makes spec typos cheap).
+    for (const experiments::Scenario& s : scenarios) s.validate();
 
-    const auto& cfg = runner.config();
-    std::cout << "model=" << churn::modelName(scenario.model)
-              << " N=" << runner.effectiveN() << " K=" << cfg.k
-              << " cvs=" << cfg.cvs << " hash=" << scenario.hashName
-              << " seed=" << scenario.seed << "\n\n";
+    std::cout << (scenarios.size() == 1
+                      ? "running 1 scenario\n"
+                      : "running " + std::to_string(scenarios.size()) +
+                            " scenarios\n");
 
-    const auto discovery = runner.discoveryDelaysSeconds(1);
-    const auto memory = runner.memoryEntries(false);
-    const auto bandwidth = runner.outgoingBytesPerSecond();
+    // Independent scenarios fan out across the worker pool; results come
+    // back in input order regardless of thread count. map() tears each
+    // world down as soon as its snapshot is harvested.
+    const auto metricSets =
+        experiments::ParallelScenarioRunner().map<experiments::MetricSet>(
+            scenarios, [](experiments::ScenarioRunner& runner) {
+              return experiments::collectMetrics(runner);
+            });
 
-    stats::TablePrinter table("scenario summary");
-    table.setHeader({"metric", "mean", "stddev", "p50", "p99", "n"});
-    const auto addMetric = [&](const char* name,
-                               const std::vector<double>& v) {
-      stats::Summary s;
-      for (double x : v) s.add(x);
-      const stats::Cdf cdf(v);
-      table.addRow({name, stats::TablePrinter::num(s.mean(), 2),
-                    stats::TablePrinter::num(s.stddev(), 2),
-                    stats::TablePrinter::num(cdf.percentile(0.5), 2),
-                    stats::TablePrinter::num(cdf.percentile(0.99), 2),
-                    std::to_string(s.count())});
-    };
-    addMetric("first-monitor discovery (s)", discovery);
-    addMetric("memory entries", memory);
-    addMetric("outgoing Bps", bandwidth);
-    addMetric("computations/s", runner.computationsPerSecond());
-    table.print(std::cout);
-    std::cout << "discovered fraction (>=1 monitor): "
-              << stats::TablePrinter::num(runner.discoveredFraction(1), 4)
-              << "\n";
-
+    // File-backed sinks close before the stdout one: a reader that stops
+    // consuming stdout (| head) must not prevent the artifacts from
+    // being written.
+    std::vector<std::unique_ptr<experiments::MetricsSink>> sinks;
     if (!csvPrefix.empty()) {
-      writeCsv(csvPrefix + ".discovery.csv", "discovery_seconds", discovery);
-      writeCsv(csvPrefix + ".memory.csv", "memory_entries", memory);
-      writeCsv(csvPrefix + ".bandwidth.csv", "outgoing_bps", bandwidth);
+      sinks.push_back(std::make_unique<experiments::CsvSink>(csvPrefix));
     }
+    if (!jsonPath.empty()) {
+      sinks.push_back(std::make_unique<experiments::JsonSink>(jsonPath));
+    }
+    sinks.push_back(
+        std::make_unique<experiments::SummaryTableSink>(std::cout));
+    for (const auto& set : metricSets) {
+      for (const auto& sink : sinks) sink->add(set);
+    }
+    for (const auto& sink : sinks) sink->close();
+    if (!csvPrefix.empty()) {
+      std::cout << "wrote CSV files under prefix " << csvPrefix << "\n";
+    }
+    if (!jsonPath.empty()) {
+      std::cout << "wrote " << jsonPath << "\n";
+    }
+  } catch (const experiments::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    usageAndExit(argv[0]);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "churn/churn_model.hpp"
+#include "experiments/spec.hpp"
 #include "stats/table_printer.hpp"
 #include "trace/trace_io.hpp"
 
@@ -27,16 +28,6 @@ using namespace avmon;
   std::exit(2);
 }
 
-churn::Model parseModel(const std::string& name) {
-  if (name == "STAT") return churn::Model::kStat;
-  if (name == "SYNTH") return churn::Model::kSynth;
-  if (name == "SYNTH-BD") return churn::Model::kSynthBD;
-  if (name == "SYNTH-BD2") return churn::Model::kSynthBD2;
-  if (name == "PL") return churn::Model::kPlanetLab;
-  if (name == "OV") return churn::Model::kOvernet;
-  throw std::invalid_argument("unknown model: " + name);
-}
-
 int runGen(int argc, char** argv) {
   churn::Model model = churn::Model::kSynth;
   churn::WorkloadParams params;
@@ -44,18 +35,15 @@ int runGen(int argc, char** argv) {
   long hours = 48;
   std::string out;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usageAndExit(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--model") model = parseModel(next());
-    else if (arg == "--n") params.stableSize = std::stoul(next());
-    else if (arg == "--hours") hours = std::stol(next());
-    else if (arg == "--seed") params.seed = std::stoull(next());
-    else if (arg == "--out") out = next();
-    else usageAndExit(argv[0]);
+  experiments::ArgParser args(argc, argv, /*begin=*/2);
+  while (args.next()) {
+    const std::string& arg = args.flag();
+    if (arg == "--model") model = churn::modelFromName(args.value());
+    else if (arg == "--n") params.stableSize = args.valueSize();
+    else if (arg == "--hours") hours = args.valueLong();
+    else if (arg == "--seed") params.seed = args.valueU64();
+    else if (arg == "--out") out = args.value();
+    else args.failUnknown();
   }
   if (out.empty()) usageAndExit(argv[0]);
   params.horizon = hours * kHour;
@@ -69,10 +57,10 @@ int runGen(int argc, char** argv) {
 
 int runStats(int argc, char** argv) {
   std::string in;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--in" && i + 1 < argc) in = argv[++i];
-    else usageAndExit(argv[0]);
+  experiments::ArgParser args(argc, argv, /*begin=*/2);
+  while (args.next()) {
+    if (args.flag() == "--in") in = args.value();
+    else args.failUnknown();
   }
   if (in.empty()) usageAndExit(argv[0]);
 
@@ -120,6 +108,9 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "gen") return runGen(argc, argv);
     if (cmd == "stats") return runStats(argc, argv);
+    usageAndExit(argv[0]);
+  } catch (const experiments::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
     usageAndExit(argv[0]);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
