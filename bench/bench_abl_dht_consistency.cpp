@@ -31,7 +31,7 @@ int main() {
   // Watch 50 observer nodes while unrelated churn happens.
   std::vector<NodeId> observers(ids.begin(), ids.begin() + 50);
   std::vector<std::vector<NodeId>> dhtBefore;
-  for (const NodeId& o : observers) dhtBefore.push_back(ring.pingingSet(o));
+  for (const NodeId& o : observers) dhtBefore.push_back(ring.replicaSet(o));
 
   // AVMON pinging sets (selection-level) for the same observers.
   const auto avmonPs = [&](const NodeId& o) {
@@ -52,7 +52,7 @@ int main() {
     ring.leave(ids[50 + rng.index(kN - 50)]);
     churnEvents += 2;
     for (std::size_t o = 0; o < observers.size(); ++o) {
-      auto now = ring.pingingSet(observers[o]);
+      auto now = ring.replicaSet(observers[o]);
       if (now != dhtBefore[o]) {
         ++dhtChanges;
         dhtBefore[o] = std::move(now);
@@ -86,7 +86,7 @@ int main() {
                   : 0.0;
   };
   const double dhtCo = cooccurrence(
-      [&](const NodeId& x) { return ring.pingingSet(x); });
+      [&](const NodeId& x) { return ring.replicaSet(x); });
   const double avmonCo = cooccurrence(avmonPs);
   const double uncorrelated = (static_cast<double>(kK) / kN) *
                               (static_cast<double>(kK) / kN);

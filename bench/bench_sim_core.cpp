@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "avmon/notify_dedup.hpp"
+#include "common.hpp"
 #include "common/rng.hpp"
 #include "experiments/scenario.hpp"
 #include "sim/network.hpp"
@@ -78,11 +79,8 @@ class LegacySimulator {
   std::uint64_t nextSeq_ = 0;
 };
 
-double secondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
+using avmon::benchx::secondsSince;
+using avmon::benchx::wallClockNow;
 
 // Best-of-N wrapper: scheduler microbenchmarks on a shared box are noisy,
 // and the *capability* of each implementation is its fastest observed run.
@@ -125,7 +123,7 @@ double scheduleFireEventsPerSec(std::size_t pending, std::uint64_t target) {
     sched.at(static_cast<SimTime>(rng.below(128)),
              ChurnEvent<Sched>{&sched, &rng, &fired});
   }
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   while (fired < target) {
     sched.runUntil(sched.now() + 1024);
   }
@@ -159,7 +157,7 @@ double mixedTierEventsPerSec(std::size_t pending, std::uint64_t target) {
     sched.at(static_cast<SimTime>(rng.below(128)),
              MixedEvent<Sched>{&sched, &rng, &fired});
   }
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   while (fired < target) {
     sched.runUntil(sched.now() + 4096);
   }
@@ -189,7 +187,7 @@ double sendThroughputPerSec(std::size_t nodes, std::uint64_t messages) {
   }
 
   Rng rng(8);
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   std::uint64_t sent = 0;
   while (sent < messages) {
     // A burst of sends from random sources, then drain the deliveries.
@@ -219,7 +217,7 @@ double rpcExchangesPerSec(std::uint64_t calls) {
   net.setUp(idB, true);
 
   std::uint64_t acked = 0;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   for (std::uint64_t i = 0; i < calls; ++i) {
     net.exchangeAsync(idA, idB, sim::PingRequest{8},
                       [&acked](std::optional<sim::PingResponse> pong) {
@@ -241,7 +239,7 @@ double dedupOpsPerSec(std::uint64_t ops, double* suppressedOut) {
   Rng rng(10);
   std::uint64_t fresh = 0;
   std::uint64_t suppressed = 0;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   for (std::uint64_t i = 0; i < ops; ++i) {
     std::uint64_t key;
     if (rng.chance(0.8) && fresh > 0) {
@@ -281,7 +279,7 @@ ShardedRun shardedScenarioRun(unsigned shards, std::size_t n,
   s.hashName = "splitmix64";
   s.shards = shards;
   experiments::ScenarioRunner runner(s);
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = wallClockNow();
   runner.run();
   ShardedRun result;
   result.seconds = secondsSince(start);

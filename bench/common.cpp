@@ -6,8 +6,15 @@
 namespace avmon::benchx {
 
 bool fullScale() {
+  // lint:allow(getenv, explicit operator knob selecting the paper's 48 h horizons; read once at startup, never inside a simulation)
   const char* scale = std::getenv("AVMON_BENCH_SCALE");
   return scale != nullptr && std::string(scale) == "full";
+}
+
+WallClock::time_point wallClockNow() { return WallClock::now(); }
+
+double secondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(wallClockNow() - start).count();
 }
 
 experiments::Scenario figureScenario(churn::Model model, std::size_t n,

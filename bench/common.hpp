@@ -7,6 +7,7 @@
 // 48-hour runs with AVMON_BENCH_SCALE=full (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,19 @@ namespace avmon::benchx {
 
 /// True when AVMON_BENCH_SCALE=full: run the paper's 48 h horizons.
 bool fullScale();
+
+/// The one sanctioned wall clock: benches time the HARNESS (events/sec,
+/// wall seconds per figure), never simulation behavior — simulated time
+/// comes from Simulator::now() alone. Funneling every real-clock read
+/// through this alias keeps the rest of the tree free of clock calls.
+// lint:allow(wall-clock, bench harness self-timing only; wall time is reported, never fed back into a simulation)
+using WallClock = std::chrono::steady_clock;
+
+/// Current harness timestamp (see WallClock).
+WallClock::time_point wallClockNow();
+
+/// Seconds elapsed since `start` on the harness clock.
+double secondsSince(WallClock::time_point start);
 
 /// Standard scenario for a figure bench: warm-up 30 min (1 h at full
 /// scale), with `measureMinutes` of measured time after it (48 h at full

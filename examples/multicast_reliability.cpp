@@ -35,7 +35,8 @@ int main() {
     const AvmonNode& node = runner.node(nt.id);
     double sum = 0;
     std::size_t reporters = 0;
-    for (const NodeId& m : node.pingingSet()) {
+    const std::vector<NodeId> monitors = sortedIds(node.pingingSet());
+    for (const NodeId& m : monitors) {
       if (const auto est = runner.node(m).availabilityEstimateOf(nt.id)) {
         sum += *est;
         ++reporters;

@@ -65,6 +65,9 @@ AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
       notifiedPairs_(config_.notifyDedupMax) {
   config_.validate();
   net_.attach(id_, *this);
+  // Determinism sentinel: this node's stream is owned by its home shard
+  // (inherited from the simulator it lives on; unbound in plain runs).
+  AVMON_DET_BIND_LIKE(rng_.detTag, sim_.detTag);
 }
 
 // ---------------------------------------------------------------- lifecycle
@@ -472,6 +475,7 @@ void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
 
 void AvmonNode::monitoringTick() {
   const SimTime now = sim_.now();
+  // lint:allow(unordered-iter, ts_ hash order is a pure function of this node's insertion history on a fixed stdlib; the golden fingerprints pin exactly this ping/draw order, so converting it would change every pinned metric)
   for (auto& [target, rec] : ts_) {
     const bool longDead =
         config_.forgetful.enabled && rec.downSince >= 0 &&
@@ -511,6 +515,7 @@ std::optional<SimDuration> AvmonNode::discoveryDelay(std::size_t k) const {
 std::vector<NodeId> AvmonNode::reportMonitors(std::size_t l) const {
   std::vector<NodeId> out;
   out.reserve(std::min(l, ps_.size()));
+  // lint:allow(unordered-iter, which l monitors get reported is pinned by the golden fingerprints; ps_ hash order is deterministic for a fixed insertion history and stdlib)
   for (const NodeId& m : ps_) {
     if (out.size() >= l) break;
     out.push_back(m);

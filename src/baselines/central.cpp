@@ -24,7 +24,11 @@ void CentralServer::start() {
 }
 
 void CentralServer::tick() {
-  for (auto& [member, hist] : members_) {
+  // Ping in registration order, not container hash order: the ping
+  // sequence is observable behavior (traffic counters, history sample
+  // timestamps), so it must be a function of what the members did.
+  for (const NodeId& member : memberOrder_) {
+    history::RawHistory& hist = members_.at(member);
     ++pingsSent_;
     const bool up =
         net_.exchange(id_, member, sim::PingRequest{pingBytes_}).has_value();
@@ -54,7 +58,9 @@ void CentralServer::onMessage(const NodeId& /*from*/,
                               const sim::Message& message) {
   std::visit(sim::Overloaded{
                  [this](const RegisterMessage& reg) {
-                   members_.try_emplace(reg.origin);
+                   if (members_.try_emplace(reg.origin).second) {
+                     memberOrder_.push_back(reg.origin);
+                   }
                    registeredAt_.try_emplace(reg.origin, sim_.now());
                  },
                  [](const auto&) {},  // not this scheme's traffic

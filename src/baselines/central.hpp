@@ -72,6 +72,9 @@ class CentralServer final : public sim::Endpoint {
   bool started_ = false;
 
   std::unordered_map<NodeId, history::RawHistory> members_;
+  // Registration order; tick() pings in this order so the scheme's traffic
+  // is independent of container hashing.
+  std::vector<NodeId> memberOrder_;
   std::unordered_map<NodeId, SimTime> registeredAt_;
   std::uint64_t pingsSent_ = 0;
   std::uint64_t uselessPings_ = 0;

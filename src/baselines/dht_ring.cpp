@@ -27,7 +27,7 @@ double DhtRing::point(const NodeId& id) const {
   return static_cast<double>(ringPoint(hash_, id)) * 0x1.0p-64;
 }
 
-std::vector<NodeId> DhtRing::pingingSet(const NodeId& x) const {
+std::vector<NodeId> DhtRing::replicaSet(const NodeId& x) const {
   std::vector<NodeId> ps;
   if (byPoint_.empty()) return ps;
   ps.reserve(k_);

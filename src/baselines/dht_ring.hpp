@@ -39,7 +39,7 @@ class DhtRing {
 
   /// Current PS(x): the K alive nodes clockwise from hash(x), excluding x
   /// itself. Fewer than K if the ring is small.
-  std::vector<NodeId> pingingSet(const NodeId& x) const;
+  std::vector<NodeId> replicaSet(const NodeId& x) const;
 
  private:
   const hash::HashFunction& hash_;

@@ -1,0 +1,37 @@
+#include "common/det_checks.hpp"
+
+#ifdef AVMON_DET_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace avmon::det {
+
+namespace internal {
+
+TlsContext& tls() noexcept {
+  thread_local TlsContext ctx;
+  return ctx;
+}
+
+}  // namespace internal
+
+[[noreturn]] void sentinelFail(const char* what, std::uint32_t ownerShard) {
+  const internal::TlsContext& ctx = internal::tls();
+  if (ctx.scoped) {
+    std::fprintf(stderr,
+                 "determinism sentinel: %s on shard %u state from a thread "
+                 "holding shard %u\n",
+                 what, ownerShard, ctx.shard);
+  } else {
+    std::fprintf(stderr,
+                 "determinism sentinel: %s on shard %u state from an "
+                 "unscoped thread while a window phase is running\n",
+                 what, ownerShard);
+  }
+  std::abort();
+}
+
+}  // namespace avmon::det
+
+#endif  // AVMON_DET_CHECKS

@@ -1,5 +1,6 @@
 #include "common/node_id.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace avmon {
@@ -31,6 +32,13 @@ std::string NodeId::toString() const {
   std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip_ >> 24) & 0xFF,
                 (ip_ >> 16) & 0xFF, (ip_ >> 8) & 0xFF, ip_ & 0xFF, port_);
   return buf;
+}
+
+std::vector<NodeId> sortedIds(const std::unordered_set<NodeId>& ids) {
+  // lint:allow(unordered-iter, snapshot is sorted immediately below; this helper is the sanctioned conversion)
+  std::vector<NodeId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace avmon

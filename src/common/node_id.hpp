@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 namespace avmon {
 
@@ -72,6 +74,11 @@ class NodeId {
   std::uint32_t ip_ = 0;
   std::uint16_t port_ = 0;
 };
+
+/// Sorted snapshot of an unordered id set — the sanctioned way to iterate
+/// one when the order matters (hash order is a function of insertion
+/// history, not of the data; see the avmon_lint `unordered-iter` rule).
+std::vector<NodeId> sortedIds(const std::unordered_set<NodeId>& ids);
 
 }  // namespace avmon
 

@@ -33,6 +33,9 @@ Rng::Rng(std::uint64_t seed) noexcept {
 }
 
 Rng::result_type Rng::operator()() noexcept {
+  // Every distribution helper funnels through here, so this one check
+  // covers all draws.
+  AVMON_DET_CHECK(detTag, "Rng draw");
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

@@ -12,6 +12,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/det_checks.hpp"
+
 namespace avmon {
 
 /// splitmix64 step: advances the state and returns the next 64-bit output.
@@ -87,6 +89,11 @@ class Rng {
     if (out.size() > k) out.resize(k);
     return out;
   }
+
+  /// Shard-ownership tag for the determinism sentinel; expands to nothing
+  /// unless AVMON_DET_CHECKS is on (the class stays trivially copyable
+  /// either way — copies and forks inherit the parent's binding).
+  AVMON_DET_TAG(detTag);
 
  private:
   std::uint64_t s_[4];

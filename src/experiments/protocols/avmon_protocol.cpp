@@ -28,10 +28,12 @@ void AvmonProtocol::build(const ProtocolContext& ctx) {
   }
 
   // Overreporting attackers (Figure 20): a uniformly random fraction.
+  // Marking follows the trace's canonical node order, not container hash
+  // order, so which nodes turn hostile is a function of the seed alone.
   if (ctx.scenario.overreportFraction > 0) {
-    for (auto& [id, node] : nodes_) {
+    for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
       if (ctx.rootRng.chance(ctx.scenario.overreportFraction))
-        node->setOverreporting(true);
+        nodes_.at(nt.id)->setOverreporting(true);
     }
   }
 }
@@ -120,6 +122,7 @@ void AvmonProtocol::onLeave(const NodeId& id) { nodes_.at(id)->leave(); }
 
 void AvmonProtocol::forEachNode(
     const std::function<void(const NodeId&)>& fn) const {
+  // lint:allow(unordered-iter, visit order feeds float accumulation and CSV row order that the golden fingerprints pin; hash order is deterministic for the fixed insertion history in build())
   for (const auto& [id, node] : nodes_) fn(id);
 }
 
@@ -146,6 +149,7 @@ bool AvmonProtocol::isMonitoring(const NodeId& id) const {
 
 std::vector<NodeId> AvmonProtocol::monitorsOf(const NodeId& id) const {
   const auto& ps = nodes_.at(id)->pingingSet();
+  // lint:allow(unordered-iter, the accuracy sampler's monitor visit order is pinned by the golden fingerprints; sorting here would reorder its draws)
   return std::vector<NodeId>(ps.begin(), ps.end());
 }
 

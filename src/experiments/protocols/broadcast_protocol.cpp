@@ -52,6 +52,7 @@ std::uint64_t BroadcastProtocol::hashChecks(const NodeId& id) const {
 
 std::vector<NodeId> BroadcastProtocol::monitorsOf(const NodeId& id) const {
   const auto& ps = nodes_.at(id)->pingingSet();
+  // lint:allow(unordered-iter, the accuracy sampler's monitor visit order is part of the pinned metric stream; hash order is deterministic for a fixed insertion history)
   return std::vector<NodeId>(ps.begin(), ps.end());
 }
 

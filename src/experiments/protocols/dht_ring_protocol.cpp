@@ -47,7 +47,7 @@ void DhtRingProtocol::recordDiscoveries() {
   for (const NodeId& id : order_) {
     NodeState& state = states_.at(id);
     if (!state.alive || state.psDiscoveryTimes.size() >= k_) continue;
-    const std::size_t size = ring_->pingingSet(id).size();
+    const std::size_t size = ring_->replicaSet(id).size();
     while (state.psDiscoveryTimes.size() < size &&
            state.psDiscoveryTimes.size() < k_) {
       state.psDiscoveryTimes.push_back(now);
@@ -81,17 +81,17 @@ std::size_t DhtRingProtocol::memoryEntries(const NodeId& id) const {
     targetCounts_.clear();
     for (const NodeId& other : order_) {
       if (!states_.at(other).alive) continue;
-      for (const NodeId& m : ring_->pingingSet(other)) ++targetCounts_[m];
+      for (const NodeId& m : ring_->replicaSet(other)) ++targetCounts_[m];
     }
     targetCountsValid_ = true;
   }
   const auto it = targetCounts_.find(id);
   const std::size_t targets = it == targetCounts_.end() ? 0 : it->second;
-  return ring_->pingingSet(id).size() + targets;
+  return ring_->replicaSet(id).size() + targets;
 }
 
 std::vector<NodeId> DhtRingProtocol::monitorsOf(const NodeId& id) const {
-  return ring_->pingingSet(id);
+  return ring_->replicaSet(id);
 }
 
 }  // namespace avmon::experiments

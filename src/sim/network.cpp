@@ -32,6 +32,8 @@ std::uint32_t Network::slotFor(const NodeId& id) {
     const std::uint64_t idKey =
         (static_cast<std::uint64_t>(id.ip()) << 16) | id.port();
     state.stream = Rng(splitmix64Mix(streamBase_ ^ splitmix64Mix(idKey)));
+    // The stream is shard-owned state like the network itself.
+    AVMON_DET_BIND_LIKE(state.stream.detTag, detTag);
     state.globalIndex =
         router_ != nullptr ? router_->globalIndexOf(id) : it->second;
   }
@@ -44,17 +46,22 @@ std::uint32_t Network::findSlot(const NodeId& id) const {
 }
 
 void Network::attach(const NodeId& id, Endpoint& endpoint) {
+  AVMON_DET_CHECK(detTag, "Network::attach");
   slots_[slotFor(id)].endpoint = &endpoint;
 }
 
 void Network::detach(const NodeId& id) {
+  AVMON_DET_CHECK(detTag, "Network::detach");
   if (const std::uint32_t slot = findSlot(id); slot != kNoSlot) {
     slots_[slot].endpoint = nullptr;
     slots_[slot].up = false;
   }
 }
 
-void Network::setUp(const NodeId& id, bool up) { slots_[slotFor(id)].up = up; }
+void Network::setUp(const NodeId& id, bool up) {
+  AVMON_DET_CHECK(detTag, "Network::setUp");
+  slots_[slotFor(id)].up = up;
+}
 
 bool Network::isUp(const NodeId& id) const {
   const std::uint32_t slot = findSlot(id);
@@ -69,6 +76,7 @@ SimDuration Network::sampleLatency(NodeState& sender) {
 }
 
 void Network::send(const NodeId& from, const NodeId& to, Message message) {
+  AVMON_DET_CHECK(detTag, "Network::send");
   NodeState& sender = slots_[slotFor(from)];
   charge(sender, wireBytes(message));
   if (config_.messageDropProbability > 0 &&
@@ -139,6 +147,7 @@ void Network::completeRpc(RpcResponse response, const RpcTicket& ticket) {
 
 void Network::scheduleHandoffDelivery(SimTime due, const NodeId& from,
                                       const NodeId& to, Message message) {
+  AVMON_DET_CHECK(detTag, "Network::scheduleHandoffDelivery");
   const std::uint32_t toSlot = slotFor(to);
   sim_.at(due, [this, from, toSlot, message = std::move(message)]() {
     deliver(from, toSlot, message);
@@ -148,6 +157,7 @@ void Network::scheduleHandoffDelivery(SimTime due, const NodeId& from,
 void Network::scheduleHandoffServe(SimTime due, const NodeId& from,
                                    const NodeId& to, RpcRequest request,
                                    RpcTicket ticket) {
+  AVMON_DET_CHECK(detTag, "Network::scheduleHandoffServe");
   const std::uint32_t toSlot = slotFor(to);
   sim_.at(due, [this, from, toSlot, request = std::move(request),
                 ticket = std::move(ticket)]() mutable {
@@ -157,6 +167,7 @@ void Network::scheduleHandoffServe(SimTime due, const NodeId& from,
 
 void Network::scheduleHandoffComplete(SimTime due, RpcResponse response,
                                       RpcTicket ticket) {
+  AVMON_DET_CHECK(detTag, "Network::scheduleHandoffComplete");
   sim_.at(due, [response = std::move(response),
                 ticket = std::move(ticket)]() mutable {
     completeRpc(std::move(response), ticket);
@@ -165,6 +176,7 @@ void Network::scheduleHandoffComplete(SimTime due, RpcResponse response,
 
 std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
                                          const RpcRequest& request) {
+  AVMON_DET_CHECK(detTag, "Network::call");
   NodeState& sender = slots_[slotFor(from)];
   charge(sender, requestWireBytes(request));
   if (config_.rpcFailProbability > 0 &&
@@ -184,6 +196,7 @@ std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
 
 void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
                                 RpcRequest request, RpcHandler handler) {
+  AVMON_DET_CHECK(detTag, "Network::callAsyncDeferred");
   // Latency-modeled mode: the request leg travels, the target serves the
   // request at arrival time (so its liveness is judged then, like one-way
   // delivery), and the response leg travels back. The caller's deadline is
@@ -229,6 +242,7 @@ TrafficCounters Network::traffic(const NodeId& id) const {
 }
 
 void Network::resetTraffic() {
+  AVMON_DET_CHECK(detTag, "Network::resetTraffic");
   for (NodeState& state : slots_) state.traffic = TrafficCounters{};
 }
 

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/det_checks.hpp"
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -175,6 +176,11 @@ class Network {
   /// counters survive a detach/attach cycle (they belong to the node id,
   /// not the endpoint object).
   void attach(const NodeId& id, Endpoint& endpoint);
+
+  /// Shard-ownership tag for the determinism sentinel (see
+  /// common/det_checks.hpp); expands to nothing unless AVMON_DET_CHECKS.
+  /// Per-sender streams created in slotFor() inherit this binding.
+  AVMON_DET_TAG(detTag);
 
   /// Removes the endpoint; pending messages to it are dropped on delivery.
   void detach(const NodeId& id);

@@ -117,6 +117,11 @@ ShardedSimulator::ShardedSimulator(Config config)
     shard->net =
         std::make_unique<Network>(*shard->sim, config.net, Rng(config.netSeed));
     shard->net->setRouter(shard->port.get());
+    // Determinism sentinel: this shard's sub-world is owned by whichever
+    // worker holds shard s during a window phase. Node RNGs and per-sender
+    // streams inherit these bindings (AvmonNode ctor, Network::slotFor).
+    AVMON_DET_BIND(shard->sim->detTag, &detDomain_, s);
+    AVMON_DET_BIND(shard->net->detTag, &detDomain_, s);
     shard->out.reserve(shardCount);
     for (std::size_t d = 0; d < shardCount; ++d) {
       shard->out.push_back(std::make_unique<SpscHandoffQueue<Handoff>>());
@@ -177,6 +182,7 @@ void ShardedSimulator::enqueue(std::size_t srcShard, Handoff handoff) {
 void ShardedSimulator::runOwnedShards(unsigned worker, SimTime target) {
   try {
     for (std::size_t s = worker; s < shards_.size(); s += workerCount_) {
+      AVMON_DET_SHARD_SCOPE(&detDomain_, s);
       shards_[s]->sim->runUntil(target);
     }
   } catch (...) {
@@ -189,6 +195,9 @@ void ShardedSimulator::drainOwnedShards(unsigned worker) {
   try {
     for (std::size_t d = worker; d < shards_.size(); d += workerCount_) {
       Shard& dest = *shards_[d];
+      // Sanctioned barrier-phase insertion: while draining, this worker
+      // acts as destination shard d.
+      AVMON_DET_SHARD_SCOPE(&detDomain_, d);
       dest.inbox.clear();
       for (const auto& src : shards_) {
         src->out[d]->drainInto(dest.inbox);
@@ -234,6 +243,9 @@ void ShardedSimulator::workerLoop(unsigned worker) {
 }
 
 std::uint64_t ShardedSimulator::executeWindow(SimTime wEnd) {
+  // A window phase is in flight until the final barrier: any unscoped
+  // touch of shard-owned state in this span is a violation.
+  AVMON_DET_PHASE_SCOPE(detDomain_);
   std::uint64_t drainedBefore = 0;
   for (const auto& s : shards_) drainedBefore += s->drained;
   if (workers_.empty()) {

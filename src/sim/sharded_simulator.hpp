@@ -41,6 +41,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/det_checks.hpp"
 #include "common/node_id.hpp"
 #include "common/time.hpp"
 #include "sim/network.hpp"
@@ -185,6 +186,10 @@ class ShardedSimulator {
   std::vector<std::thread> workers_;
   SpinBarrier barrier_;
   SimTime phaseTarget_ = 0;       // published by the coordinator before A
+  // Determinism-sentinel domain for this world (per-instance so concurrent
+  // worlds under a parallel runner check independently); empty unless
+  // AVMON_DET_CHECKS.
+  AVMON_DET_DOMAIN(detDomain_);
   std::atomic<bool> stop_{false};
   std::exception_ptr firstError_;  // guarded by errorMutex_
   std::mutex errorMutex_;

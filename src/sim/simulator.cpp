@@ -9,6 +9,7 @@ namespace avmon::sim {
 Simulator::Simulator() : buckets_(kBucketCount) {}
 
 void Simulator::at(SimTime when, Action action) {
+  AVMON_DET_CHECK(detTag, "Simulator::at");
   if (when < now_) when = now_;
   if (size_ == 0) cursor_ = now_;  // empty queue: re-anchor the window
   ++size_;
@@ -78,6 +79,7 @@ bool Simulator::findNext(SimTime until) {
 }
 
 void Simulator::runUntil(SimTime until) {
+  AVMON_DET_CHECK(detTag, "Simulator::runUntil");
   while (findNext(until)) {
     InlineAction action = bucketFor(cursor_).pop();
     --ringCount_;
@@ -90,6 +92,7 @@ void Simulator::runUntil(SimTime until) {
 }
 
 bool Simulator::step() {
+  AVMON_DET_CHECK(detTag, "Simulator::step");
   if (!findNext(std::numeric_limits<SimTime>::max())) return false;
   InlineAction action = bucketFor(cursor_).pop();
   --ringCount_;

@@ -30,6 +30,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/det_checks.hpp"
 #include "common/time.hpp"
 #include "sim/inline_action.hpp"
 
@@ -58,6 +59,10 @@ class Simulator {
   /// Schedules `action` at absolute time `when`. Scheduling in the past is
   /// clamped to `now()` (runs as soon as the current event finishes).
   void at(SimTime when, Action action);
+
+  /// Shard-ownership tag for the determinism sentinel (see
+  /// common/det_checks.hpp); expands to nothing unless AVMON_DET_CHECKS.
+  AVMON_DET_TAG(detTag);
 
   /// Schedules `action` after the given delay from `now()`.
   void after(SimDuration delay, Action action) { at(now_ + delay, std::move(action)); }

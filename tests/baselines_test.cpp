@@ -203,7 +203,7 @@ class DhtFixture : public ::testing::Test {
 
 TEST_F(DhtFixture, PingingSetHasKMembers) {
   for (const NodeId& id : ids_) {
-    const auto ps = ring_.pingingSet(id);
+    const auto ps = ring_.replicaSet(id);
     EXPECT_EQ(ps.size(), 5u);
     EXPECT_EQ(std::count(ps.begin(), ps.end(), id), 0);
   }
@@ -213,13 +213,13 @@ TEST_F(DhtFixture, JoinNearTargetChangesMonitorSet) {
   // The consistency violation: a churn event (new node joining) displaces
   // an existing monitor of an unrelated node.
   const NodeId victim = ids_[0];
-  const auto before = ring_.pingingSet(victim);
+  const auto before = ring_.replicaSet(victim);
 
   std::size_t changes = 0;
   for (std::uint32_t i = 100; i < 400; ++i) {
     const NodeId fresh = NodeId::fromIndex(i);
     ring_.join(fresh);
-    const auto after = ring_.pingingSet(victim);
+    const auto after = ring_.replicaSet(victim);
     if (after != before) ++changes;
     ring_.leave(fresh);
   }
@@ -243,13 +243,13 @@ TEST_F(DhtFixture, MonitorsAreCorrelatedAcrossTargets) {
   // of them co-occur in other pinging sets far more often than random.
   std::size_t cooccur = 0, trials = 0;
   for (std::size_t i = 0; i + 1 < ids_.size(); ++i) {
-    const auto ps = ring_.pingingSet(ids_[i]);
+    const auto ps = ring_.replicaSet(ids_[i]);
     if (ps.size() < 2) continue;
     // Check whether the first two monitors of ids_[i] appear together in
     // any other node's pinging set.
     for (std::size_t j = 0; j < ids_.size(); ++j) {
       if (j == i) continue;
-      const auto other = ring_.pingingSet(ids_[j]);
+      const auto other = ring_.replicaSet(ids_[j]);
       const bool hasA = std::find(other.begin(), other.end(), ps[0]) != other.end();
       const bool hasB = std::find(other.begin(), other.end(), ps[1]) != other.end();
       ++trials;
@@ -269,7 +269,7 @@ TEST_F(DhtFixture, LeaveRemovesFromRing) {
   EXPECT_EQ(ring_.size(), 99u);
   for (const NodeId& id : ids_) {
     if (id == gone) continue;
-    const auto ps = ring_.pingingSet(id);
+    const auto ps = ring_.replicaSet(id);
     EXPECT_EQ(std::count(ps.begin(), ps.end(), gone), 0);
   }
 }
@@ -278,7 +278,7 @@ TEST_F(DhtFixture, SmallRingReturnsFewerMonitors) {
   DhtRing tiny(md5_, 5);
   tiny.join(ids_[0]);
   tiny.join(ids_[1]);
-  EXPECT_EQ(tiny.pingingSet(ids_[0]).size(), 1u);
+  EXPECT_EQ(tiny.replicaSet(ids_[0]).size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,774 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace avmon::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule names
+// ---------------------------------------------------------------------------
+constexpr const char* kUnorderedIter = "unordered-iter";
+constexpr const char* kRandomDevice = "random-device";
+constexpr const char* kCRand = "c-rand";
+constexpr const char* kWallClock = "wall-clock";
+constexpr const char* kGetenv = "getenv";
+constexpr const char* kPtrKeyOrder = "ptr-key-order";
+constexpr const char* kUnseededEngine = "unseeded-mt19937";
+constexpr const char* kBadAllow = "bad-allow";
+constexpr const char* kStaleAllow = "stale-allow";
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+// One annotation parsed out of a comment. A malformed annotation
+// (unparseable, unknown rule, or empty reason) never suppresses anything
+// and is reported via the `bad-allow` meta rule instead.
+struct Allow {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool malformed = false;
+  std::string problem;  // set when malformed
+  bool used = false;
+};
+
+struct LexedSource {
+  std::string name;
+  std::vector<Token> tokens;
+  std::vector<Allow> allows;
+  std::vector<std::string> quotedIncludes;
+};
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trimCopy(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses every annotation occurrence inside one comment body. `startLine`
+// is the line of the comment's first character; block comments may span
+// lines, so each occurrence gets the line it actually sits on.
+void scanCommentForAllows(const std::string& text, int startLine,
+                          std::vector<Allow>& out) {
+  const std::string marker = "lint:allow(";
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(marker, pos);
+    if (hit == std::string::npos) return;
+    Allow a;
+    a.line = startLine + static_cast<int>(
+                             std::count(text.begin(),
+                                        text.begin() + static_cast<long>(hit),
+                                        '\n'));
+    const std::size_t open = hit + marker.size();
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+      a.malformed = true;
+      a.problem = "annotation is missing its closing ')'";
+      out.push_back(std::move(a));
+      return;
+    }
+    const std::string body = text.substr(open, close - open);
+    const std::size_t comma = body.find(',');
+    if (comma == std::string::npos) {
+      a.malformed = true;
+      a.problem = "annotation needs a reason: expected (rule, reason)";
+    } else {
+      a.rule = trimCopy(body.substr(0, comma));
+      a.reason = trimCopy(body.substr(comma + 1));
+      if (!isKnownRule(a.rule)) {
+        a.malformed = true;
+        a.problem = "unknown rule '" + a.rule + "'";
+      } else if (a.reason.empty()) {
+        a.malformed = true;
+        a.problem = "empty reason for rule '" + a.rule + "'";
+      }
+    }
+    out.push_back(std::move(a));
+    pos = close + 1;
+  }
+}
+
+// Extracts the path of a `#include "..."` directive, if present.
+void scanDirectiveForInclude(const std::string& directive,
+                             std::vector<std::string>& out) {
+  if (directive.find("include") == std::string::npos) return;
+  const std::size_t q1 = directive.find('"');
+  if (q1 == std::string::npos) return;
+  const std::size_t q2 = directive.find('"', q1 + 1);
+  if (q2 == std::string::npos) return;
+  out.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+}
+
+LexedSource lex(const std::string& name, const std::string& src) {
+  LexedSource out;
+  out.name = name;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool lineHasCode = false;  // a '#' only starts a directive before any code
+
+  auto peek = [&](std::size_t off) -> char {
+    return (i + off < n) ? src[i + off] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      lineHasCode = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      scanCommentForAllows(src.substr(i, j - i), line, out.allows);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      const std::string body = src.substr(i, end - i);
+      scanCommentForAllows(body, line, out.allows);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end;
+      continue;
+    }
+    // Preprocessor directive: consume the logical line (with backslash
+    // continuations), remembering quoted include paths for the cross-file
+    // symbol pass.
+    if (c == '#' && !lineHasCode) {
+      std::string directive;
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        directive.push_back(src[j]);
+        ++j;
+      }
+      scanDirectiveForInclude(directive, out.quotedIncludes);
+      i = j;
+      continue;
+    }
+    lineHasCode = true;
+    // Raw string literal (plain R"delim(...)delim" form).
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = (end == std::string::npos)
+                                   ? n
+                                   : end + closer.size();
+      line += static_cast<int>(
+          std::count(src.begin() + static_cast<long>(i),
+                     src.begin() + static_cast<long>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    // String / character literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier.
+    if (isIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && isIdentChar(src[j])) ++j;
+      out.tokens.push_back(
+          Token{TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (digit separators and exponent signs included).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (isIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = src[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: '::' and '->' are single tokens so a lone ':' reliably
+    // marks a range-for and 'std' qualification is easy to match.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>')) {
+      out.tokens.push_back(Token{TokKind::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: cross-file symbol collection
+// ---------------------------------------------------------------------------
+struct SymbolTables {
+  std::set<std::string> unorderedAliases;  // using CvSet = std::unordered_...
+  std::set<std::string> unorderedFns;      // functions returning unordered
+  std::map<std::string, std::set<std::string>> varsByFile;
+  // Function PARAMETER names: visible only inside the declaring file. A
+  // signature in a header must not leak its parameter names into every
+  // includer (a local vector named like a header's set parameter is fine).
+  std::map<std::string, std::set<std::string>> paramsByFile;
+};
+
+bool isUnorderedTypeToken(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+// Finds the index just past the '>' matching a '<' at `open`. Returns
+// std::string::npos-like failure as 0 when unbalanced.
+std::size_t skipAngles(const std::vector<Token>& ts, std::size_t open) {
+  int depth = 1;
+  for (std::size_t k = open + 1; k < ts.size(); ++k) {
+    if (ts[k].kind != TokKind::kPunct) continue;
+    if (ts[k].text == "<") ++depth;
+    if (ts[k].text == ">" && --depth == 0) return k + 1;
+  }
+  return 0;
+}
+
+void collectAliases(const LexedSource& f, SymbolTables& tables) {
+  const auto& ts = f.tokens;
+  for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+    if (ts[i].text != "using" || ts[i].kind != TokKind::kIdent) continue;
+    if (ts[i + 1].kind != TokKind::kIdent || ts[i + 2].text != "=") continue;
+    for (std::size_t k = i + 3; k < ts.size() && ts[k].text != ";"; ++k) {
+      if (ts[k].kind == TokKind::kIdent && isUnorderedTypeToken(ts[k].text)) {
+        tables.unorderedAliases.insert(ts[i + 1].text);
+        break;
+      }
+    }
+  }
+}
+
+void collectDeclarations(const LexedSource& f, SymbolTables& tables) {
+  const auto& ts = f.tokens;
+  auto& vars = tables.varsByFile[f.name];
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent) continue;
+    const bool base = isUnorderedTypeToken(ts[i].text);
+    const bool alias = tables.unorderedAliases.count(ts[i].text) > 0;
+    if (!base && !alias) continue;
+    std::size_t j = i + 1;
+    if (j < ts.size() && ts[j].text == "<") {
+      j = skipAngles(ts, j);
+      if (j == 0) continue;
+    } else if (base) {
+      continue;  // bare unordered_map without template args: not a decl
+    }
+    while (j < ts.size() &&
+           (ts[j].text == "&" || ts[j].text == "*" || ts[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 >= ts.size() || ts[j].kind != TokKind::kIdent) continue;
+    if (ts[j + 1].text == "(") {
+      // `const std::unordered_set<Id>& pingingSet() const` — an accessor
+      // whose call sites must be treated like the container itself.
+      tables.unorderedFns.insert(ts[j].text);
+    } else if (ts[j + 1].text == ")" || ts[j + 1].text == ",") {
+      tables.paramsByFile[f.name].insert(ts[j].text);
+    } else {
+      vars.insert(ts[j].text);
+    }
+  }
+}
+
+// `auto& ps = node.pingingSet();` binds a name to an unordered container
+// returned by a known accessor; record it so later iteration is caught.
+void collectAutoBindings(const LexedSource& f, SymbolTables& tables) {
+  const auto& ts = f.tokens;
+  auto& vars = tables.varsByFile[f.name];
+  for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent || ts[i].text != "auto") continue;
+    std::size_t j = i + 1;
+    while (j < ts.size() &&
+           (ts[j].text == "&" || ts[j].text == "*" || ts[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 >= ts.size() || ts[j].kind != TokKind::kIdent) continue;
+    if (ts[j + 1].text != "=") continue;
+    for (std::size_t k = j + 2; k + 1 < ts.size() && ts[k].text != ";"; ++k) {
+      if (ts[k].kind == TokKind::kIdent &&
+          tables.unorderedFns.count(ts[k].text) > 0 &&
+          ts[k + 1].text == "(") {
+        vars.insert(ts[j].text);
+        break;
+      }
+    }
+  }
+}
+
+// Resolves a quoted include path to a registered source name: exact match
+// or path-suffix match ("avmon/node.hpp" -> ".../src/avmon/node.hpp").
+const std::string* resolveInclude(
+    const std::vector<LexedSource>& files, const std::string& path) {
+  for (const auto& f : files) {
+    if (f.name == path) return &f.name;
+    if (f.name.size() > path.size() + 1 &&
+        f.name.compare(f.name.size() - path.size(), path.size(), path) == 0 &&
+        f.name[f.name.size() - path.size() - 1] == '/') {
+      return &f.name;
+    }
+  }
+  return nullptr;
+}
+
+// Variables visible to `file`: its own plus (transitively) those declared
+// in project headers it includes. Scoping per file keeps an unordered
+// member in one class from tainting a same-named vector elsewhere.
+std::set<std::string> effectiveVars(const std::vector<LexedSource>& files,
+                                    const SymbolTables& tables,
+                                    std::size_t fileIndex) {
+  std::set<std::string> vars;
+  {
+    const auto it = tables.paramsByFile.find(files[fileIndex].name);
+    if (it != tables.paramsByFile.end()) {
+      vars.insert(it->second.begin(), it->second.end());
+    }
+  }
+  std::set<std::string> visited;
+  std::vector<const LexedSource*> queue{&files[fileIndex]};
+  while (!queue.empty()) {
+    const LexedSource* f = queue.back();
+    queue.pop_back();
+    if (!visited.insert(f->name).second) continue;
+    const auto it = tables.varsByFile.find(f->name);
+    if (it != tables.varsByFile.end()) {
+      vars.insert(it->second.begin(), it->second.end());
+    }
+    for (const auto& inc : f->quotedIncludes) {
+      if (const std::string* resolved = resolveInclude(files, inc)) {
+        for (const auto& g : files) {
+          if (g.name == *resolved) {
+            queue.push_back(&g);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: rules
+// ---------------------------------------------------------------------------
+class FileChecker {
+ public:
+  FileChecker(const std::vector<LexedSource>& files, SymbolTables& tables,
+              std::size_t fileIndex, std::vector<Finding>& findings)
+      : file_(files[fileIndex]),
+        tables_(tables),
+        vars_(effectiveVars(files, tables, fileIndex)),
+        findings_(findings) {}
+
+  void check() {
+    const auto& ts = file_.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      checkRangeFor(i);
+      checkBeginIteration(i);
+      checkEntropyAndClock(i);
+      checkPointerKeys(i);
+      checkUnseededEngine(i);
+    }
+    reportAllowProblems();
+  }
+
+ private:
+  const LexedSource& file_;
+  SymbolTables& tables_;
+  std::set<std::string> vars_;
+  std::vector<Finding>& findings_;
+  // Mutable view of this file's allows (used flags updated as rules fire).
+  std::vector<Allow> allows_{file_.allows};
+
+  const Token& tok(std::size_t i) const { return file_.tokens[i]; }
+  std::size_t size() const { return file_.tokens.size(); }
+  bool isPunct(std::size_t i, const char* p) const {
+    return i < size() && tok(i).kind == TokKind::kPunct && tok(i).text == p;
+  }
+  bool isIdent(std::size_t i) const {
+    return i < size() && tok(i).kind == TokKind::kIdent;
+  }
+  bool prevIsMemberAccess(std::size_t i) const {
+    return i > 0 && (tok(i - 1).text == "." || tok(i - 1).text == "->");
+  }
+  // `long time() const` declares a member named like a C clock function; a
+  // preceding identifier (the return type) marks a declaration, not a
+  // call. `return time(...)` must still read as a call.
+  bool prevIsDeclSpecifier(std::size_t i) const {
+    if (i == 0 || !isIdent(i - 1)) return false;
+    const std::string& p = tok(i - 1).text;
+    return p != "return" && p != "co_return" && p != "co_yield" &&
+           p != "co_await" && p != "else" && p != "do";
+  }
+
+  void report(int line, const char* rule, std::string message) {
+    bool suppressed = false;
+    for (auto& a : allows_) {
+      if (a.malformed || a.rule != rule) continue;
+      if (line == a.line || line == a.line + 1) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) {
+      findings_.push_back(Finding{file_.name, line, rule, std::move(message)});
+    }
+  }
+
+  void reportAllowProblems() {
+    for (const auto& a : allows_) {
+      if (a.malformed) {
+        findings_.push_back(Finding{file_.name, a.line, kBadAllow, a.problem});
+      } else if (!a.used) {
+        findings_.push_back(Finding{
+            file_.name, a.line, kStaleAllow,
+            "annotation for rule '" + a.rule +
+                "' suppresses nothing on this or the next line"});
+      }
+    }
+  }
+
+  bool isUnorderedLike(const std::string& t) const {
+    return isUnorderedTypeToken(t) || tables_.unorderedAliases.count(t) > 0;
+  }
+
+  // Rule: range-for whose range expression names an unordered container
+  // (variable, accessor call, or inline construction).
+  void checkRangeFor(std::size_t i) {
+    if (!isIdent(i) || tok(i).text != "for" || !isPunct(i + 1, "(")) return;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    int depth = 1;
+    for (std::size_t k = i + 2; k < size(); ++k) {
+      if (tok(k).kind != TokKind::kPunct) continue;
+      if (tok(k).text == "(") ++depth;
+      if (tok(k).text == ")") {
+        if (--depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (depth == 1 && tok(k).text == ":" && colon == 0) colon = k;
+    }
+    if (colon == 0 || close == 0) return;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (!isIdent(k)) continue;
+      const std::string& t = tok(k).text;
+      if (vars_.count(t) > 0) {
+        report(tok(k).line, kUnorderedIter,
+               "range-for over unordered container '" + t + "'");
+        return;
+      }
+      if (tables_.unorderedFns.count(t) > 0 && isPunct(k + 1, "(")) {
+        report(tok(k).line, kUnorderedIter,
+               "range-for over unordered container returned by '" + t +
+                   "()'");
+        return;
+      }
+      if (isUnorderedLike(t)) {
+        report(tok(k).line, kUnorderedIter,
+               "range-for over an unordered container ('" + t + "')");
+        return;
+      }
+    }
+  }
+
+  // Rule: explicit iterator walks — m.begin()/cbegin()/rbegin() on an
+  // unordered variable or on an accessor's return value.
+  void checkBeginIteration(std::size_t i) {
+    if (!isPunct(i, ".") && !isPunct(i, "->")) return;
+    if (!isIdent(i + 1) || !isPunct(i + 2, "(")) return;
+    const std::string& fn = tok(i + 1).text;
+    if (fn != "begin" && fn != "cbegin" && fn != "rbegin" && fn != "crbegin") {
+      return;
+    }
+    if (i == 0) return;
+    const Token& prev = tok(i - 1);
+    if (prev.kind == TokKind::kIdent && vars_.count(prev.text) > 0) {
+      report(tok(i + 1).line, kUnorderedIter,
+             "iterator over unordered container '" + prev.text + "'");
+      return;
+    }
+    if (prev.kind == TokKind::kPunct && prev.text == ")") {
+      int depth = 1;
+      for (std::size_t k = i - 1; k-- > 0;) {
+        if (tok(k).kind != TokKind::kPunct) continue;
+        if (tok(k).text == ")") ++depth;
+        if (tok(k).text == "(" && --depth == 0) {
+          if (k > 0 && isIdent(k - 1) &&
+              tables_.unorderedFns.count(tok(k - 1).text) > 0) {
+            report(tok(i + 1).line, kUnorderedIter,
+                   "iterator over unordered container returned by '" +
+                       tok(k - 1).text + "()'");
+          }
+          return;
+        }
+      }
+    }
+  }
+
+  // Rules: random-device, c-rand, wall-clock, getenv.
+  void checkEntropyAndClock(std::size_t i) {
+    if (!isIdent(i)) return;
+    const std::string& t = tok(i).text;
+    if (t == "random_device") {
+      report(tok(i).line, kRandomDevice,
+             "std::random_device draws entropy from the host");
+      return;
+    }
+    static const std::set<std::string> cRandNames = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+    if (cRandNames.count(t) > 0 && isPunct(i + 1, "(") &&
+        !prevIsMemberAccess(i)) {
+      report(tok(i).line, kCRand,
+             "C PRNG '" + t + "' (global state, host-seeded)");
+      return;
+    }
+    static const std::set<std::string> clockNames = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime",
+        "strftime"};
+    if (clockNames.count(t) > 0) {
+      report(tok(i).line, kWallClock, "wall-clock source '" + t + "'");
+      return;
+    }
+    if ((t == "time" || t == "clock") && isPunct(i + 1, "(") &&
+        !prevIsMemberAccess(i) && !prevIsDeclSpecifier(i)) {
+      report(tok(i).line, kWallClock, "wall-clock call '" + t + "()'");
+      return;
+    }
+    static const std::set<std::string> envNames = {
+        "getenv", "secure_getenv", "setenv", "putenv", "unsetenv"};
+    if (envNames.count(t) > 0) {
+      report(tok(i).line, kGetenv,
+             "environment access '" + t + "' depends on the host");
+    }
+  }
+
+  // Rule: std::map/std::set keyed by a pointer, or std::hash of a pointer
+  // — iteration/order becomes a function of allocation addresses (ASLR).
+  void checkPointerKeys(std::size_t i) {
+    if (!isIdent(i) || tok(i).text != "std" || !isPunct(i + 1, "::")) return;
+    if (!isIdent(i + 2) || !isPunct(i + 3, "<")) return;
+    const std::string& container = tok(i + 2).text;
+    const bool ordered = container == "map" || container == "set" ||
+                         container == "multimap" || container == "multiset";
+    const bool hash = container == "hash";
+    if (!ordered && !hash) return;
+    int depth = 1;
+    for (std::size_t k = i + 4; k < size(); ++k) {
+      if (tok(k).kind != TokKind::kPunct) continue;
+      const std::string& p = tok(k).text;
+      if (p == "<") ++depth;
+      if (p == ">" && --depth == 0) break;
+      // For the ordered containers only the KEY argument matters; stop at
+      // the comma separating key from value/comparator.
+      if (ordered && depth == 1 && p == ",") break;
+      if (p == "*") {
+        report(tok(i + 2).line, kPtrKeyOrder,
+               hash ? "std::hash over a pointer type"
+                    : "std::" + container + " keyed by a pointer type");
+        return;
+      }
+    }
+  }
+
+  // Rule: default-constructed std <random> engines (seeded from a fixed
+  // implementation default, which reads as seeded but is shared global
+  // state and invites later 'fixes' via random_device).
+  void checkUnseededEngine(std::size_t i) {
+    if (!isIdent(i)) return;
+    static const std::set<std::string> engines = {
+        "mt19937",      "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine",      "knuth_b",     "ranlux24",
+        "ranlux48"};
+    if (engines.count(tok(i).text) == 0) return;
+    if (prevIsMemberAccess(i)) return;
+    const std::string& engine = tok(i).text;
+    std::size_t j = i + 1;
+    if (isIdent(j)) {
+      // `std::mt19937 gen;` / `gen()` / `gen{}`
+      if (isPunct(j + 1, ";") ||
+          (isPunct(j + 1, "(") && isPunct(j + 2, ")")) ||
+          (isPunct(j + 1, "{") && isPunct(j + 2, "}"))) {
+        report(tok(i).line, kUnseededEngine,
+               "default-seeded std::" + engine + " '" + tok(j).text + "'");
+      }
+      return;
+    }
+    // Temporaries: `std::mt19937{}` / `std::mt19937()`.
+    if ((isPunct(j, "{") && isPunct(j + 1, "}")) ||
+        (isPunct(j, "(") && isPunct(j + 1, ")"))) {
+      report(tok(i).line, kUnseededEngine,
+             "default-seeded std::" + engine + " temporary");
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+const std::vector<RuleInfo>& ruleCatalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-iter",
+       "iteration over std::unordered_map/unordered_set: order is a "
+       "function of hashing and insertion history, not of the data"},
+      {"random-device", "std::random_device draws entropy from the host"},
+      {"c-rand", "C PRNG family (rand/srand/drand48/...): global state"},
+      {"wall-clock",
+       "wall-clock time source (time(), chrono clocks, gettimeofday, ...)"},
+      {"getenv", "environment access makes behavior depend on the host"},
+      {"ptr-key-order",
+       "ordered container or std::hash keyed by pointer value "
+       "(ASLR-dependent order)"},
+      {"unseeded-mt19937", "default-constructed std <random> engine"},
+      {"bad-allow", "malformed suppression annotation"},
+      {"stale-allow", "suppression annotation that suppresses nothing"},
+  };
+  return kRules;
+}
+
+bool isKnownRule(const std::string& name) {
+  for (const auto& r : ruleCatalog()) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+std::string formatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+void Linter::addSource(std::string name, std::string content) {
+  sources_.push_back(Source{std::move(name), std::move(content)});
+}
+
+bool Linter::addTree(const std::string& root, std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    if (error != nullptr) *error = root + " is not a readable directory";
+    return false;
+  }
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+        ext == ".cxx" || ext == ".hxx") {
+      paths.push_back(it->path().generic_string());
+    }
+  }
+  // Directory enumeration order is filesystem-dependent; sorting keeps the
+  // report (and any downstream diffing) stable.
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + p;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    addSource(p, buf.str());
+  }
+  return true;
+}
+
+std::vector<Finding> Linter::run() {
+  std::vector<LexedSource> files;
+  files.reserve(sources_.size());
+  for (const auto& s : sources_) files.push_back(lex(s.name, s.content));
+
+  SymbolTables tables;
+  for (const auto& f : files) collectAliases(f, tables);
+  for (const auto& f : files) collectDeclarations(f, tables);
+  for (const auto& f : files) collectAutoBindings(f, tables);
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileChecker(files, tables, i, findings).check();
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace avmon::lint

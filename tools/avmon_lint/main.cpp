@@ -1,0 +1,76 @@
+// Command-line driver for the determinism linter.
+//
+//   avmon_lint [--list-rules] [--root DIR]... [FILE]...
+//
+// Exit status: 0 when the scanned tree is clean, 1 when findings were
+// reported, 2 on usage or I/O errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list-rules] [--root DIR]... [FILE]...\n"
+               "  --root DIR    recursively scan every C++ file under DIR\n"
+               "  --list-rules  print the rule catalog and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using avmon::lint::Linter;
+
+  Linter linter;
+  bool anyInput = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : avmon::lint::ruleCatalog()) {
+        std::printf("%-18s %s\n", r.name, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      std::string error;
+      if (!linter.addTree(argv[++i], &error)) {
+        std::fprintf(stderr, "avmon_lint: %s\n", error.c_str());
+        return 2;
+      }
+      anyInput = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage(argv[0]);
+    std::FILE* f = std::fopen(arg.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "avmon_lint: cannot read %s\n", arg.c_str());
+      return 2;
+    }
+    std::string content;
+    char buf[4096];
+    for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+      content.append(buf, got);
+    }
+    std::fclose(f);
+    linter.addSource(arg, std::move(content));
+    anyInput = true;
+  }
+  if (!anyInput) return usage(argv[0]);
+
+  const std::vector<avmon::lint::Finding> findings = linter.run();
+  for (const auto& f : findings) {
+    std::printf("%s\n", avmon::lint::formatFinding(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("avmon_lint: clean\n");
+    return 0;
+  }
+  std::printf("avmon_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
