@@ -1,0 +1,22 @@
+#include "common/format_double.hpp"
+
+#include <sstream>
+
+namespace avmon {
+
+std::string formatDouble(double d) {
+  // Find the shortest precision whose text parses back to exactly d, so
+  // canonical output prints 0.1 as "0.1" yet never loses a bit.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << d;
+    if (std::stod(out.str()) == d) return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << d;
+  return out.str();
+}
+
+}  // namespace avmon

@@ -1,0 +1,16 @@
+// Shortest round-tripping decimal formatter, shared by everything that
+// serializes doubles into text meant to be read back (spec files, JSON
+// sinks, windowed time-series). One implementation so the "shortest text
+// that parses back to exactly this double" guarantee can never drift
+// between writers.
+#pragma once
+
+#include <string>
+
+namespace avmon {
+
+/// Shortest decimal representation of `d` that std::stod parses back to
+/// exactly the same double — human-readable AND bit-exact on round-trip.
+std::string formatDouble(double d);
+
+}  // namespace avmon

@@ -6,7 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/format_double.hpp"
 #include "experiments/protocol.hpp"
+#include "experiments/streaming/collector.hpp"
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
 #include "stats/table_printer.hpp"
@@ -33,20 +35,42 @@ MetricStats statsOf(const std::vector<double>& samples) {
   return out;
 }
 
+MetricStats statsOf(const streaming::StreamedMetric& m) {
+  MetricStats out;
+  out.mean = m.stats.mean();
+  out.stddev = m.stats.stddev();
+  out.p50 = m.sketch.quantile(0.5);
+  out.p99 = m.sketch.quantile(0.99);
+  out.count = m.stats.count();
+  return out;
+}
+
 /// The rows every table-shaped backend reports, in one place so the
-/// summary and comparison views can never drift apart.
+/// summary and comparison views can never drift apart. Each row knows both
+/// lanes: the materialized sample vector and the streamed summary metric.
 struct NamedMetric {
   const char* name;
   const std::vector<double> MetricSet::*samples;
+  const streaming::StreamedMetric streaming::StreamedSummary::*streamed;
 };
 
 constexpr NamedMetric kMetrics[] = {
-    {"first-monitor discovery (s)", &MetricSet::discoverySeconds},
-    {"memory entries", &MetricSet::memoryEntries},
-    {"outgoing Bps", &MetricSet::outgoingBytesPerSecond},
-    {"useless pings/min", &MetricSet::uselessPingsPerMinute},
-    {"computations/s", &MetricSet::computationsPerSecond},
+    {"first-monitor discovery (s)", &MetricSet::discoverySeconds,
+     &streaming::StreamedSummary::discoverySeconds},
+    {"memory entries", &MetricSet::memoryEntries,
+     &streaming::StreamedSummary::memoryEntries},
+    {"outgoing Bps", &MetricSet::outgoingBytesPerSecond,
+     &streaming::StreamedSummary::outgoingBytesPerSecond},
+    {"useless pings/min", &MetricSet::uselessPingsPerMinute,
+     &streaming::StreamedSummary::uselessPingsPerMinute},
+    {"computations/s", &MetricSet::computationsPerSecond,
+     &streaming::StreamedSummary::computationsPerSecond},
 };
+
+MetricStats statsFor(const MetricSet& set, const NamedMetric& metric) {
+  return set.streamed ? statsOf((*set.streamed).*(metric.streamed))
+                      : statsOf(set.*(metric.samples));
+}
 
 void writeTextFile(const std::string& path, const std::string& content) {
   std::ofstream f(path);
@@ -76,9 +100,22 @@ std::string csvOfSamples(const char* header,
 
 void appendJsonStats(std::ostringstream& out, const char* key,
                      const MetricStats& s) {
-  out << "    \"" << key << "\": {\"mean\": " << s.mean
-      << ", \"stddev\": " << s.stddev << ", \"p50\": " << s.p50
-      << ", \"p99\": " << s.p99 << ", \"count\": " << s.count << "}";
+  // Shortest round-tripping decimals (common/format_double.hpp): the JSON
+  // artifact reparses to exactly the doubles the run produced.
+  out << "    \"" << key << "\": {\"mean\": " << formatDouble(s.mean)
+      << ", \"stddev\": " << formatDouble(s.stddev)
+      << ", \"p50\": " << formatDouble(s.p50)
+      << ", \"p99\": " << formatDouble(s.p99) << ", \"count\": " << s.count
+      << "}";
+}
+
+// "0.5" -> "q0_5": a configured quantile's JSON key.
+std::string quantileKeyOf(double phi) {
+  std::string key = "q" + formatDouble(phi);
+  for (char& c : key) {
+    if (c == '.') c = '_';
+  }
+  return key;
 }
 
 std::string jsonKeyOf(const char* name) {
@@ -122,13 +159,25 @@ std::string MetricSet::fileLabel() const {
   return s;
 }
 
-double MetricSet::accuracyMeanAbsError() const {
-  if (accuracy.empty()) return 0.0;
+std::optional<double> MetricSet::accuracyMeanAbsError() const {
+  if (streamed) {
+    const streaming::OnlineStats& stats = streamed->accuracyAbsError.stats;
+    if (stats.count() == 0) return std::nullopt;
+    return stats.mean();
+  }
+  if (accuracy.empty()) return std::nullopt;
   double sum = 0.0;
   for (const AvailabilityAccuracy& a : accuracy) {
     sum += std::fabs(a.estimated - a.actual);
   }
   return sum / static_cast<double>(accuracy.size());
+}
+
+std::size_t MetricSet::accuracyNodeCount() const {
+  if (streamed) {
+    return static_cast<std::size_t>(streamed->accuracyAbsError.stats.count());
+  }
+  return accuracy.size();
 }
 
 MetricSet collectMetrics(const ScenarioRunner& runner) {
@@ -144,6 +193,19 @@ MetricSet collectMetrics(const ScenarioRunner& runner) {
   out.warmupSeconds = toSeconds(s.warmup);
   out.dropProbability = s.messageDropProbability;
   out.rpcFailProbability = s.rpcFailProbability;
+
+  if (const streaming::StreamingCollector* collector =
+          runner.streamingCollector()) {
+    // Streamed lane: the per-shard reducers already hold everything the
+    // sinks need. No sample vector or per-node table is materialized — the
+    // snapshot's metric state is O(reducers x sketch bins), not O(N).
+    out.streamed = collector->summary();
+    out.windows = collector->windows();
+    out.streamedQuantiles = s.metrics.quantiles;
+    out.discoveredFraction = out.streamed->discoveredFraction();
+    out.metricStateBytes = collector->stateBytes();
+    return out;
+  }
 
   out.discoverySeconds = runner.discoveryDelaysSeconds(1);
   out.discoveredFraction = runner.discoveredFraction(1);
@@ -168,6 +230,13 @@ MetricSet collectMetrics(const ScenarioRunner& runner) {
     }
     out.perNode.push_back(row);
   }
+  out.metricStateBytes =
+      (out.discoverySeconds.size() + out.memoryEntries.size() +
+       out.outgoingBytesPerSecond.size() + out.uselessPingsPerMinute.size() +
+       out.computationsPerSecond.size()) *
+          sizeof(double) +
+      out.accuracy.size() * sizeof(AvailabilityAccuracy) +
+      out.perNode.size() * sizeof(MetricSet::PerNodeRow);
   return out;
 }
 
@@ -183,7 +252,7 @@ void SummaryTableSink::close() {
     stats::TablePrinter table("scenario summary: " + set.label());
     table.setHeader({"metric", "mean", "stddev", "p50", "p99", "n"});
     for (const NamedMetric& metric : kMetrics) {
-      const MetricStats s = statsOf(set.*(metric.samples));
+      const MetricStats s = statsFor(set, metric);
       table.addRow({metric.name, stats::TablePrinter::num(s.mean, 2),
                     stats::TablePrinter::num(s.stddev, 2),
                     stats::TablePrinter::num(s.p50, 2),
@@ -193,10 +262,16 @@ void SummaryTableSink::close() {
     table.print(out);
     out << "discovered fraction (>=1 monitor): "
         << stats::TablePrinter::num(set.discoveredFraction, 4) << "\n";
-    if (!set.accuracy.empty()) {
+    if (const auto err = set.accuracyMeanAbsError()) {
       out << "availability estimate mean |error|: "
-          << stats::TablePrinter::num(set.accuracyMeanAbsError(), 4) << " ("
-          << set.accuracy.size() << " nodes)\n";
+          << stats::TablePrinter::num(*err, 4) << " ("
+          << set.accuracyNodeCount() << " nodes)\n";
+    } else {
+      out << "availability estimate mean |error|: n/a\n";
+    }
+    if (set.streamed) {
+      out << "metrics lane: streamed (" << set.windows.size()
+          << " windows, " << set.metricStateBytes << " state bytes)\n";
     }
     out << "\n";
   }
@@ -212,7 +287,7 @@ void SummaryTableSink::close() {
       for (const char* stat : {"mean", "p99"}) {
         std::vector<std::string> row = {std::string(metric.name) + " " + stat};
         for (const MetricSet& set : sets_) {
-          const MetricStats s = statsOf(set.*(metric.samples));
+          const MetricStats s = statsFor(set, metric);
           row.push_back(stats::TablePrinter::num(
               std::string(stat) == "mean" ? s.mean : s.p99, 2));
         }
@@ -224,10 +299,9 @@ void SummaryTableSink::close() {
     for (const MetricSet& set : sets_) {
       discovered.push_back(
           stats::TablePrinter::num(set.discoveredFraction, 4));
-      accuracyRow.push_back(
-          set.accuracy.empty()
-              ? std::string("-")
-              : stats::TablePrinter::num(set.accuracyMeanAbsError(), 4));
+      const auto err = set.accuracyMeanAbsError();
+      accuracyRow.push_back(err ? stats::TablePrinter::num(*err, 4)
+                                : std::string("n/a"));
     }
     table.addRow(std::move(discovered));
     table.addRow(std::move(accuracyRow));
@@ -274,6 +348,28 @@ void CsvSink::close() {
               << row.discoverySeconds << "\n";
     }
     emit(".pernode.csv", perNode.str());
+
+    // Windowed time-series from the streaming pipeline: one row per metric
+    // window, columns in reducer-registration order (fixed per run).
+    if (!set.windows.empty()) {
+      std::ostringstream windowsCsv;
+      windowsCsv << "window_start_s,window_end_s";
+      for (const auto& [name, value] : set.windows.front().columns) {
+        (void)value;
+        windowsCsv << "," << name;
+      }
+      windowsCsv << "\n";
+      for (const streaming::WindowRow& row : set.windows) {
+        windowsCsv << formatDouble(toSeconds(row.windowStart)) << ","
+                   << formatDouble(toSeconds(row.windowEnd));
+        for (const auto& [name, value] : row.columns) {
+          (void)name;
+          windowsCsv << "," << formatDouble(value);
+        }
+        windowsCsv << "\n";
+      }
+      emit(".windows.csv", windowsCsv.str());
+    }
   }
 }
 
@@ -293,20 +389,60 @@ void JsonSink::close() {
     out << "    \"n\": " << set.effectiveN << ",\n";
     out << "    \"seed\": " << set.seed << ",\n";
     out << "    \"shards\": " << set.shards << ",\n";
-    out << "    \"horizon_seconds\": " << set.horizonSeconds << ",\n";
-    out << "    \"warmup_seconds\": " << set.warmupSeconds << ",\n";
-    out << "    \"drop_probability\": " << set.dropProbability << ",\n";
-    out << "    \"rpc_fail_probability\": " << set.rpcFailProbability
+    out << "    \"horizon_seconds\": " << formatDouble(set.horizonSeconds)
         << ",\n";
+    out << "    \"warmup_seconds\": " << formatDouble(set.warmupSeconds)
+        << ",\n";
+    out << "    \"drop_probability\": " << formatDouble(set.dropProbability)
+        << ",\n";
+    out << "    \"rpc_fail_probability\": "
+        << formatDouble(set.rpcFailProbability) << ",\n";
     for (const NamedMetric& metric : kMetrics) {
       appendJsonStats(out, jsonKeyOf(metric.name).c_str(),
-                      statsOf(set.*(metric.samples)));
+                      statsFor(set, metric));
       out << ",\n";
     }
-    out << "    \"discovered_fraction\": " << set.discoveredFraction << ",\n";
-    out << "    \"accuracy_mean_abs_error\": " << set.accuracyMeanAbsError()
+    if (set.streamed) {
+      out << "    \"streamed\": true,\n";
+      out << "    \"metric_state_bytes\": " << set.metricStateBytes << ",\n";
+      // The configured quantiles for every summary metric, straight from
+      // each sketch (p50/p99 above are the fixed table columns).
+      out << "    \"quantiles\": {";
+      bool firstMetric = true;
+      for (const NamedMetric& metric : kMetrics) {
+        const streaming::StreamedMetric& m =
+            (*set.streamed).*(metric.streamed);
+        out << (firstMetric ? "" : ", ") << "\"" << jsonKeyOf(metric.name)
+            << "\": {";
+        for (std::size_t q = 0; q < set.streamedQuantiles.size(); ++q) {
+          const double phi = set.streamedQuantiles[q];
+          out << (q == 0 ? "" : ", ") << "\"" << quantileKeyOf(phi)
+              << "\": " << formatDouble(m.sketch.quantile(phi));
+        }
+        out << "}";
+        firstMetric = false;
+      }
+      out << "},\n";
+      out << "    \"windows\": [";
+      for (std::size_t w = 0; w < set.windows.size(); ++w) {
+        const streaming::WindowRow& row = set.windows[w];
+        out << (w == 0 ? "" : ", ") << "{\"window_start_s\": "
+            << formatDouble(toSeconds(row.windowStart))
+            << ", \"window_end_s\": " << formatDouble(toSeconds(row.windowEnd));
+        for (const auto& [name, value] : row.columns) {
+          out << ", \"" << name << "\": " << formatDouble(value);
+        }
+        out << "}";
+      }
+      out << "],\n";
+    }
+    out << "    \"discovered_fraction\": "
+        << formatDouble(set.discoveredFraction) << ",\n";
+    const auto accuracyErr = set.accuracyMeanAbsError();
+    out << "    \"accuracy_mean_abs_error\": "
+        << (accuracyErr ? formatDouble(*accuracyErr) : std::string("null"))
         << ",\n";
-    out << "    \"accuracy_nodes\": " << set.accuracy.size() << "\n";
+    out << "    \"accuracy_nodes\": " << set.accuracyNodeCount() << "\n";
     out << "  }" << (i + 1 < sets_.size() ? "," : "") << "\n";
   }
   out << "]\n";

@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "experiments/scenario.hpp"
+#include "experiments/streaming/reducer.hpp"
 
 namespace avmon::experiments {
 
@@ -60,12 +62,29 @@ struct MetricSet {
   };
   std::vector<PerNodeRow> perNode;
 
+  // ---- streamed lane (engaged when the scenario enabled streaming) ----
+  /// Final summary from the streaming pipeline. When engaged, the sample
+  /// vectors and perNode above are left EMPTY — the streamed path never
+  /// materializes per-node tables — and every table-shaped sink reads its
+  /// statistics from here instead.
+  std::optional<streaming::StreamedSummary> streamed;
+  /// Windowed time-series rows (empty unless a windowed reducer ran).
+  std::vector<streaming::WindowRow> windows;
+  /// Quantiles the scenario asked the streamed summary to report.
+  std::vector<double> streamedQuantiles;
+  /// Retained metric-state bytes of whichever lane produced this set —
+  /// the number the streamed-vs-materialized bench compares.
+  std::size_t metricStateBytes = 0;
+
   /// "protocol model N=.. seed=.." — how sinks caption this run.
   std::string label() const;
   /// label() restricted to filesystem-safe characters, for file suffixes.
   std::string fileLabel() const;
-  /// Mean |estimated - actual| over the accuracy table (0 if empty).
-  double accuracyMeanAbsError() const;
+  /// Mean |estimated - actual| over the accuracy data of whichever lane
+  /// ran; nullopt when no node reported (sinks render "n/a").
+  std::optional<double> accuracyMeanAbsError() const;
+  /// Nodes contributing to the accuracy metric (either lane).
+  std::size_t accuracyNodeCount() const;
 };
 
 /// Snapshots a completed (run()) ScenarioRunner.

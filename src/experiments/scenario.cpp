@@ -6,6 +6,8 @@
 
 #include "experiments/protocol.hpp"
 #include "experiments/protocol_registry.hpp"
+#include "experiments/streaming/collector.hpp"
+#include "experiments/streaming/reducer_registry.hpp"
 
 namespace avmon::experiments {
 
@@ -74,6 +76,24 @@ void Scenario::validate() const {
         "runs on at most " + std::to_string(factory->maxShards) +
         " shard(s) — got shards = " + std::to_string(effectiveShards));
   }
+  if (metrics.window < 0) {
+    throw std::invalid_argument(
+        "Scenario: metrics.window must be >= 0 (0 disables streaming)");
+  }
+  for (const std::string& name : metrics.reducers) {
+    if (streaming::ReducerRegistry::instance().find(name) == nullptr) {
+      throw std::invalid_argument(
+          "Scenario: unknown reducer '" + name + "' — known reducers: " +
+          streaming::ReducerRegistry::instance().namesJoined());
+    }
+  }
+  for (const double q : metrics.quantiles) {
+    if (!(q > 0.0 && q < 1.0)) {
+      throw std::invalid_argument(
+          "Scenario: metrics.quantiles entries must be in (0, 1), got " +
+          std::to_string(q));
+    }
+  }
 }
 
 ScenarioRunner::ScenarioRunner(Scenario scenario)
@@ -139,6 +159,11 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   protocol_->build(ctx);
 
   buildMeasuredSet();
+
+  if (scenario_.metrics.enabled()) {
+    collector_ = std::make_unique<streaming::StreamingCollector>(
+        *this, scenario_.metrics.reducers);
+  }
 }
 
 ScenarioRunner::~ScenarioRunner() = default;
@@ -199,7 +224,32 @@ void ScenarioRunner::run() {
       world_->simOf(s).at(scenario_.warmup, [net] { net->resetTraffic(); });
     }
   }
+  if (collector_ != nullptr && collector_->anyWindowed()) {
+    // Streamed lane with windowed reducers: stop at metric-window
+    // boundaries to take barrier probes. Each nominal boundary (a multiple
+    // of metrics.window) is aligned UP to the end of the sharding window
+    // containing it, so no runUntil call ever splits a sharding window —
+    // a split would divide one hand-off batch across two barrier drains
+    // and reorder same-due insertions, diverging from the uninterrupted
+    // run. Aligned this way, execution is bit-identical to a single
+    // runUntil(horizon) and streamed metrics equal materialized ones.
+    const SimDuration shardWindow = world_->windowLength();
+    SimTime lastAligned = -1;
+    for (SimTime nominal = scenario_.metrics.window;
+         nominal < scenario_.horizon; nominal += scenario_.metrics.window) {
+      const SimTime aligned =
+          (nominal / shardWindow) * shardWindow + shardWindow - 1;
+      if (aligned <= lastAligned) continue;  // window shorter than the grid
+      if (aligned >= scenario_.horizon) break;
+      world_->runUntil(aligned);
+      collector_->onWindowBarrier(*world_, aligned);
+      lastAligned = aligned;
+    }
+  }
   world_->runUntil(scenario_.horizon);
+  if (collector_ != nullptr) {
+    collector_->finish(*world_, scenario_.horizon);
+  }
 }
 
 sim::TrafficCounters ScenarioRunner::trafficOf(const NodeId& id) const {

@@ -50,6 +50,27 @@ namespace avmon::experiments {
 
 class Protocol;  // experiments/protocol.hpp
 
+namespace streaming {
+class StreamingCollector;  // experiments/streaming/collector.hpp
+}
+
+/// Streaming-metrics configuration (experiments/streaming). Off by
+/// default: the materialized end-of-run scan stays the primary lane, and
+/// every default-path golden fingerprint is untouched.
+struct StreamingMetricsSpec {
+  /// Metric-window length; 0 disables streaming. The runner aligns each
+  /// nominal boundary UP to the sharding-window grid, so a streamed run's
+  /// event execution is bit-identical to an uninterrupted one and the
+  /// streamed metrics reproduce the materialized ones exactly.
+  SimDuration window = 0;
+  /// ReducerRegistry names to run; empty = every registered reducer.
+  std::vector<std::string> reducers;
+  /// Quantiles the streamed summary reports (each in (0, 1)).
+  std::vector<double> quantiles{0.5, 0.99};
+
+  bool enabled() const noexcept { return window > 0; }
+};
+
 /// Which nodes the metrics cover.
 enum class MeasuredSet {
   kAuto,             ///< per-model default described above
@@ -110,6 +131,10 @@ struct Scenario {
   /// cross a shard boundary. Turning it off keeps the paper's collapsed-RTT
   /// accounting as a single-shard lane.
   bool deferredRpc = true;
+
+  /// Streaming metrics pipeline (spec keys metrics.window /
+  /// metrics.reducers / metrics.quantiles; avmon_sim --stream-metrics).
+  StreamingMetricsSpec metrics;
 
   /// Checks every cross-field invariant (known protocol and hash, nonzero
   /// N/horizon, warmup < horizon, shard/RPC-lane compatibility, protocol
@@ -207,6 +232,13 @@ class ScenarioRunner final : public churn::LifecycleListener {
   /// Outgoing-traffic counters for `id`, read from its home shard.
   sim::TrafficCounters trafficOf(const NodeId& id) const;
 
+  /// The streaming pipeline, when the scenario enabled it
+  /// (scenario.metrics.window > 0); nullptr otherwise. Windows and the
+  /// streamed summary are valid after run().
+  const streaming::StreamingCollector* streamingCollector() const noexcept {
+    return collector_.get();
+  }
+
   // ---- LifecycleListener ----
   void onJoin(const NodeId& id, bool firstJoin) override;
   void onLeave(const NodeId& id) override;
@@ -237,6 +269,7 @@ class ScenarioRunner final : public churn::LifecycleListener {
   std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
 
   std::vector<NodeId> measured_;
+  std::unique_ptr<streaming::StreamingCollector> collector_;
   bool ran_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "experiments/spec.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -89,21 +90,6 @@ std::optional<AvmonConfig> cvsKOverride(churn::Model model, std::size_t n,
   if (cvs != 0) cfg.cvs = cvs;
   if (k != 0) cfg.k = k;
   return cfg;
-}
-
-std::string formatDouble(double d) {
-  // Find the shortest precision whose text parses back to exactly d, so
-  // canonical specs print 0.1 as "0.1" yet never lose a bit.
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::ostringstream out;
-    out.precision(precision);
-    out << d;
-    if (std::stod(out.str()) == d) return out.str();
-  }
-  std::ostringstream out;
-  out.precision(17);
-  out << d;
-  return out.str();
 }
 
 SweepSpec SweepSpec::parse(const std::string& text) {
@@ -200,6 +186,21 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       base.shards = static_cast<unsigned>(parseU64(value, lineNo));
     } else if (key == "deferred_rpc") {
       base.deferredRpc = parseBool(value, lineNo);
+    } else if (key == "metrics.window") {
+      const double seconds = parseDouble(value, lineNo);
+      if (seconds < 0) fail(lineNo, "metrics.window must be >= 0 seconds");
+      base.metrics.window =
+          static_cast<SimDuration>(std::llround(seconds * kSecond));
+    } else if (key == "metrics.reducers") {
+      for (const std::string& v : splitList(value)) {
+        if (v.empty()) fail(lineNo, "empty reducer name");
+        base.metrics.reducers.push_back(v);
+      }
+    } else if (key == "metrics.quantiles") {
+      base.metrics.quantiles.clear();
+      for (const std::string& v : splitList(value)) {
+        base.metrics.quantiles.push_back(parseDouble(v, lineNo));
+      }
     } else {
       fail(lineNo, "unknown key '" + key + "'");
     }
@@ -324,6 +325,26 @@ std::string Scenario::toSpec() const {
   out << "measured = " << measuredName(measured) << "\n";
   out << "shards = " << shards << "\n";
   out << "deferred_rpc = " << (deferredRpc ? "true" : "false") << "\n";
+  // Streaming keys are emitted only when they differ from the defaults, so
+  // every pre-streaming spec (and its canonical form) is byte-unchanged.
+  if (metrics.window > 0) {
+    out << "metrics.window = " << formatDouble(toSeconds(metrics.window))
+        << "\n";
+  }
+  if (!metrics.reducers.empty()) {
+    out << "metrics.reducers = ";
+    for (std::size_t i = 0; i < metrics.reducers.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << metrics.reducers[i];
+    }
+    out << "\n";
+  }
+  if (metrics.quantiles != StreamingMetricsSpec{}.quantiles) {
+    out << "metrics.quantiles = ";
+    for (std::size_t i = 0; i < metrics.quantiles.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << formatDouble(metrics.quantiles[i]);
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

@@ -14,7 +14,10 @@
 // horizon_ms, warmup_min or warmup_ms, control_fraction, hash, cvs, k
 // (0 = paper default), pr2, forgetful, forgetful_ewma, overreport,
 // rpc_fail, measured (auto|control|born_after_warmup|all), shards,
-// deferred_rpc.  List keys (comma-separated, cross-producted in
+// deferred_rpc, metrics.window (seconds; 0 = no streaming),
+// metrics.reducers (comma list of ReducerRegistry names; applies as one
+// value, not a sweep axis), metrics.quantiles (comma list in (0,1)).
+// List keys (comma-separated, cross-producted in
 // protocol > model > n > seed > drop order): protocol, model, n, seed,
 // drop.  A spec whose lists are all singletons is exactly one Scenario —
 // Scenario::fromSpec / toSpec round-trip through this grammar, and
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/format_double.hpp"
 #include "experiments/scenario.hpp"
 
 namespace avmon::experiments {
@@ -62,10 +66,12 @@ struct SweepSpec {
   std::vector<Scenario> expand() const;
 };
 
-/// Shortest decimal representation of `d` that parses back to exactly the
-/// same double — what toSpec() emits, so specs stay human-readable AND
-/// parse -> serialize -> parse is a fixed point. Exposed for tests.
-std::string formatDouble(double d);
+/// Shortest round-tripping decimal formatter (what toSpec() emits, so
+/// specs stay human-readable AND parse -> serialize -> parse is a fixed
+/// point). The one implementation lives in common/format_double.hpp and is
+/// shared with the JSON and windowed-metrics writers; re-exported here for
+/// the spec grammar's historical callers.
+using avmon::formatDouble;
 
 /// The ONE implementation of the cvs/k override semantics shared by the
 /// avmon_sim flags and the spec grammar (the tested guarantee that --spec

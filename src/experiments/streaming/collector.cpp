@@ -1,0 +1,221 @@
+#include "experiments/streaming/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "experiments/protocol.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/streaming/reducer_registry.hpp"
+#include "sim/sharded_simulator.hpp"
+
+namespace avmon::experiments::streaming {
+
+StreamingCollector::StreamingCollector(
+    const ScenarioRunner& runner, const std::vector<std::string>& reducerNames)
+    : runner_(&runner) {
+  const ReducerRegistry& registry = ReducerRegistry::instance();
+  names_ = reducerNames.empty() ? registry.names() : reducerNames;
+  for (const std::string& name : names_) {
+    const ReducerFactory* factory = registry.find(name);
+    if (factory == nullptr) {
+      throw std::invalid_argument(
+          "StreamingCollector: unknown reducer '" + name +
+          "' — known reducers: " + registry.namesJoined());
+    }
+    prototypes_.push_back(factory->make());
+    windowed_.push_back(factory->windowed);
+    anyWindowed_ = anyWindowed_ || factory->windowed;
+  }
+
+  const sim::ShardedSimulator& world = runner.world();
+  banks_.resize(world.shardCount());
+  for (ShardBank& bank : banks_) {
+    bank.reducers.reserve(prototypes_.size());
+    for (const auto& prototype : prototypes_) {
+      bank.reducers.push_back(prototype->fork());
+    }
+  }
+
+  for (const trace::NodeTrace& nt : runner.schedule().nodes()) {
+    traceByNode_[nt.id] = &nt;
+  }
+  for (const NodeId& id : runner.measuredIds()) measuredSet_.insert(id);
+
+  // Partition the participant population by home shard so the final node
+  // scan runs where each node lives. Every protocol builds one participant
+  // per trace node, so the measured set is a subset of this visit.
+  runner.protocol().forEachNode([&](const NodeId& id) {
+    ShardBank& bank = banks_[world.shardOf(id)];
+    bank.participants.push_back(id);
+    if (measuredSet_.count(id) != 0) bank.measuredHome.push_back(id);
+  });
+}
+
+void StreamingCollector::onWindowBarrier(sim::ShardedSimulator& world,
+                                         SimTime boundary) {
+  const Protocol& protocol = runner_->protocol();
+  world.visitShards([&](std::size_t s) {
+    ShardBank& bank = banks_[s];
+    WindowProbe probe;
+    probe.shard = s;
+    probe.windowStart = lastBoundary_;
+    probe.windowEnd = boundary;
+    // Aggregate counters are differenced, not scanned: O(1) per shard per
+    // window. The warm-up resetTraffic zeroes the totals mid-window, so a
+    // "backwards" total means this window's delta restarts at the reset.
+    const sim::TrafficCounters totals = world.netOf(s).totalTraffic();
+    probe.bytesSentDelta = totals.bytesSent >= bank.lastTotals.bytesSent
+                               ? totals.bytesSent - bank.lastTotals.bytesSent
+                               : totals.bytesSent;
+    probe.messagesSentDelta =
+        totals.messagesSent >= bank.lastTotals.messagesSent
+            ? totals.messagesSent - bank.lastTotals.messagesSent
+            : totals.messagesSent;
+    bank.lastTotals = totals;
+    // A recorded first-monitor delay implies the discovery already happened
+    // (<= boundary), so the running count minus the last barrier's count is
+    // exactly the discoveries inside (lastBoundary, boundary].
+    std::size_t discovered = 0;
+    for (const NodeId& id : bank.measuredHome) {
+      if (protocol.discoveryDelay(id, 1)) ++discovered;
+    }
+    probe.discoveries =
+        static_cast<std::uint64_t>(discovered - bank.discoveredSoFar);
+    bank.discoveredSoFar = discovered;
+    for (auto& reducer : bank.reducers) reducer->onWindow(probe);
+  });
+
+  WindowRow row;
+  row.windowStart = lastBoundary_;
+  row.windowEnd = boundary;
+  for (std::size_t i = 0; i < prototypes_.size(); ++i) {
+    if (!windowed_[i]) continue;
+    mergedRoot(i)->emitWindowColumns(row);
+    for (ShardBank& bank : banks_) bank.reducers[i]->resetWindow();
+  }
+  windows_.push_back(std::move(row));
+  lastBoundary_ = boundary;
+}
+
+void StreamingCollector::finish(sim::ShardedSimulator& world,
+                                SimTime horizon) {
+  if (finished_) {
+    throw std::logic_error("StreamingCollector::finish called twice");
+  }
+  if (anyWindowed_ && lastBoundary_ < horizon) {
+    onWindowBarrier(world, horizon);  // final (possibly shorter) window
+  }
+  world.visitShards([&](std::size_t s) {
+    ShardBank& bank = banks_[s];
+    for (const NodeId& id : bank.participants) {
+      const NodeProbe probe = probeOf(id);
+      for (auto& reducer : bank.reducers) reducer->onNode(probe);
+    }
+  });
+  for (std::size_t i = 0; i < prototypes_.size(); ++i) {
+    mergedRoot(i)->finish(summary_);
+  }
+  finished_ = true;
+}
+
+NodeProbe StreamingCollector::probeOf(const NodeId& id) const {
+  const Protocol& protocol = runner_->protocol();
+  const Scenario& scenario = runner_->scenario();
+  NodeProbe probe;
+  probe.id = id;
+  probe.measured = measuredSet_.count(id) != 0;
+  const auto trIt = traceByNode_.find(id);
+  const trace::NodeTrace* nt =
+      trIt == traceByNode_.end() ? nullptr : trIt->second;
+
+  if (probe.measured) {
+    probe.joined = nt != nullptr && nt->firstJoin().has_value();
+    if (const auto d = protocol.discoveryDelay(id, 1)) {
+      probe.discoverySeconds = toSeconds(*d);
+    }
+    if (nt != nullptr) {
+      const double upSeconds = toSeconds(nt->totalUpTime());
+      if (upSeconds >= 1.0) {
+        probe.computationsPerSecond =
+            static_cast<double>(protocol.hashChecks(id)) / upSeconds;
+      }
+    }
+  }
+
+  if (const std::size_t entries = protocol.memoryEntries(id); entries != 0) {
+    probe.memoryEntries = static_cast<double>(entries);
+  }
+
+  const SimTime from = scenario.warmup;
+  const SimTime to = scenario.horizon;
+  double upSeconds, windowSeconds;
+  if (nt != nullptr) {
+    upSeconds = nt->availability(from, to) * toSeconds(to - from);
+    windowSeconds = toSeconds(to - std::max(from, nt->birth));
+  } else {
+    upSeconds = toSeconds(to - from);
+    windowSeconds = upSeconds;
+  }
+  if (upSeconds >= toSeconds(runner_->config().protocolPeriod)) {
+    probe.outgoingBytesPerSecond =
+        static_cast<double>(runner_->trafficOf(id).bytesSent) / windowSeconds;
+  }
+
+  if (protocol.isMonitoring(id)) {
+    const double upMinutes = nt != nullptr ? toMinutes(nt->totalUpTime())
+                                           : toMinutes(scenario.horizon);
+    if (upMinutes >= 1.0) {
+      probe.uselessPingsPerMinute =
+          static_cast<double>(protocol.uselessPings(id)) / upMinutes;
+    }
+  }
+
+  if (probe.measured && nt != nullptr && nt->firstJoin()) {
+    double estSum = 0.0;
+    double actualSum = 0.0;
+    std::size_t reporters = 0;
+    for (const NodeId& monitorId : protocol.monitorsOf(id)) {
+      const auto sample = protocol.estimate(monitorId, id);
+      if (!sample) continue;
+      estSum += sample->estimated;
+      actualSum += nt->availability(sample->windowStart, sample->windowEnd);
+      ++reporters;
+    }
+    if (reporters > 0) {
+      const double n = static_cast<double>(reporters);
+      probe.accuracyAbsError = std::fabs(estSum / n - actualSum / n);
+    }
+  }
+  return probe;
+}
+
+std::unique_ptr<Reducer> StreamingCollector::mergedRoot(std::size_t i) const {
+  std::unique_ptr<Reducer> root = prototypes_[i]->fork();
+  for (const ShardBank& bank : banks_) root->mergeFrom(*bank.reducers[i]);
+  return root;
+}
+
+const StreamedSummary& StreamingCollector::summary() const {
+  if (!finished_) {
+    throw std::logic_error(
+        "StreamingCollector::summary read before finish()");
+  }
+  return summary_;
+}
+
+std::size_t StreamingCollector::stateBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& prototype : prototypes_) bytes += prototype->stateBytes();
+  for (const ShardBank& bank : banks_) {
+    for (const auto& reducer : bank.reducers) bytes += reducer->stateBytes();
+  }
+  for (const WindowRow& row : windows_) {
+    bytes += sizeof(WindowRow) +
+             row.columns.size() * sizeof(std::pair<std::string, double>);
+  }
+  return bytes;
+}
+
+}  // namespace avmon::experiments::streaming

@@ -1,0 +1,166 @@
+#include "experiments/streaming/exact_sum.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace avmon::experiments::streaming {
+
+namespace {
+
+// Decomposes a finite nonzero double into (sign, mantissa, exponent) with
+// value = ±mantissa * 2^exponent, mantissa < 2^53. Bit fiddling instead of
+// frexp so subnormals need no special case.
+struct Decomposed {
+  bool negative;
+  std::uint64_t mantissa;
+  int exponent;
+};
+
+Decomposed decompose(double x) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  const bool negative = (bits >> 63) != 0;
+  const int biased = static_cast<int>((bits >> 52) & 0x7FF);
+  const std::uint64_t frac = bits & 0xFFFFFFFFFFFFFull;
+  if (biased == 0) {
+    return {negative, frac, -1074};  // subnormal: no implicit bit
+  }
+  return {negative, frac | (1ull << 52), biased - 1075};
+}
+
+}  // namespace
+
+void ExactSum::addMagnitude(std::uint64_t mantissa, int exponent) noexcept {
+  const int bitPos = exponent + kOffsetBits;
+  const int limb = bitPos >> 6;
+  const int shift = bitPos & 63;
+  // The 53-bit mantissa shifted left by up to 63 bits spans at most two
+  // limbs' worth of nonzero chunk plus a carry into the third.
+  const std::uint64_t lo = mantissa << shift;
+  const std::uint64_t hi = shift == 0 ? 0 : (mantissa >> (64 - shift));
+  std::uint64_t carry = 0;
+  {
+    const std::uint64_t before = limbs_[limb];
+    limbs_[limb] = before + lo;
+    carry = limbs_[limb] < before ? 1 : 0;
+  }
+  {
+    const std::uint64_t before = limbs_[limb + 1];
+    const std::uint64_t add = hi + carry;  // hi < 2^63, carry <= 1: no wrap
+    limbs_[limb + 1] = before + add;
+    carry = limbs_[limb + 1] < before ? 1 : 0;
+  }
+  for (int i = limb + 2; carry != 0 && i < kLimbs; ++i) {
+    carry = ++limbs_[i] == 0 ? 1 : 0;
+  }
+}
+
+void ExactSum::subMagnitude(std::uint64_t mantissa, int exponent) noexcept {
+  const int bitPos = exponent + kOffsetBits;
+  const int limb = bitPos >> 6;
+  const int shift = bitPos & 63;
+  const std::uint64_t lo = mantissa << shift;
+  const std::uint64_t hi = shift == 0 ? 0 : (mantissa >> (64 - shift));
+  std::uint64_t borrow = 0;
+  {
+    const std::uint64_t before = limbs_[limb];
+    limbs_[limb] = before - lo;
+    borrow = before < lo ? 1 : 0;
+  }
+  {
+    const std::uint64_t before = limbs_[limb + 1];
+    const std::uint64_t sub = hi + borrow;  // hi < 2^63, borrow <= 1: no wrap
+    limbs_[limb + 1] = before - sub;
+    borrow = before < sub ? 1 : 0;
+  }
+  for (int i = limb + 2; borrow != 0 && i < kLimbs; ++i) {
+    borrow = limbs_[i]-- == 0 ? 1 : 0;
+  }
+}
+
+void ExactSum::add(double x) noexcept {
+  if (!std::isfinite(x)) {
+    nonFinite_ = true;
+    return;
+  }
+  if (x == 0.0) return;
+  const Decomposed d = decompose(x);
+  if (d.negative) {
+    subMagnitude(d.mantissa, d.exponent);
+  } else {
+    addMagnitude(d.mantissa, d.exponent);
+  }
+}
+
+void ExactSum::merge(const ExactSum& other) noexcept {
+  // Two's-complement limb-wise addition; wraparound at the top limb cannot
+  // happen (the headroom limbs bound |sum| far below 2^(64 * kLimbs - 1)).
+  std::uint64_t carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    const std::uint64_t before = limbs_[i];
+    limbs_[i] = before + other.limbs_[i] + carry;
+    carry = (limbs_[i] < before || (carry != 0 && limbs_[i] == before)) ? 1 : 0;
+  }
+  nonFinite_ = nonFinite_ || other.nonFinite_;
+}
+
+double ExactSum::value() const noexcept {
+  if (nonFinite_) return std::numeric_limits<double>::quiet_NaN();
+
+  // Sign-magnitude view of the two's-complement accumulator.
+  const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+  std::array<std::uint64_t, kLimbs> mag = limbs_;
+  if (negative) {
+    std::uint64_t carry = 1;
+    for (int i = 0; i < kLimbs; ++i) {
+      mag[i] = ~mag[i] + carry;
+      carry = (carry != 0 && mag[i] == 0) ? 1 : 0;
+    }
+  }
+
+  // Highest set bit.
+  int top = kLimbs - 1;
+  while (top >= 0 && mag[top] == 0) --top;
+  if (top < 0) return 0.0;
+  int highBit = 63;
+  while ((mag[top] >> highBit) == 0) --highBit;
+  const int h = top * 64 + highBit;  // global bit position of the msb
+
+  // Extract the top 53 bits as the mantissa, plus round and sticky bits.
+  const auto bitAt = [&](int pos) -> std::uint64_t {
+    if (pos < 0) return 0;
+    return (mag[pos >> 6] >> (pos & 63)) & 1u;
+  };
+  std::uint64_t mantissa = 0;
+  for (int pos = h; pos > h - 53; --pos) {
+    mantissa = (mantissa << 1) | bitAt(pos);
+  }
+  const std::uint64_t roundBit = bitAt(h - 53);
+  bool sticky = false;
+  for (int pos = h - 54; pos >= 0 && !sticky; --pos) {
+    // Whole-limb check once aligned, bit check at the ragged edge.
+    if ((pos & 63) == 63) {
+      for (int i = pos >> 6; i >= 0 && !sticky; --i) sticky = mag[i] != 0;
+      break;
+    }
+    sticky = bitAt(pos) != 0;
+  }
+
+  int exponent = h - kOffsetBits - 52;  // value = mantissa * 2^exponent
+  if (roundBit != 0 && (sticky || (mantissa & 1) != 0)) {
+    if (++mantissa == (1ull << 53)) {
+      mantissa >>= 1;
+      ++exponent;
+    }
+  }
+  // Inputs are finite doubles, so no set bit lies below 2^-1074 and the
+  // magnitude never needs a subnormal second rounding here in practice;
+  // std::ldexp performs the final (sub)normal placement correctly either
+  // way, and overflow saturates to ±inf as IEEE addition would.
+  const double magnitude =
+      std::ldexp(static_cast<double>(mantissa), exponent);
+  return negative ? -magnitude : magnitude;
+}
+
+}  // namespace avmon::experiments::streaming

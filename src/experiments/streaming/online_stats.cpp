@@ -1,0 +1,56 @@
+#include "experiments/streaming/online_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avmon::experiments::streaming {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_.add(x);
+  sumSquares_.add(x * x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_.merge(other.sum_);
+  sumSquares_.merge(other.sumSquares_);
+}
+
+double OnlineStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double OnlineStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double OnlineStats::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return sum_.value() / static_cast<double>(count_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double s = sum_.value();
+  const double var = (sumSquares_.value() - (s * s) / n) / (n - 1.0);
+  // The algebraic form can dip infinitesimally negative for constant-ish
+  // streams; clamp so stddev never NaNs.
+  return var > 0.0 ? var : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace avmon::experiments::streaming

@@ -1,0 +1,57 @@
+// OnlineStats: mergeable count/mean/min/max/variance over a sample stream.
+//
+// Summation order is FIXED BY CONSTRUCTION, not by convention: both the
+// sum and the sum of squares live in ExactSum superaccumulators, so every
+// derived figure (mean, variance, stddev) is a deterministic function of
+// the sample MULTISET alone. add() in any order, merge() in any tree
+// shape — shard-partitioned streams reproduce the single-stream result
+// bit-for-bit, which is what lets the sharded suite pin streamed
+// summaries across S ∈ {1, 2, 3, 8}.
+//
+// Definitions (documented because they differ from stats::Summary's
+// sequential Welford recurrence in rounding, not in the quantity):
+//   mean     = round(exact Σx) / n                (one rounding, then /)
+//   variance = (Σx² - (Σx)²/n) / (n - 1)          (sample variance; the
+//              squares x·x are IEEE products, identical on every shard)
+// min/max are exact and order-free by nature.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "experiments/streaming/exact_sum.hpp"
+
+namespace avmon::experiments::streaming {
+
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double min() const noexcept;  ///< 0 when empty (matches Summary)
+  double max() const noexcept;
+  double mean() const noexcept;
+  double variance() const noexcept;  ///< sample variance; 0 for n < 2
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_.value(); }
+
+  bool operator==(const OnlineStats& other) const noexcept {
+    return count_ == other.count_ && min_ == other.min_ &&
+           max_ == other.max_ && sum_ == other.sum_ &&
+           sumSquares_ == other.sumSquares_;
+  }
+
+  static constexpr std::size_t stateBytes() noexcept {
+    return sizeof(OnlineStats);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  ExactSum sum_;
+  ExactSum sumSquares_;
+};
+
+}  // namespace avmon::experiments::streaming

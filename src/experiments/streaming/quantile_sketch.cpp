@@ -1,0 +1,109 @@
+#include "experiments/streaming/quantile_sketch.hpp"
+
+#include <cmath>
+
+namespace avmon::experiments::streaming {
+
+std::int32_t QuantileSketch::binOf(double magnitude) noexcept {
+  int e = 0;
+  const double m = std::frexp(magnitude, &e);  // m in [0.5, 1), exact
+  // (2m - 1) * kSubBins is exact: 2m - 1 is a Sterbenz-exact difference in
+  // [0, 1) and kSubBins is a power of two — so the sub-bin is a pure
+  // function of the value's bits, never of rounding mode or platform.
+  const auto sub = static_cast<std::int32_t>((2.0 * m - 1.0) * kSubBins);
+  return static_cast<std::int32_t>(e) * static_cast<std::int32_t>(kSubBins) +
+         sub;
+}
+
+double QuantileSketch::binMid(std::int32_t bin) noexcept {
+  const auto subBins = static_cast<std::int32_t>(kSubBins);
+  std::int32_t e = bin / subBins;
+  std::int32_t sub = bin % subBins;
+  if (sub < 0) {  // floor division for negative exponents
+    sub += subBins;
+    e -= 1;
+  }
+  const double mantissa =
+      1.0 + (static_cast<double>(sub) + 0.5) / static_cast<double>(kSubBins);
+  return std::ldexp(mantissa, e - 1);
+}
+
+void QuantileSketch::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  if (x == 0.0) {
+    ++zeroCount_;
+  } else if (x > 0.0) {
+    ++positive_[binOf(x)];
+  } else {
+    ++negative_[binOf(-x)];
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  zeroCount_ += other.zeroCount_;
+  for (const auto& [bin, n] : other.positive_) positive_[bin] += n;
+  for (const auto& [bin, n] : other.negative_) negative_[bin] += n;
+}
+
+double QuantileSketch::quantile(double phi) const noexcept {
+  if (count_ == 0) return 0.0;
+  // Same rank convention as stats::Cdf::percentile: 1-indexed ceil rank,
+  // clamped into [1, n].
+  std::uint64_t rank = 0;
+  if (phi > 0.0) {
+    rank = static_cast<std::uint64_t>(
+        std::ceil(phi * static_cast<double>(count_)));
+  }
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+
+  const auto clamped = [&](double v) noexcept {
+    if (v < min_) return min_;
+    if (v > max_) return max_;
+    return v;
+  };
+
+  std::uint64_t cumulative = 0;
+  // Ascending value order: most-negative first (descending magnitude bin),
+  // then zero, then positives ascending.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    cumulative += it->second;
+    if (cumulative >= rank) return clamped(-binMid(it->first));
+  }
+  cumulative += zeroCount_;
+  if (cumulative >= rank) return clamped(0.0);
+  for (const auto& [bin, n] : positive_) {
+    cumulative += n;
+    if (cumulative >= rank) return clamped(binMid(bin));
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+std::size_t QuantileSketch::stateBytes() const noexcept {
+  // Ordered-map nodes: payload plus the red-black bookkeeping (3 pointers
+  // + color, padded). An estimate for the bench's accounting, not an
+  // allocator audit.
+  constexpr std::size_t kNodeBytes =
+      sizeof(std::pair<const std::int32_t, std::uint64_t>) +
+      4 * sizeof(void*);
+  return sizeof(QuantileSketch) +
+         (positive_.size() + negative_.size()) * kNodeBytes;
+}
+
+}  // namespace avmon::experiments::streaming

@@ -1,0 +1,59 @@
+// Name -> Reducer factory table, mirroring ProtocolRegistry: one registry
+// serves the whole process, Scenario::validate() resolves reducer names
+// through it, the StreamingCollector instantiates through it, and tools
+// enumerate it for --help / spec error messages. The three built-ins
+// ("summary", "traffic", "discovery") are pre-registered; tests and
+// downstream code can add more.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/streaming/reducer.hpp"
+
+namespace avmon::experiments::streaming {
+
+/// How a registered reducer is created, plus the metadata tools print and
+/// Scenario::validate() checks.
+struct ReducerFactory {
+  std::string name;         ///< registry key, also Scenario metrics.reducers
+  std::string description;  ///< one-liner for --help and spec errors
+  /// True when the reducer contributes windowed time-series columns (the
+  /// collector skips the per-window root merge entirely when a scenario
+  /// registers none — summary-only runs pay no per-window cost).
+  bool windowed = false;
+  std::function<std::unique_ptr<Reducer>()> make;
+};
+
+class ReducerRegistry {
+ public:
+  /// The process-wide registry with the built-ins pre-registered:
+  /// summary, traffic, discovery.
+  static ReducerRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate or
+  /// empty name, or a missing make function.
+  void add(ReducerFactory factory);
+
+  /// Factory for `name`, or nullptr when unknown.
+  const ReducerFactory* find(const std::string& name) const;
+
+  /// Instantiates `name`; throws std::invalid_argument listing the known
+  /// reducers when the name is unknown.
+  std::unique_ptr<Reducer> create(const std::string& name) const;
+
+  /// Registered names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+  /// "summary, traffic, ..." — for error messages and usage text.
+  std::string namesJoined() const;
+
+ private:
+  ReducerRegistry();
+
+  std::vector<ReducerFactory> factories_;
+};
+
+}  // namespace avmon::experiments::streaming

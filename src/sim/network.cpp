@@ -244,6 +244,7 @@ TrafficCounters Network::traffic(const NodeId& id) const {
 void Network::resetTraffic() {
   AVMON_DET_CHECK(detTag, "Network::resetTraffic");
   for (NodeState& state : slots_) state.traffic = TrafficCounters{};
+  totalTraffic_ = TrafficCounters{};
 }
 
 }  // namespace avmon::sim

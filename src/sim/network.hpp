@@ -298,7 +298,14 @@ class Network {
   /// Outgoing-traffic counters for a node (zeroes if unknown).
   TrafficCounters traffic(const NodeId& id) const;
 
-  /// Resets every traffic counter (used to scope measurement windows).
+  /// Aggregate outgoing counters over every node attached to this shard's
+  /// network, maintained incrementally on the charge path — the streaming
+  /// metrics pipeline differences these at window barriers, so a windowed
+  /// bandwidth probe is O(1), never a slot scan.
+  TrafficCounters totalTraffic() const noexcept { return totalTraffic_; }
+
+  /// Resets every traffic counter, including the aggregate (used to scope
+  /// measurement windows).
   void resetTraffic();
 
   /// Total messages delivered (for tests).
@@ -329,9 +336,11 @@ class Network {
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
   std::uint32_t findSlot(const NodeId& id) const;
 
-  static void charge(NodeState& state, std::size_t bytes) noexcept {
+  void charge(NodeState& state, std::size_t bytes) noexcept {
     state.traffic.bytesSent += bytes;
     state.traffic.messagesSent += 1;
+    totalTraffic_.bytesSent += bytes;
+    totalTraffic_.messagesSent += 1;
   }
 
   SimDuration sampleLatency(NodeState& sender);
@@ -365,6 +374,7 @@ class Network {
   std::vector<NodeState> slots_;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
+  TrafficCounters totalTraffic_;
 };
 
 }  // namespace avmon::sim

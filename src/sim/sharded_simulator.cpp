@@ -231,10 +231,27 @@ void ShardedSimulator::drainOwnedShards(unsigned worker) {
   }
 }
 
+void ShardedSimulator::visitOwnedShards(unsigned worker) {
+  try {
+    for (std::size_t s = worker; s < shards_.size(); s += workerCount_) {
+      AVMON_DET_SHARD_SCOPE(&detDomain_, s);
+      (*visitFn_)(s);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+}
+
 void ShardedSimulator::workerLoop(unsigned worker) {
   for (;;) {
-    barrier_.arriveAndWait();  // A: coordinator published phaseTarget_
+    barrier_.arriveAndWait();  // A: coordinator published the phase
     if (stop_.load(std::memory_order_acquire)) return;
+    if (phase_ == Phase::kVisit) {
+      visitOwnedShards(worker);
+      barrier_.arriveAndWait();  // C: every visit done
+      continue;
+    }
     runOwnedShards(worker, phaseTarget_);
     barrier_.arriveAndWait();  // B: every shard reached the window end
     drainOwnedShards(worker);
@@ -263,6 +280,25 @@ std::uint64_t ShardedSimulator::executeWindow(SimTime wEnd) {
   std::uint64_t drainedAfter = 0;
   for (const auto& s : shards_) drainedAfter += s->drained;
   return drainedAfter - drainedBefore;
+}
+
+void ShardedSimulator::visitShards(const std::function<void(std::size_t)>& fn) {
+  // The visit borrows the window-phase machinery: same shard->worker
+  // assignment, same sentinel scopes, so a reducer bank a visit populates
+  // is touched by exactly one thread for the whole run.
+  AVMON_DET_PHASE_SCOPE(detDomain_);
+  visitFn_ = &fn;
+  if (workers_.empty()) {
+    visitOwnedShards(0);
+  } else {
+    phase_ = Phase::kVisit;
+    barrier_.arriveAndWait();  // A
+    visitOwnedShards(0);
+    barrier_.arriveAndWait();  // C
+    phase_ = Phase::kWindow;
+  }
+  visitFn_ = nullptr;
+  rethrowPendingError();
 }
 
 void ShardedSimulator::rethrowPendingError() {

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -126,6 +127,16 @@ class ShardedSimulator {
   /// repeatedly with increasing horizons.
   void runUntil(SimTime until);
 
+  /// Runs `fn(shard)` once per shard, in parallel, each call on the worker
+  /// thread that OWNS the shard during window phases (shard s -> worker
+  /// s % workers) and inside that shard's determinism-sentinel scope. The
+  /// shards must be quiescent (between runUntil calls); `fn` may read the
+  /// shard's sub-world and write only per-shard state it owns. This is how
+  /// per-shard reducer banks ingest window probes without any state ever
+  /// crossing a shard boundary (experiments/streaming). Exceptions from
+  /// `fn` are rethrown on this thread after every shard completed.
+  void visitShards(const std::function<void(std::size_t)>& fn);
+
   /// Watermark: all shards have fully executed up to and including now().
   SimTime now() const noexcept { return now_; }
 
@@ -161,6 +172,7 @@ class ShardedSimulator {
   // (shard s belongs to worker s % workerCount_).
   void runOwnedShards(unsigned worker, SimTime target);
   void drainOwnedShards(unsigned worker);
+  void visitOwnedShards(unsigned worker);
 
   // One full window on the current thread layout; returns items drained.
   std::uint64_t executeWindow(SimTime wEnd);
@@ -185,7 +197,13 @@ class ShardedSimulator {
   unsigned workerCount_ = 1;
   std::vector<std::thread> workers_;
   SpinBarrier barrier_;
-  SimTime phaseTarget_ = 0;       // published by the coordinator before A
+  // What the next barrier-A release asks the workers to do: run a window
+  // to phaseTarget_ (the default) or visit their shards with visitFn_.
+  // Published by the coordinator before A; the barrier orders the reads.
+  enum class Phase : std::uint8_t { kWindow, kVisit };
+  Phase phase_ = Phase::kWindow;
+  SimTime phaseTarget_ = 0;
+  const std::function<void(std::size_t)>* visitFn_ = nullptr;
   // Determinism-sentinel domain for this world (per-instance so concurrent
   // worlds under a parallel runner check independently); empty unless
   // AVMON_DET_CHECKS.

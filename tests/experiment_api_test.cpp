@@ -11,6 +11,7 @@
 #include "experiments/protocol_registry.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/spec.hpp"
+#include "experiments/streaming/reducer_registry.hpp"
 
 namespace avmon::experiments {
 namespace {
@@ -75,7 +76,10 @@ bool scenarioEquals(const Scenario& a, const Scenario& b) {
          a.messageDropProbability == b.messageDropProbability &&
          a.rpcFailProbability == b.rpcFailProbability &&
          a.measured == b.measured && a.shards == b.shards &&
-         a.deferredRpc == b.deferredRpc;
+         a.deferredRpc == b.deferredRpc &&
+         a.metrics.window == b.metrics.window &&
+         a.metrics.reducers == b.metrics.reducers &&
+         a.metrics.quantiles == b.metrics.quantiles;
 }
 
 TEST(ScenarioSpecTest, DefaultScenarioRoundTrips) {
@@ -127,6 +131,23 @@ TEST(ScenarioSpecTest, RoundTripIsFixedPointProperty) {
     s.measured = measured[nextRand() % 4];
     s.shards = static_cast<unsigned>(nextRand() % 9);
     s.deferredRpc = nextRand() % 2 == 0;
+    s.metrics.window =
+        nextRand() % 3 == 0 ? 0 : static_cast<SimDuration>(nextRand() % kHour);
+    if (nextRand() % 2 == 0) {
+      s.metrics.reducers.clear();
+      const auto reducers = streaming::ReducerRegistry::instance().names();
+      for (const std::string& r : reducers) {
+        if (nextRand() % 2 == 0) s.metrics.reducers.push_back(r);
+      }
+    }
+    if (nextRand() % 3 == 0) {
+      s.metrics.quantiles.clear();
+      const std::size_t count = 1 + nextRand() % 4;
+      for (std::size_t q = 0; q < count; ++q) {
+        s.metrics.quantiles.push_back(
+            static_cast<double>(1 + nextRand() % 999) / 1000.0);
+      }
+    }
 
     const std::string spec1 = s.toSpec();
     const Scenario s2 = Scenario::fromSpec(spec1);
@@ -194,6 +215,28 @@ TEST(ScenarioSpecTest, ErrorsNameTheOffendingLine) {
 
 TEST(ScenarioSpecTest, FromSpecRejectsSweeps) {
   EXPECT_THROW(Scenario::fromSpec("seed = 1, 2\n"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, StreamingMetricsKeysParseAndStayOptional) {
+  const Scenario s = Scenario::fromSpec(
+      "model = STAT\nn = 100\nmetrics.window = 45.5\n"
+      "metrics.reducers = summary, traffic\n"
+      "metrics.quantiles = 0.25, 0.9\n");
+  EXPECT_EQ(s.metrics.window, static_cast<SimDuration>(45500));
+  EXPECT_TRUE(s.metrics.enabled());
+  ASSERT_EQ(s.metrics.reducers.size(), 2u);
+  EXPECT_EQ(s.metrics.reducers[0], "summary");
+  EXPECT_EQ(s.metrics.reducers[1], "traffic");
+  ASSERT_EQ(s.metrics.quantiles.size(), 2u);
+  EXPECT_EQ(s.metrics.quantiles[0], 0.25);
+  EXPECT_EQ(s.metrics.quantiles[1], 0.9);
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_TRUE(scenarioEquals(s, back));
+
+  // Pre-streaming specs serialize byte-unchanged: no metrics.* keys appear
+  // unless a scenario opted in.
+  EXPECT_EQ(Scenario{}.toSpec().find("metrics."), std::string::npos);
+  EXPECT_FALSE(Scenario{}.metrics.enabled());
 }
 
 TEST(ScenarioSpecTest, FormatDoubleIsShortestExact) {
@@ -291,6 +334,11 @@ TEST(ScenarioValidateTest, ActionableErrors) {
         s.shards = 2;
       },
       "shared global state");
+  expectError([](Scenario& s) { s.metrics.window = -1; }, "metrics.window");
+  expectError([](Scenario& s) { s.metrics.reducers = {"nope"}; },
+              "unknown reducer");
+  expectError([](Scenario& s) { s.metrics.quantiles = {1.5}; },
+              "metrics.quantiles");
 }
 
 TEST(ScenarioValidateTest, TraceModelsIgnoreStableSize) {

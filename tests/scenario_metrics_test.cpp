@@ -157,6 +157,22 @@ TEST(ScenarioMetricsTest, SeededRunsMatchGoldenHashes) {
   }
 }
 
+TEST(ScenarioMetricsTest, StreamingObservationKeepsGoldenHashes) {
+  // The streaming metrics pipeline pauses the sharded world at every
+  // metric-window barrier mid-run. Reproducing both pinned fingerprints
+  // proves the barriers are pure observation: execution, RNG draws, and
+  // per-node state are bit-identical to an uninterrupted run. (The
+  // streamed summaries themselves are pinned shard-count-independent by
+  // streaming_test.)
+  Scenario s = goldenScenarios()[0];
+  s.metrics.window = 60 * kSecond;
+  s.shards = 2;
+  ScenarioRunner runner(s);
+  runner.run();
+  EXPECT_EQ(summaryHash(runner), 0x2653aa83f642c8d3ULL);
+  EXPECT_EQ(perNodeHash(runner), 0x674ecc991fa11d54ULL);
+}
+
 TEST(ScenarioMetricsTest, InstantaneousLaneMatchesGoldenHashes) {
   // The collapsed-RTT lane (deferredRpc = false, single shard) stays a
   // supported configuration with its own pinned fingerprints, so both RPC

@@ -1,0 +1,369 @@
+// Streaming metrics pipeline: sketch-algebra properties (exactness,
+// associativity, partition independence), the quantile rank-error bound,
+// the ReducerRegistry contract, and the lane-equivalence regression — the
+// streamed summary reproduces the materialized scan exactly and is
+// bit-identical across every shard count on the golden workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "experiments/parallel_runner.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/streaming/collector.hpp"
+#include "experiments/streaming/exact_sum.hpp"
+#include "experiments/streaming/online_stats.hpp"
+#include "experiments/streaming/quantile_sketch.hpp"
+#include "experiments/streaming/reducer_registry.hpp"
+#include "golden_hash.hpp"
+#include "stats/cdf.hpp"
+
+namespace avmon::experiments::streaming {
+namespace {
+
+// ---------------------------------------------------------------- ExactSum
+
+TEST(ExactSumTest, MatchesIntegerScaledReference) {
+  // Samples of the form k * 2^-20 sum exactly in 64-bit integer space, so
+  // the accumulated value has a closed-form exact answer to compare with.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> coeff(-(std::int64_t{1} << 36),
+                                                    std::int64_t{1} << 36);
+  ExactSum sum;
+  std::int64_t exact = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t k = coeff(rng);
+    exact += k;
+    sum.add(std::ldexp(static_cast<double>(k), -20));
+  }
+  EXPECT_EQ(sum.value(), std::ldexp(static_cast<double>(exact), -20));
+}
+
+TEST(ExactSumTest, SurvivesCatastrophicCancellation) {
+  // A naive (or Kahan) accumulator loses the 1.0 entirely.
+  ExactSum sum;
+  sum.add(1.0);
+  sum.add(1e308);
+  sum.add(-1e308);
+  EXPECT_EQ(sum.value(), 1.0);
+
+  ExactSum tiny;
+  tiny.add(1e16);
+  tiny.add(1.0);
+  tiny.add(-1e16);
+  EXPECT_EQ(tiny.value(), 1.0);
+}
+
+TEST(ExactSumTest, RepresentsSubnormalsExactly) {
+  const double d = std::numeric_limits<double>::denorm_min();
+  ExactSum sum;
+  sum.add(d);
+  sum.add(d);
+  sum.add(d);
+  EXPECT_EQ(sum.value(), std::ldexp(3.0, -1074));
+}
+
+TEST(ExactSumTest, OrderAndPartitionIndependent) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> mag(-1e6, 1e6);
+  std::vector<double> samples(500);
+  for (double& s : samples) s = mag(rng) * std::exp2(static_cast<int>(rng() % 40) - 20);
+
+  ExactSum sequential;
+  for (double s : samples) sequential.add(s);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(samples.begin(), samples.end(), rng);
+    // Random partition into up to 8 sub-accumulators, merged in order.
+    std::vector<ExactSum> parts(1 + rng() % 8);
+    for (double s : samples) parts[rng() % parts.size()].add(s);
+    ExactSum merged;
+    for (const ExactSum& p : parts) merged.merge(p);
+    EXPECT_TRUE(merged == sequential) << "trial " << trial;
+    EXPECT_EQ(merged.value(), sequential.value());
+  }
+}
+
+TEST(ExactSumTest, NonFiniteInputPoisons) {
+  ExactSum sum;
+  sum.add(1.0);
+  sum.add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(sum.nonFinite());
+  EXPECT_TRUE(std::isnan(sum.value()));
+
+  // Poison propagates through merge.
+  ExactSum clean;
+  clean.add(2.0);
+  clean.merge(sum);
+  EXPECT_TRUE(clean.nonFinite());
+}
+
+// ------------------------------------------------------------- OnlineStats
+
+TEST(OnlineStatsTest, MatchesDirectFormulas) {
+  OnlineStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 4.0);
+  EXPECT_EQ(stats.mean(), 2.5);
+  // Sample variance via the documented (Σx² - (Σx)²/n) / (n-1) — every
+  // intermediate is exactly representable for these inputs.
+  EXPECT_DOUBLE_EQ(stats.variance(), (30.0 - 100.0 / 4) / 3);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt((30.0 - 100.0 / 4) / 3));
+}
+
+TEST(OnlineStatsTest, EmptyIsAllZero) {
+  const OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergePartitionIndependent) {
+  std::mt19937_64 rng(13);
+  std::lognormal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> samples(400);
+  for (double& s : samples) s = dist(rng);
+
+  OnlineStats sequential;
+  for (double s : samples) sequential.add(s);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(samples.begin(), samples.end(), rng);
+    std::vector<OnlineStats> parts(1 + rng() % 8);
+    for (double s : samples) parts[rng() % parts.size()].add(s);
+    OnlineStats merged;
+    for (const OnlineStats& p : parts) merged.merge(p);
+    EXPECT_TRUE(merged == sequential) << "trial " << trial;
+    EXPECT_EQ(merged.mean(), sequential.mean());
+    EXPECT_EQ(merged.variance(), sequential.variance());
+  }
+}
+
+// ---------------------------------------------------------- QuantileSketch
+
+TEST(QuantileSketchTest, MergePartitionIndependent) {
+  std::mt19937_64 rng(17);
+  std::lognormal_distribution<double> dist(1.0, 3.0);
+  std::vector<double> samples(600);
+  for (double& s : samples) {
+    s = dist(rng);
+    if (rng() % 4 == 0) s = -s;  // exercise the mirrored histogram
+    if (rng() % 16 == 0) s = 0.0;
+  }
+
+  QuantileSketch sequential;
+  for (double s : samples) sequential.add(s);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(samples.begin(), samples.end(), rng);
+    std::vector<QuantileSketch> parts(1 + rng() % 8);
+    for (double s : samples) parts[rng() % parts.size()].add(s);
+    QuantileSketch merged;
+    for (const QuantileSketch& p : parts) merged.merge(p);
+    EXPECT_TRUE(merged == sequential) << "trial " << trial;
+  }
+}
+
+TEST(QuantileSketchTest, RankErrorBoundAgainstExactCdf) {
+  // |quantile(phi) - q| <= |q| / kSubBins for the true ceil-rank sample
+  // quantile q — the documented relative bound of the log-histogram.
+  std::mt19937_64 rng(19);
+  std::lognormal_distribution<double> dist(0.0, 2.5);
+  for (const bool negate : {false, true}) {
+    QuantileSketch sketch;
+    std::vector<double> samples(2000);
+    for (double& s : samples) {
+      s = negate ? -dist(rng) : dist(rng);
+      sketch.add(s);
+    }
+    const stats::Cdf cdf(samples);
+    for (double phi = 0.01; phi < 1.0; phi += 0.01) {
+      const double q = cdf.percentile(phi);
+      const double v = sketch.quantile(phi);
+      EXPECT_LE(std::abs(v - q),
+                std::abs(q) / QuantileSketch::kSubBins + 1e-12)
+          << "phi=" << phi << " negate=" << negate;
+    }
+  }
+}
+
+TEST(QuantileSketchTest, ResultClampedToObservedRange) {
+  QuantileSketch sketch;
+  sketch.add(3.0);
+  sketch.add(5.0);
+  for (double phi = 0.0; phi <= 1.0; phi += 0.125) {
+    const double v = sketch.quantile(phi);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(QuantileSketchTest, EmptyAndZeroStreams) {
+  const QuantileSketch empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  QuantileSketch zeros;
+  for (int i = 0; i < 5; ++i) zeros.add(0.0);
+  EXPECT_EQ(zeros.quantile(0.5), 0.0);
+  EXPECT_EQ(zeros.count(), 5u);
+}
+
+// --------------------------------------------------------- ReducerRegistry
+
+TEST(ReducerRegistryTest, BuiltinsAreRegistered) {
+  auto& registry = ReducerRegistry::instance();
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "summary");
+  EXPECT_EQ(names[1], "traffic");
+  EXPECT_EQ(names[2], "discovery");
+  EXPECT_FALSE(registry.find("summary")->windowed);
+  EXPECT_TRUE(registry.find("traffic")->windowed);
+  EXPECT_TRUE(registry.find("discovery")->windowed);
+  EXPECT_EQ(registry.create("summary")->name(), "summary");
+}
+
+TEST(ReducerRegistryTest, UnknownNameThrowsListingKnown) {
+  try {
+    ReducerRegistry::instance().create("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("summary"), std::string::npos);
+  }
+}
+
+TEST(ReducerRegistryTest, DuplicateAndMalformedRegistrationsThrow) {
+  auto& registry = ReducerRegistry::instance();
+  EXPECT_THROW(registry.add({"summary", "dup", false, makeSummaryReducer}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"", "anon", false, makeSummaryReducer}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"nofactory", "x", false, nullptr}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- lane equivalence
+
+// Extends the golden regime of scenario_metrics_test / sharded_sim_test to
+// the streamed lane: on the STAT and SYNTH-BD golden workloads the
+// streaming pipeline must (a) leave protocol execution bit-identical (the
+// pinned summary fingerprints still hold with metric barriers inserted),
+// (b) produce the same StreamedSummary at S = 1, 2, 3, 8, and (c) agree
+// with the materialized sample vectors exactly on count/min/max/mean.
+TEST(StreamingLaneTest, StreamedSummariesMatchMaterializedAcrossShards) {
+  const auto golden = goldenScenarios();
+  struct Pinned {
+    const char* name;
+    std::size_t goldenIndex;
+    std::uint64_t summaryHashValue;
+  };
+  const Pinned pinned[] = {
+      {"STAT", 0, 0x2653aa83f642c8d3ULL},
+      {"SYNTH-BD", 1, 0x37267d9d4ef4b133ULL},
+  };
+  const unsigned shardCounts[] = {1, 2, 3, 8};
+
+  std::vector<Scenario> scenarios;
+  for (const Pinned& p : pinned) {
+    for (const unsigned s : shardCounts) {
+      Scenario sc = golden[p.goldenIndex];
+      sc.shards = s;
+      sc.metrics.window = 60 * kSecond;  // all reducers, windowed path on
+      scenarios.push_back(sc);
+    }
+    // Materialized control: same workload, streaming off.
+    Scenario control = golden[p.goldenIndex];
+    control.shards = 2;
+    scenarios.push_back(control);
+  }
+  // Pool capped at 4 to match the suite's PROCESSORS hint in CMakeLists.
+  const auto runners = ParallelScenarioRunner(4).runAll(scenarios);
+  ASSERT_EQ(runners.size(), 10u);
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    const Pinned& p = pinned[w];
+    const std::size_t base = w * 5;
+    const ScenarioRunner& control = *runners[base + 4];
+    ASSERT_EQ(control.streamingCollector(), nullptr);
+
+    const StreamingCollector* first = runners[base]->streamingCollector();
+    ASSERT_NE(first, nullptr);
+    const StreamedSummary& summary = first->summary();
+
+    for (std::size_t i = 0; i < 4; ++i) {
+      const ScenarioRunner& run = *runners[base + i];
+      // (a) observation only: pinned execution fingerprint unchanged.
+      EXPECT_EQ(summaryHash(run), p.summaryHashValue)
+          << p.name << " S=" << shardCounts[i]
+          << ": metric barriers perturbed execution";
+      // (b) bit-identical streamed state across shard counts.
+      const StreamedSummary& s = run.streamingCollector()->summary();
+      EXPECT_TRUE(s.discoverySeconds == summary.discoverySeconds);
+      EXPECT_TRUE(s.memoryEntries == summary.memoryEntries);
+      EXPECT_TRUE(s.outgoingBytesPerSecond == summary.outgoingBytesPerSecond);
+      EXPECT_TRUE(s.uselessPingsPerMinute == summary.uselessPingsPerMinute);
+      EXPECT_TRUE(s.computationsPerSecond == summary.computationsPerSecond);
+      EXPECT_TRUE(s.accuracyAbsError == summary.accuracyAbsError);
+      EXPECT_EQ(s.joined, summary.joined);
+      EXPECT_EQ(s.found, summary.found);
+      // Windowed time-series rows are partition-invariant too.
+      const auto& wref = first->windows();
+      const auto& wrun = run.streamingCollector()->windows();
+      ASSERT_EQ(wrun.size(), wref.size());
+      for (std::size_t r = 0; r < wref.size(); ++r) {
+        EXPECT_EQ(wrun[r].windowStart, wref[r].windowStart);
+        EXPECT_EQ(wrun[r].windowEnd, wref[r].windowEnd);
+        ASSERT_EQ(wrun[r].columns.size(), wref[r].columns.size());
+        for (std::size_t c = 0; c < wref[r].columns.size(); ++c) {
+          EXPECT_EQ(wrun[r].columns[c].first, wref[r].columns[c].first);
+          EXPECT_EQ(wrun[r].columns[c].second, wref[r].columns[c].second);
+        }
+      }
+    }
+
+    // (c) exact agreement with the materialized sample vectors.
+    const auto expectMatches = [&](const StreamedMetric& m,
+                                   std::vector<double> samples) {
+      ASSERT_EQ(m.stats.count(), samples.size());
+      if (samples.empty()) return;
+      const auto [lo, hi] =
+          std::minmax_element(samples.begin(), samples.end());
+      EXPECT_EQ(m.stats.min(), *lo);
+      EXPECT_EQ(m.stats.max(), *hi);
+      ExactSum exact;
+      for (double x : samples) exact.add(x);
+      EXPECT_EQ(m.stats.mean(),
+                exact.value() / static_cast<double>(samples.size()));
+    };
+    expectMatches(summary.discoverySeconds, control.discoveryDelaysSeconds(1));
+    expectMatches(summary.memoryEntries,
+                  control.memoryEntries(/*measuredOnly=*/false));
+    expectMatches(summary.outgoingBytesPerSecond,
+                  control.outgoingBytesPerSecond());
+    expectMatches(summary.uselessPingsPerMinute,
+                  control.uselessPingsPerMinute());
+    expectMatches(summary.computationsPerSecond,
+                  control.computationsPerSecond());
+
+    const auto accuracy =
+        control.availabilityAccuracy(/*measuredOnly=*/true);
+    std::vector<double> absErrors;
+    absErrors.reserve(accuracy.size());
+    for (const auto& a : accuracy) {
+      absErrors.push_back(std::abs(a.estimated - a.actual));
+    }
+    expectMatches(summary.accuracyAbsError, absErrors);
+    EXPECT_EQ(summary.discoveredFraction(), control.discoveredFraction(1))
+        << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace avmon::experiments::streaming

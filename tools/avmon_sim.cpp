@@ -11,7 +11,9 @@
 //   avmon_sim [--protocol P] [--model M] [--n 1000] [--minutes 90]
 //             [--warmup-min 30] [--seed 1] [--hash md5] [--cvs 0] [--k 0]
 //             [--pr2] [--no-forgetful] [--overreport 0.0] [--drop 0.0]
-//             [--shards 1] [--instant-rpc] [--csv PREFIX] [--json FILE]
+//             [--shards 1] [--instant-rpc] [--stream-metrics]
+//             [--metrics-window S] [--csv PREFIX] [--json FILE]
+#include <cmath>
 #include <iostream>
 #include <string>
 
@@ -51,8 +53,15 @@ using namespace avmon;
       << "                   per hardware thread; results are identical for\n"
       << "                   every shard count)\n"
       << "  --instant-rpc    collapsed-RTT RPC lane (forces --shards 1)\n"
+      << "  --stream-metrics collect metrics through the streaming reducer\n"
+      << "                   pipeline (60 s windows unless --metrics-window;\n"
+      << "                   summaries reproduce the scan lane exactly)\n"
+      << "  --metrics-window S\n"
+      << "                   streaming metric-window length in seconds\n"
+      << "                   (implies --stream-metrics)\n"
       << "  --csv PREFIX     write PREFIX[.<run>].{discovery,memory,\n"
-      << "                   bandwidth,pernode}.csv\n"
+      << "                   bandwidth,pernode}.csv (+ .windows.csv when\n"
+      << "                   streaming with windowed reducers)\n"
       << "  --json FILE      write summary statistics for every run as JSON\n";
   std::exit(2);
 }
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
   unsigned kOverride = 0;
   std::string specPath, csvPrefix, jsonPath;
   bool scenarioFlagSeen = false;
+  bool streamMetrics = false;
 
   try {
     experiments::ArgParser args(argc, argv);
@@ -90,6 +100,8 @@ int main(int argc, char** argv) {
       else if (arg == "--drop") scenario.messageDropProbability = args.valueDouble();
       else if (arg == "--shards") scenario.shards = args.valueUnsigned();
       else if (arg == "--instant-rpc") { scenario.deferredRpc = false; scenario.shards = 1; }
+      else if (arg == "--stream-metrics") streamMetrics = true;
+      else if (arg == "--metrics-window") { streamMetrics = true; scenario.metrics.window = static_cast<SimDuration>(std::llround(args.valueDouble() * kSecond)); }
       else if (arg == "--csv") csvPrefix = args.value();
       else if (arg == "--json") jsonPath = args.value();
       else args.failUnknown();
@@ -110,6 +122,9 @@ int main(int argc, char** argv) {
       scenario.horizon = scenario.warmup + minutes * kMinute;
       scenario.configOverride = experiments::cvsKOverride(
           scenario.model, scenario.stableSize, cvsOverride, kOverride);
+      if (streamMetrics && scenario.metrics.window == 0) {
+        scenario.metrics.window = 60 * kSecond;
+      }
       scenarios.push_back(scenario);
     }
 
