@@ -1,94 +1,136 @@
-// Ablation A5: empirical validation of the Section 4.3 collusion math.
-// Plant C colluders per victim (and D system-wide colluding pairs) and
-// measure how often any colluder actually lands in the victim's hash-
-// selected pinging set, against the closed forms (1-K/N)^C and (1-K/N)^D.
+// Ablation A5: empirical validation of the Section 4.3 collusion math,
+// measured end-to-end through the experiment harness instead of a
+// hand-rolled selector loop: every point is a declarative spec arming
+// attack.collusion on a real AVMON deployment, and the adversary layer's
+// victimOutcomes() (experiments/adversary.hpp) reports where coalition
+// members actually landed.
+//
+// Per victim, P(pinging set stays colluder-free) tracks (1-K/N)^C; per
+// run, P(no victim polluted at all) tracks probSystemCollusionFree with
+// D = C*V directed colluder-victim pairs. Measured values sit slightly
+// ABOVE the closed forms: a colluder only shows up in the simulated
+// outcome once it has discovered the victim, so undiscovered assignments
+// count as clean.
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "analysis/formulas.hpp"
-#include "avmon/config.hpp"
-#include "avmon/monitor_selector.hpp"
 #include "common.hpp"
-#include "hash/hash_function.hpp"
+#include "experiments/adversary.hpp"
+#include "experiments/spec.hpp"
+
+namespace {
+
+std::string specFor(std::size_t n, unsigned colluders, unsigned victims,
+                    const std::string& seeds) {
+  std::ostringstream out;
+  out << "protocol = avmon\n"
+      << "model = STAT\n"
+      << "n = " << n << "\n"
+      << "horizon_min = 60\n"
+      << "warmup_min = 15\n"
+      << "seed = " << seeds << "\n"
+      << "attack.collusion = " << colluders << "\n"
+      << "attack.victims = " << victims << "\n";
+  return out.str();
+}
+
+std::string seedList(unsigned count, unsigned base) {
+  std::ostringstream out;
+  for (unsigned i = 0; i < count; ++i) {
+    if (i != 0) out << ", ";
+    out << base + i;
+  }
+  return out.str();
+}
+
+}  // namespace
 
 int main() {
   using namespace avmon;
+  using namespace avmon::experiments;
 
-  hash::Md5HashFunction md5;
+  const auto start = benchx::wallClockNow();
 
+  // --- Per-victim form: every victim is one Bernoulli sample ------------
   stats::TablePrinter table(
       "Ablation A5: probability a victim's PS stays colluder-free "
-      "(measured over victims vs analytic (1-K/N)^C)");
-  table.setHeader({"N", "K", "colluders C", "measured", "analytic"});
+      "(victimOutcomes over spec-driven runs vs analytic (1-K/N)^C)");
+  table.setHeader({"N", "K", "colluders C", "victims", "measured",
+                   "analytic"});
 
-  Rng rng(20070602);
-  for (std::size_t n : {500u, 2000u, 10000u}) {
-    const unsigned k = defaultK(n);
-    HashMonitorSelector selector(md5, k, n);
-    for (std::size_t c : {3u, 10u}) {
-      // Every node is a victim; its colluders are c uniformly random
-      // other nodes (the adversary cannot steer the hash, only choose
-      // friends). Count victims with zero colluders in PS.
+  for (std::size_t n : {300u, 1000u}) {
+    for (unsigned c : {3u, 10u}) {
       std::size_t clean = 0;
-      const std::size_t victims = std::min<std::size_t>(n, 2000);
-      for (std::uint32_t v = 0; v < victims; ++v) {
-        const NodeId victim = NodeId::fromIndex(v);
-        bool polluted = false;
-        for (std::size_t i = 0; i < c; ++i) {
-          NodeId friendId;
-          do {
-            friendId = NodeId::fromIndex(
-                static_cast<std::uint32_t>(rng.below(n)));
-          } while (friendId == victim);
-          if (selector.isMonitor(friendId, victim)) {
-            polluted = true;
-            break;
-          }
+      std::size_t sampled = 0;
+      unsigned k = 0;
+      std::size_t effN = 0;
+      const SweepSpec sweep =
+          SweepSpec::parse(specFor(n, c, 40, seedList(4, 11)));
+      for (const Scenario& scenario : sweep.expand()) {
+        ScenarioRunner runner(scenario);
+        runner.run();
+        k = runner.config().k;
+        effN = runner.effectiveN();
+        for (const VictimOutcome& v : victimOutcomes(
+                 runner.protocol(), runner.adversary(), runner.schedule())) {
+          if (v.monitors == 0) continue;  // never discovered: no evidence
+          ++sampled;
+          clean += v.colludingMonitors == 0 ? 1 : 0;
         }
-        clean += polluted ? 0 : 1;
       }
       table.addRow(
-          {std::to_string(n), std::to_string(k), std::to_string(c),
+          {std::to_string(effN), std::to_string(k), std::to_string(c),
+           std::to_string(sampled),
            stats::TablePrinter::num(
-               static_cast<double>(clean) / static_cast<double>(victims), 4),
-           stats::TablePrinter::num(
-               analysis::probNoColluderInPS(n, k, c), 4)});
+               static_cast<double>(clean) / static_cast<double>(sampled), 4),
+           stats::TablePrinter::num(analysis::probNoColluderInPS(effN, k, c),
+                                    4)});
     }
   }
   table.print(std::cout);
 
+  // --- System form: every run is one Bernoulli sample -------------------
   stats::TablePrinter sys(
-      "System-wide: probability no colludee-colluder pair pollutes any PS, "
-      "D random pairs");
-  sys.setHeader({"N", "K", "pairs D", "measured", "analytic"});
-  for (std::size_t n : {2000u, 10000u}) {
-    const unsigned k = defaultK(n);
-    HashMonitorSelector selector(md5, k, n);
-    for (std::size_t d : {10u, 100u}) {
-      // Repeat trials: each trial plants D random directed colluding
-      // pairs and checks if any satisfies the consistency condition.
-      constexpr int kTrials = 400;
-      int cleanTrials = 0;
-      for (int t = 0; t < kTrials; ++t) {
-        bool polluted = false;
-        for (std::size_t i = 0; i < d && !polluted; ++i) {
-          const auto a = static_cast<std::uint32_t>(rng.below(n));
-          auto b = static_cast<std::uint32_t>(rng.below(n));
-          if (b == a) b = (b + 1) % static_cast<std::uint32_t>(n);
-          polluted = selector.isMonitor(NodeId::fromIndex(a),
-                                        NodeId::fromIndex(b));
-        }
-        cleanTrials += polluted ? 0 : 1;
+      "System-wide: probability no coalition member pollutes ANY victim's "
+      "PS, D = C*V pairs, vs probSystemCollusionFree");
+  sys.setHeader(
+      {"N", "K", "C", "V", "pairs D", "runs", "measured", "analytic"});
+  for (unsigned c : {2u, 4u}) {
+    constexpr unsigned kVictims = 8;
+    constexpr unsigned kRuns = 30;
+    std::size_t cleanRuns = 0;
+    unsigned k = 0;
+    std::size_t effN = 0;
+    const SweepSpec sweep =
+        SweepSpec::parse(specFor(300, c, kVictims, seedList(kRuns, 101)));
+    for (const Scenario& scenario : sweep.expand()) {
+      ScenarioRunner runner(scenario);
+      runner.run();
+      k = runner.config().k;
+      effN = runner.effectiveN();
+      bool polluted = false;
+      for (const VictimOutcome& v : victimOutcomes(
+               runner.protocol(), runner.adversary(), runner.schedule())) {
+        polluted = polluted || v.colludingMonitors > 0;
       }
-      sys.addRow({std::to_string(n), std::to_string(k), std::to_string(d),
-                  stats::TablePrinter::num(
-                      static_cast<double>(cleanTrials) / kTrials, 4),
-                  stats::TablePrinter::num(
-                      analysis::probSystemCollusionFree(n, k, d), 4)});
+      cleanRuns += polluted ? 0 : 1;
     }
+    const std::size_t pairs = static_cast<std::size_t>(c) * kVictims;
+    sys.addRow({std::to_string(effN), std::to_string(k), std::to_string(c),
+                std::to_string(kVictims), std::to_string(pairs),
+                std::to_string(kRuns),
+                stats::TablePrinter::num(
+                    static_cast<double>(cleanRuns) / kRuns, 4),
+                stats::TablePrinter::num(
+                    analysis::probSystemCollusionFree(effN, k, pairs), 4)});
   }
   sys.print(std::cout);
-  std::cout << "Expected: measured probabilities track the closed forms — "
-               "colluders cannot place themselves into pinging sets.\n";
+  std::cout << "Expected: measured probabilities track the closed forms "
+               "from above — colluders cannot place themselves into "
+               "pinging sets, only land there by hash luck.\n"
+            << "wall seconds: " << benchx::secondsSince(start) << "\n";
   return 0;
 }

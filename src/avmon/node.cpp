@@ -148,6 +148,15 @@ void AvmonNode::leave() {
   notifiedPairs_.clear();
   lastMonitoringPingReceived_ = -1;
   sessionStartTime_ = -1;
+  if (amnesiac_) {
+    // Forgetful failure mode (setAmnesia): the persistent storage the
+    // paper assumes survives downtime is lost with the session. Discovery
+    // timestamps stay — they describe events that did happen.
+    cv_.clear();
+    cvIndex_.clear();
+    ps_.clear();
+    ts_.clear();
+  }
 }
 
 // -------------------------------------------------------------- coarse view
@@ -528,6 +537,9 @@ std::optional<double> AvmonNode::availabilityEstimateOf(
   const auto it = ts_.find(target);
   if (it == ts_.end()) return std::nullopt;
   if (overreporting_) return 1.0;
+  if (collusionVictims_ != nullptr && collusionVictims_->count(target) != 0) {
+    return 1.0;  // coalition lie for targeted victims (Section 4.3)
+  }
   return it->second.history->estimate();
 }
 

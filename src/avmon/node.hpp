@@ -129,6 +129,21 @@ class AvmonNode final : public sim::Endpoint {
   /// monitors — the attack of the paper's Figure 20.
   void setOverreporting(bool on) noexcept { overreporting_ = on; }
 
+  /// Enlists this node in a collusion coalition (paper Section 4.3): it
+  /// claims 100% availability for any monitored target in `victims`.
+  /// Forged NOTIFYs would be caught by receivers' re-verification, so the
+  /// coalition's only leverage is lying about targets the selection hash
+  /// legitimately assigned to it. Pass nullptr to leave the coalition.
+  void setCollusion(
+      std::shared_ptr<const std::unordered_set<NodeId>> victims) noexcept {
+    collusionVictims_ = std::move(victims);
+  }
+
+  /// Makes this node wipe its persistent storage (CV, PS, TS) on every
+  /// leave(), violating the Section 3.3 persistence assumption — the
+  /// "forgetful node" failure mode the robustness scenarios measure.
+  void setAmnesia(bool on) noexcept { amnesiac_ = on; }
+
   // ---- Endpoint (transport-facing side of the protocol) ----
 
   /// One-way delivery: exhaustive dispatch over the closed Message variant
@@ -216,6 +231,9 @@ class AvmonNode final : public sim::Endpoint {
   std::vector<NodeId> poolScratch_;
 
   bool overreporting_ = false;
+  // Non-null while colluding: the shared victim set this node lies about.
+  std::shared_ptr<const std::unordered_set<NodeId>> collusionVictims_;
+  bool amnesiac_ = false;
   NodeMetrics metrics_;
 };
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/format_double.hpp"
+#include "experiments/adversary.hpp"
 #include "experiments/protocol.hpp"
 #include "experiments/streaming/collector.hpp"
 #include "stats/cdf.hpp"
@@ -142,6 +143,9 @@ std::string MetricSet::label() const {
   out << protocol << " " << model << " N=" << effectiveN << " seed=" << seed;
   if (dropProbability > 0) out << " drop=" << dropProbability;
   if (rpcFailProbability > 0) out << " rpcfail=" << rpcFailProbability;
+  if (collusion > 0) out << " C=" << collusion;
+  if (overreportFraction > 0) out << " over=" << overreportFraction;
+  if (forgetfulFraction > 0) out << " forget=" << forgetfulFraction;
   return out.str();
 }
 
@@ -150,6 +154,9 @@ std::string MetricSet::fileLabel() const {
   out << protocol << "-" << model << "-n" << effectiveN << "-s" << seed;
   if (dropProbability > 0) out << "-d" << dropProbability;
   if (rpcFailProbability > 0) out << "-rf" << rpcFailProbability;
+  if (collusion > 0) out << "-c" << collusion;
+  if (overreportFraction > 0) out << "-ov" << overreportFraction;
+  if (forgetfulFraction > 0) out << "-fg" << forgetfulFraction;
   std::string s = out.str();
   for (char& c : s) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -193,6 +200,31 @@ MetricSet collectMetrics(const ScenarioRunner& runner) {
   out.warmupSeconds = toSeconds(s.warmup);
   out.dropProbability = s.messageDropProbability;
   out.rpcFailProbability = s.rpcFailProbability;
+  out.collusion = s.attack.collusion;
+  out.overreportFraction = s.overreportFraction;
+  out.forgetfulFraction = s.attack.forgetfulFraction;
+
+  // Graceful-degradation probes: evaluated against the protocol's final
+  // state on BOTH lanes (the resolved victim list is tiny, so this is not
+  // an O(N) materialization).
+  const ResolvedAdversary& adversary = runner.adversary();
+  if (!adversary.victims.empty()) {
+    const std::vector<VictimOutcome> outcomes =
+        victimOutcomes(runner.protocol(), adversary, runner.schedule());
+    double errSum = 0.0;
+    std::size_t reporting = 0;
+    for (const VictimOutcome& o : outcomes) {
+      ++out.victimCount;
+      if (o.eclipsed) ++out.eclipsedCount;
+      if (o.estimateAbsError) {
+        errSum += *o.estimateAbsError;
+        ++reporting;
+      }
+    }
+    if (reporting > 0) {
+      out.victimMeanAbsError = errSum / static_cast<double>(reporting);
+    }
+  }
 
   if (const streaming::StreamingCollector* collector =
           runner.streamingCollector()) {
@@ -269,6 +301,15 @@ void SummaryTableSink::close() {
     } else {
       out << "availability estimate mean |error|: n/a\n";
     }
+    if (set.victimCount > 0) {
+      out << "collusion victims eclipsed: " << set.eclipsedCount << "/"
+          << set.victimCount << "\n";
+      out << "victim estimate mean |error|: "
+          << (set.victimMeanAbsError
+                  ? stats::TablePrinter::num(*set.victimMeanAbsError, 4)
+                  : std::string("n/a"))
+          << "\n";
+    }
     if (set.streamed) {
       out << "metrics lane: streamed (" << set.windows.size()
           << " windows, " << set.metricStateBytes << " state bytes)\n";
@@ -305,6 +346,26 @@ void SummaryTableSink::close() {
     }
     table.addRow(std::move(discovered));
     table.addRow(std::move(accuracyRow));
+    // Degradation rows appear only when some run faced an adversary: the
+    // side-by-side then reads as "how much worse under attack".
+    bool anyVictims = false;
+    for (const MetricSet& set : sets_) anyVictims |= set.victimCount > 0;
+    if (anyVictims) {
+      std::vector<std::string> eclipsedRow = {"victims eclipsed"};
+      std::vector<std::string> victimErrRow = {"victim mean |error|"};
+      for (const MetricSet& set : sets_) {
+        eclipsedRow.push_back(set.victimCount > 0
+                                  ? std::to_string(set.eclipsedCount) + "/" +
+                                        std::to_string(set.victimCount)
+                                  : std::string("n/a"));
+        victimErrRow.push_back(
+            set.victimMeanAbsError
+                ? stats::TablePrinter::num(*set.victimMeanAbsError, 4)
+                : std::string("n/a"));
+      }
+      table.addRow(std::move(eclipsedRow));
+      table.addRow(std::move(victimErrRow));
+    }
     table.print(out);
   }
 
@@ -397,6 +458,17 @@ void JsonSink::close() {
         << ",\n";
     out << "    \"rpc_fail_probability\": "
         << formatDouble(set.rpcFailProbability) << ",\n";
+    out << "    \"collusion\": " << set.collusion << ",\n";
+    out << "    \"overreport_fraction\": "
+        << formatDouble(set.overreportFraction) << ",\n";
+    out << "    \"forgetful_fraction\": "
+        << formatDouble(set.forgetfulFraction) << ",\n";
+    out << "    \"victims\": " << set.victimCount << ",\n";
+    out << "    \"victims_eclipsed\": " << set.eclipsedCount << ",\n";
+    out << "    \"victim_mean_abs_error\": "
+        << (set.victimMeanAbsError ? formatDouble(*set.victimMeanAbsError)
+                                   : std::string("null"))
+        << ",\n";
     for (const NamedMetric& metric : kMetrics) {
       appendJsonStats(out, jsonKeyOf(metric.name).c_str(),
                       statsFor(set, metric));

@@ -40,6 +40,10 @@ struct MetricSet {
   /// not collapse onto one label).
   double dropProbability = 0.0;
   double rpcFailProbability = 0.0;
+  /// Adversary axes (all zero when the run armed no attack).
+  std::uint32_t collusion = 0;       ///< coalition size C
+  double overreportFraction = 0.0;   ///< over-reporting cohort fraction
+  double forgetfulFraction = 0.0;    ///< storage-wiping cohort fraction
 
   // ---- summary sample vectors (one sample per qualifying node) ----
   std::vector<double> discoverySeconds;  ///< first-monitor delay, measured set
@@ -49,6 +53,14 @@ struct MetricSet {
   std::vector<double> uselessPingsPerMinute;
   std::vector<double> computationsPerSecond;
   std::vector<AvailabilityAccuracy> accuracy;  ///< measured set
+
+  // ---- graceful-degradation results (collusion attacks only) ----
+  /// Resolved victim count, victims whose every monitor is a coalition
+  /// member, and the mean |estimated - actual| over reporting victims —
+  /// the simulated counterpart of Section 4.3's eclipse probability.
+  std::size_t victimCount = 0;
+  std::size_t eclipsedCount = 0;
+  std::optional<double> victimMeanAbsError;
 
   /// One row per trace node, in schedule order (plotting / debugging).
   struct PerNodeRow {

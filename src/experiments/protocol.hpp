@@ -25,6 +25,8 @@
 
 namespace avmon::experiments {
 
+struct ResolvedAdversary;  // experiments/adversary.hpp
+
 /// Everything the harness hands a protocol to build its participants.
 /// References stay valid for the protocol's lifetime (the runner owns both
 /// sides). AVMON draws node RNGs from rootRng; protocols that need
@@ -43,6 +45,11 @@ struct ProtocolContext {
   /// One memoized selector per shard (thread-private verdict caches).
   const std::vector<std::unique_ptr<MemoizedMonitorSelector>>& memoSelectors;
   Rng& rootRng;
+  /// Resolved hostile cohorts, or nullptr when the scenario arms no attack
+  /// (experiments/adversary.hpp). Every scheme faces the same adversary:
+  /// protocols tag their participants from it during build(); schemes
+  /// whose trust model the cohorts cannot corrupt may ignore it.
+  const ResolvedAdversary* adversary = nullptr;
 };
 
 /// A monitor's availability estimate of one target, together with the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "experiments/adversary.hpp"
+
 namespace avmon::experiments {
 
 void AvmonProtocol::build(const ProtocolContext& ctx) {
@@ -34,6 +36,18 @@ void AvmonProtocol::build(const ProtocolContext& ctx) {
     for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
       if (ctx.rootRng.chance(ctx.scenario.overreportFraction))
         nodes_.at(nt.id)->setOverreporting(true);
+    }
+  }
+
+  // Adversary cohorts (Section 4.3): membership was resolved from private
+  // seed-derived streams, so tagging here draws nothing from rootRng and
+  // the underlying world is bit-identical with the attack on or off.
+  if (ctx.adversary != nullptr && ctx.adversary->enabled()) {
+    for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
+      AvmonNode& node = *nodes_.at(nt.id);
+      if (ctx.adversary->isColluder(nt.id))
+        node.setCollusion(ctx.adversary->victimSet);
+      if (ctx.adversary->isAmnesiac(nt.id)) node.setAmnesia(true);
     }
   }
 }

@@ -1,5 +1,7 @@
 #include "experiments/protocols/self_report_protocol.hpp"
 
+#include "experiments/adversary.hpp"
+
 namespace avmon::experiments {
 
 void SelfReportProtocol::build(const ProtocolContext& ctx) {
@@ -17,6 +19,15 @@ void SelfReportProtocol::build(const ProtocolContext& ctx) {
     for (const NodeId& id : order_) {
       if (ctx.rootRng.chance(ctx.scenario.overreportFraction))
         nodes_.at(id).setSelfish(true);
+    }
+  }
+
+  // Under self-reporting every node vouches for itself, so a coalition's
+  // lie degenerates to plain selfishness — the same adversary budget hits
+  // this baseline as selfish colluders (victims are irrelevant here).
+  if (ctx.adversary != nullptr) {
+    for (const NodeId& id : order_) {
+      if (ctx.adversary->isColluder(id)) nodes_.at(id).setSelfish(true);
     }
   }
 }

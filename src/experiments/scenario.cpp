@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "experiments/adversary.hpp"
 #include "experiments/protocol.hpp"
 #include "experiments/protocol_registry.hpp"
 #include "experiments/streaming/collector.hpp"
@@ -64,6 +65,19 @@ void Scenario::validate() const {
   requireUnit(messageDropProbability, "messageDropProbability");
   requireUnit(rpcFailProbability, "rpcFailProbability");
 
+  faults.validate();
+  requireUnit(attack.forgetfulFraction, "attack.forgetful");
+  if (attack.victims > 0 && attack.collusion == 0) {
+    throw std::invalid_argument(
+        "Scenario: attack.victims names targets for a collusion coalition — "
+        "set attack.collusion > 0 as well");
+  }
+  if (notifyDedupMax.has_value() && *notifyDedupMax == 0) {
+    throw std::invalid_argument(
+        "Scenario: notify_dedup_max must be >= 1 (the cache needs room for "
+        "at least one pair)");
+  }
+
   const unsigned effectiveShards = resolveShards(shards);
   if (!deferredRpc && effectiveShards > 1) {
     throw std::invalid_argument(
@@ -113,6 +127,9 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   config_.pr2 = scenario_.pr2;
   config_.forgetful.enabled = scenario_.forgetful;
   config_.forgetful.ewmaSessionLength = scenario_.forgetfulEwma;
+  if (scenario_.shuffle.has_value()) config_.shuffle = *scenario_.shuffle;
+  if (scenario_.notifyDedupMax.has_value())
+    config_.notifyDedupMax = *scenario_.notifyDedupMax;
   config_.validate();
 
   const unsigned effectiveShards = resolveShards(scenario_.shards);
@@ -123,23 +140,41 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   selector_ = std::make_unique<HashMonitorSelector>(*hashFn_, config_.k,
                                                     effectiveN_);
 
+  // The schedule exists before the world does: correlated bursts rewrite
+  // it, the fault plan binds to its population, and the adversary cohorts
+  // resolve against it. churn::generate draws only from workload.seed and
+  // the burst/adversary streams are private (seed XOR role salt), so the
+  // root stream still forks in exactly the order it always did — netSeed
+  // below stays its first draw.
+  trace_ = churn::generate(scenario_.model, workload);
+  applyBursts(trace_, scenario_.faults.bursts, scenario_.seed);
+  faultPlan_ = scenario_.faults;
+  faultPlan_.bindPopulation(static_cast<std::uint32_t>(trace_.nodes().size()));
+  adversary_ =
+      std::make_unique<ResolvedAdversary>(resolveAdversary(scenario_, trace_));
+
   sim::ShardedSimulator::Config worldConfig;
   worldConfig.shards = effectiveShards;
   worldConfig.net.messageDropProbability = scenario_.messageDropProbability;
   worldConfig.net.rpcFailProbability = scenario_.rpcFailProbability;
   worldConfig.net.deferredRpc = scenario_.deferredRpc;
+  if (!faultPlan_.empty()) {
+    // A latency window or geo band may dip below the flat band's minimum;
+    // the conservative sharding window must follow it down.
+    worldConfig.lookahead = faultPlan_.lookaheadFloor(worldConfig.net.minLatency);
+  }
   // One draw from the root stream seeds every shard network identically;
   // per-node latency/fault streams derive from (seed, node id), so the
   // shard count never shifts anyone's randomness.
   worldConfig.netSeed = rootRng_.fork()();
   world_ = std::make_unique<sim::ShardedSimulator>(worldConfig);
+  if (!faultPlan_.empty()) world_->setFaultPlan(&faultPlan_);
 
   for (std::size_t s = 0; s < world_->shardCount(); ++s) {
     memoSelectors_.push_back(
         std::make_unique<MemoizedMonitorSelector>(*selector_));
   }
 
-  trace_ = churn::generate(scenario_.model, workload);
   player_ = std::make_unique<churn::TracePlayer>(world_->simOf(0), trace_);
 
   // Register the whole population first: global indices follow trace order
@@ -153,9 +188,10 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   // The protocol populates the world: one participant per trace node,
   // every scheme-owned RNG stream forked from the root stream so the
   // scenario seed governs the whole experiment.
-  const ProtocolContext ctx{scenario_,  effectiveN_, config_,
-                            *world_,    trace_,      *hashFn_,
-                            *selector_, memoSelectors_, rootRng_};
+  const ProtocolContext ctx{scenario_,  effectiveN_,    config_,
+                            *world_,    trace_,         *hashFn_,
+                            *selector_, memoSelectors_, rootRng_,
+                            adversary_.get()};
   protocol_->build(ctx);
 
   buildMeasuredSet();
@@ -167,6 +203,10 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
 }
 
 ScenarioRunner::~ScenarioRunner() = default;
+
+const ResolvedAdversary& ScenarioRunner::adversary() const noexcept {
+  return *adversary_;
+}
 
 void ScenarioRunner::buildMeasuredSet() {
   MeasuredSet mode = scenario_.measured;
@@ -353,31 +393,14 @@ std::vector<double> ScenarioRunner::uselessPingsPerMinute() const {
 std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
     bool measuredOnly) const {
   std::vector<AvailabilityAccuracy> out;
+  // The one shared definition of window-aligned accuracy lives in
+  // experiments/adversary.cpp (alignedAccuracyOf) — the streaming
+  // collector and the resilience probes use the same function.
   const auto evaluate = [&](const NodeId& id) {
     const auto trIt = traceByNode_.find(id);
     if (trIt == traceByNode_.end()) return;  // no ground truth off-trace
-    const trace::NodeTrace* nt = trIt->second;
-    const auto firstJoin = nt->firstJoin();
-    if (!firstJoin) return;
-
-    AvailabilityAccuracy acc;
-    acc.id = id;
-    double estSum = 0.0;
-    double actualSum = 0.0;
-    for (const NodeId& monitorId : protocol_->monitorsOf(id)) {
-      const auto sample = protocol_->estimate(monitorId, id);
-      if (!sample) continue;
-      estSum += sample->estimated;
-      // Ground truth aligned to this monitor's observation window (see
-      // Protocol::estimate): truth over any other window would bias the
-      // ratio on short runs.
-      actualSum += nt->availability(sample->windowStart, sample->windowEnd);
-      ++acc.reporters;
-    }
-    if (acc.reporters == 0) return;
-    acc.estimated = estSum / static_cast<double>(acc.reporters);
-    acc.actual = actualSum / static_cast<double>(acc.reporters);
-    out.push_back(acc);
+    if (const auto acc = alignedAccuracyOf(*protocol_, *trIt->second))
+      out.push_back(*acc);
   };
 
   if (measuredOnly) {

@@ -41,6 +41,7 @@
 #include "churn/trace_player.hpp"
 #include "common/rng.hpp"
 #include "hash/hash_function.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -48,7 +49,8 @@
 
 namespace avmon::experiments {
 
-class Protocol;  // experiments/protocol.hpp
+class Protocol;            // experiments/protocol.hpp
+struct ResolvedAdversary;  // experiments/adversary.hpp
 
 namespace streaming {
 class StreamingCollector;  // experiments/streaming/collector.hpp
@@ -69,6 +71,27 @@ struct StreamingMetricsSpec {
   std::vector<double> quantiles{0.5, 0.99};
 
   bool enabled() const noexcept { return window > 0; }
+};
+
+/// Adversary cohorts (spec keys attack.*; paper Section 4.3). Cohort
+/// membership is resolved against the concrete trace at runner
+/// construction — see experiments/adversary.hpp — from seed-derived
+/// streams that never touch the runner's root stream, so arming an attack
+/// leaves the underlying world bit-identical.
+struct AttackSpec {
+  /// Collusion coalition size C: that many nodes report 100% availability
+  /// for the targeted victims. 0 disables the attack.
+  std::uint32_t collusion = 0;
+  /// Targeted nodes the coalition lies about; 0 with collusion > 0 means
+  /// one victim. Both clamp to what the population can supply.
+  std::uint32_t victims = 0;
+  /// Fraction of nodes that wipe persistent storage (CV/PS/TS) on every
+  /// leave, violating the Section 3.3 persistence assumption.
+  double forgetfulFraction = 0.0;
+
+  bool enabled() const noexcept {
+    return collusion > 0 || forgetfulFraction > 0.0;
+  }
 };
 
 /// Which nodes the metrics cover.
@@ -117,6 +140,20 @@ struct Scenario {
   /// network, so both default to 0).
   double messageDropProbability = 0.0;
   double rpcFailProbability = 0.0;
+
+  /// Scheduled faults (spec keys faults.*): timed partitions, correlated
+  /// failure bursts, latency-regime windows, geo-clustered bands. Empty by
+  /// default — an empty plan is bit-identical to no plan at all.
+  sim::FaultPlan faults;
+
+  /// Adversary cohorts (spec keys attack.*).
+  AttackSpec attack;
+
+  /// Deep AvmonConfig knobs surfaced as spec keys. Unset keeps whatever
+  /// the resolved config (paper defaults or configOverride) says; set,
+  /// they override it just before validation.
+  std::optional<avmon::ShufflePolicy> shuffle;  ///< spec key `shuffle`
+  std::optional<std::uint32_t> notifyDedupMax;  ///< spec key `notify_dedup_max`
 
   MeasuredSet measured = MeasuredSet::kAuto;
 
@@ -183,6 +220,10 @@ class ScenarioRunner final : public churn::LifecycleListener {
 
   /// The scheme under measurement (probe surface for tests).
   const Protocol& protocol() const noexcept { return *protocol_; }
+
+  /// The scenario's attack spec resolved against the trace (empty cohorts
+  /// when no attack keys are set). Valid from construction.
+  const ResolvedAdversary& adversary() const noexcept;
 
   /// Ids in the measured set (see MeasuredSet).
   const std::vector<NodeId>& measuredIds() const noexcept { return measured_; }
@@ -252,6 +293,10 @@ class ScenarioRunner final : public churn::LifecycleListener {
   AvmonConfig config_;
 
   Rng rootRng_;
+  // The scenario's fault plan, bound to the trace population and wired
+  // into every shard network. Must outlive world_ (declared before it).
+  sim::FaultPlan faultPlan_;
+  std::unique_ptr<ResolvedAdversary> adversary_;
   std::unique_ptr<sim::ShardedSimulator> world_;
   std::unique_ptr<hash::HashFunction> hashFn_;
   std::unique_ptr<HashMonitorSelector> selector_;

@@ -59,6 +59,45 @@ double parseDouble(const std::string& v, std::size_t line) {
   }
 }
 
+// Splits a multi-entry value on `sep`, trimming each piece. Unlike
+// splitList, an empty value yields no entries.
+std::vector<std::string> splitEntries(const std::string& value, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, sep)) {
+    const std::string t = trim(item);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+// Splits one colon-separated fault entry into exactly `count` fields.
+std::vector<std::string> splitFields(const std::string& entry,
+                                     std::size_t count, std::size_t line,
+                                     const char* shape) {
+  const std::vector<std::string> fields = splitEntries(entry, ':');
+  if (fields.size() != count) {
+    fail(line, std::string("expected '") + shape + "', got '" + entry + "'");
+  }
+  return fields;
+}
+
+// Fault-plan times are written in seconds (the spec's human unit);
+// internally everything is SimTime milliseconds.
+SimTime parseSeconds(const std::string& v, std::size_t line) {
+  const double seconds = parseDouble(v, line);
+  if (seconds < 0) fail(line, "expected a non-negative time in seconds");
+  return static_cast<SimTime>(std::llround(seconds * kSecond));
+}
+
+avmon::ShufflePolicy parseShuffle(const std::string& v, std::size_t line) {
+  if (v == "union-sample" || v == "union_sample")
+    return avmon::ShufflePolicy::kUnionSample;
+  if (v == "swap") return avmon::ShufflePolicy::kSwap;
+  fail(line, "expected shuffle = union-sample|swap, got '" + v + "'");
+}
+
 MeasuredSet parseMeasured(const std::string& v, std::size_t line) {
   if (v == "auto") return MeasuredSet::kAuto;
   if (v == "control") return MeasuredSet::kControlGroup;
@@ -186,6 +225,56 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       base.shards = static_cast<unsigned>(parseU64(value, lineNo));
     } else if (key == "deferred_rpc") {
       base.deferredRpc = parseBool(value, lineNo);
+    } else if (key == "shuffle") {
+      base.shuffle = parseShuffle(value, lineNo);
+    } else if (key == "notify_dedup_max") {
+      base.notifyDedupMax = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "faults.partition") {
+      for (const std::string& entry : splitEntries(value, ';')) {
+        const auto f = splitFields(entry, 3, lineNo, "t0:t1:groups");
+        sim::PartitionWindow w;
+        w.start = parseSeconds(f[0], lineNo);
+        w.end = parseSeconds(f[1], lineNo);
+        w.groups = static_cast<std::uint32_t>(parseU64(f[2], lineNo));
+        base.faults.partitions.push_back(w);
+      }
+    } else if (key == "faults.burst") {
+      for (const std::string& entry : splitEntries(value, ';')) {
+        const auto f = splitFields(entry, 3, lineNo, "t:duration:fraction");
+        sim::BurstSpec b;
+        b.at = parseSeconds(f[0], lineNo);
+        b.duration = parseSeconds(f[1], lineNo);
+        b.fraction = parseDouble(f[2], lineNo);
+        base.faults.bursts.push_back(b);
+      }
+    } else if (key == "faults.latency") {
+      for (const std::string& entry : splitEntries(value, ';')) {
+        const auto f = splitFields(entry, 4, lineNo, "t0:t1:min_ms:max_ms");
+        sim::LatencyWindow w;
+        w.start = parseSeconds(f[0], lineNo);
+        w.end = parseSeconds(f[1], lineNo);
+        w.minLatency = static_cast<SimDuration>(parseU64(f[2], lineNo));
+        w.maxLatency = static_cast<SimDuration>(parseU64(f[3], lineNo));
+        base.faults.latencyWindows.push_back(w);
+      }
+    } else if (key == "faults.geo") {
+      const auto f = splitFields(
+          value, 5, lineNo, "regions:intra_min_ms:intra_max_ms:inter_min_ms:inter_max_ms");
+      base.faults.geo.regions = static_cast<std::uint32_t>(parseU64(f[0], lineNo));
+      base.faults.geo.intraMin = static_cast<SimDuration>(parseU64(f[1], lineNo));
+      base.faults.geo.intraMax = static_cast<SimDuration>(parseU64(f[2], lineNo));
+      base.faults.geo.interMin = static_cast<SimDuration>(parseU64(f[3], lineNo));
+      base.faults.geo.interMax = static_cast<SimDuration>(parseU64(f[4], lineNo));
+    } else if (key == "attack.collusion") {
+      base.attack.collusion = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "attack.victims") {
+      base.attack.victims = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "attack.forgetful") {
+      base.attack.forgetfulFraction = parseDouble(value, lineNo);
+    } else if (key == "attack.overreport") {
+      for (const std::string& v : splitList(value)) {
+        spec.overreports.push_back(parseDouble(v, lineNo));
+      }
     } else if (key == "metrics.window") {
       const double seconds = parseDouble(value, lineNo);
       if (seconds < 0) fail(lineNo, "metrics.window must be >= 0 seconds");
@@ -215,13 +304,27 @@ SweepSpec SweepSpec::parse(const std::string& text) {
         "warmup_min (or warmup_ms) too");
   }
 
+  // The scalar `overreport` and the sweep axis `attack.overreport` both
+  // set overreportFraction — a spec naming both is ambiguous.
+  if (!spec.overreports.empty()) {
+    for (const std::string& prior : seen) {
+      if (prior == "overreport") {
+        throw std::invalid_argument(
+            "spec: 'overreport' (scalar) and 'attack.overreport' (sweep "
+            "axis) both set the over-reporting fraction — use one");
+      }
+    }
+  }
+
   // Absent axes are singletons of the base's value: expand() is always the
-  // full five-way cross product.
+  // full six-way cross product.
   if (spec.protocols.empty()) spec.protocols.push_back(base.protocol);
   if (spec.models.empty()) spec.models.push_back(base.model);
   if (spec.sizes.empty()) spec.sizes.push_back(base.stableSize);
   if (spec.seeds.empty()) spec.seeds.push_back(base.seed);
   if (spec.drops.empty()) spec.drops.push_back(base.messageDropProbability);
+  if (spec.overreports.empty())
+    spec.overreports.push_back(base.overreportFraction);
 
   // cvs/k overrides mirror the avmon_sim flags: nonzero pins the value,
   // everything else keeps paper defaults for the (largest) swept size.
@@ -250,7 +353,7 @@ SweepSpec SweepSpec::parseFile(const std::string& path) {
 
 std::size_t SweepSpec::pointCount() const {
   return protocols.size() * models.size() * sizes.size() * seeds.size() *
-         drops.size();
+         drops.size() * overreports.size();
 }
 
 std::vector<Scenario> SweepSpec::expand() const {
@@ -261,20 +364,23 @@ std::vector<Scenario> SweepSpec::expand() const {
       for (const std::size_t n : sizes) {
         for (const std::uint64_t seed : seeds) {
           for (const double drop : drops) {
-            Scenario s = base;
-            s.protocol = protocol;
-            s.model = model;
-            s.stableSize = n;
-            s.seed = seed;
-            s.messageDropProbability = drop;
-            if (base.configOverride) {
-              // Re-derive per point: each swept size gets its own paper
-              // baseline with the spec's nonzero knobs pinned.
-              s.configOverride = cvsKOverride(model, n,
-                                              base.configOverride->cvs,
-                                              base.configOverride->k);
+            for (const double overreport : overreports) {
+              Scenario s = base;
+              s.protocol = protocol;
+              s.model = model;
+              s.stableSize = n;
+              s.seed = seed;
+              s.messageDropProbability = drop;
+              s.overreportFraction = overreport;
+              if (base.configOverride) {
+                // Re-derive per point: each swept size gets its own paper
+                // baseline with the spec's nonzero knobs pinned.
+                s.configOverride = cvsKOverride(model, n,
+                                                base.configOverride->cvs,
+                                                base.configOverride->k);
+              }
+              out.push_back(std::move(s));
             }
-            out.push_back(std::move(s));
           }
         }
       }
@@ -344,6 +450,58 @@ std::string Scenario::toSpec() const {
       out << (i == 0 ? "" : ", ") << formatDouble(metrics.quantiles[i]);
     }
     out << "\n";
+  }
+  // Fault/attack/deep-knob keys are likewise emitted only when armed, so
+  // every pre-existing spec's canonical form is byte-unchanged.
+  if (shuffle.has_value()) {
+    out << "shuffle = " << avmon::shufflePolicyName(*shuffle) << "\n";
+  }
+  if (notifyDedupMax.has_value()) {
+    out << "notify_dedup_max = " << *notifyDedupMax << "\n";
+  }
+  if (!faults.partitions.empty()) {
+    out << "faults.partition = ";
+    for (std::size_t i = 0; i < faults.partitions.size(); ++i) {
+      const sim::PartitionWindow& w = faults.partitions[i];
+      out << (i == 0 ? "" : "; ") << formatDouble(toSeconds(w.start)) << ":"
+          << formatDouble(toSeconds(w.end)) << ":" << w.groups;
+    }
+    out << "\n";
+  }
+  if (!faults.bursts.empty()) {
+    out << "faults.burst = ";
+    for (std::size_t i = 0; i < faults.bursts.size(); ++i) {
+      const sim::BurstSpec& b = faults.bursts[i];
+      out << (i == 0 ? "" : "; ") << formatDouble(toSeconds(b.at)) << ":"
+          << formatDouble(toSeconds(b.duration)) << ":"
+          << formatDouble(b.fraction);
+    }
+    out << "\n";
+  }
+  if (!faults.latencyWindows.empty()) {
+    out << "faults.latency = ";
+    for (std::size_t i = 0; i < faults.latencyWindows.size(); ++i) {
+      const sim::LatencyWindow& w = faults.latencyWindows[i];
+      out << (i == 0 ? "" : "; ") << formatDouble(toSeconds(w.start)) << ":"
+          << formatDouble(toSeconds(w.end)) << ":" << w.minLatency << ":"
+          << w.maxLatency;
+    }
+    out << "\n";
+  }
+  if (faults.geo.regions != 0) {
+    out << "faults.geo = " << faults.geo.regions << ":" << faults.geo.intraMin
+        << ":" << faults.geo.intraMax << ":" << faults.geo.interMin << ":"
+        << faults.geo.interMax << "\n";
+  }
+  if (attack.collusion != 0) {
+    out << "attack.collusion = " << attack.collusion << "\n";
+  }
+  if (attack.victims != 0) {
+    out << "attack.victims = " << attack.victims << "\n";
+  }
+  if (attack.forgetfulFraction != 0.0) {
+    out << "attack.forgetful = " << formatDouble(attack.forgetfulFraction)
+        << "\n";
   }
   return out.str();
 }

@@ -14,14 +14,28 @@
 // horizon_ms, warmup_min or warmup_ms, control_fraction, hash, cvs, k
 // (0 = paper default), pr2, forgetful, forgetful_ewma, overreport,
 // rpc_fail, measured (auto|control|born_after_warmup|all), shards,
-// deferred_rpc, metrics.window (seconds; 0 = no streaming),
-// metrics.reducers (comma list of ReducerRegistry names; applies as one
-// value, not a sweep axis), metrics.quantiles (comma list in (0,1)).
+// deferred_rpc, shuffle (union-sample|swap), notify_dedup_max,
+// metrics.window (seconds; 0 = no streaming), metrics.reducers (comma
+// list of ReducerRegistry names; applies as one value, not a sweep axis),
+// metrics.quantiles (comma list in (0,1)).
+//
+// Fault-injection and adversary keys (sim/fault_plan.hpp and
+// experiments/adversary.hpp; times in seconds, latencies in ms,
+// `;`-separated entries, `:`-separated fields):
+//     faults.partition = t0:t1:groups [; ...]
+//     faults.burst     = t:duration:fraction [; ...]
+//     faults.latency   = t0:t1:min_ms:max_ms [; ...]
+//     faults.geo       = regions:intra_min:intra_max:inter_min:inter_max
+//     attack.collusion = C          # coalition size
+//     attack.victims   = V          # targets (default 1 when C > 0)
+//     attack.forgetful = fraction   # storage-wiping cohort
 // List keys (comma-separated, cross-producted in
-// protocol > model > n > seed > drop order): protocol, model, n, seed,
-// drop.  A spec whose lists are all singletons is exactly one Scenario —
-// Scenario::fromSpec / toSpec round-trip through this grammar, and
-// `avmon_sim --spec file` replaces flag soup with a text file.
+// protocol > model > n > seed > drop > attack.overreport order):
+// protocol, model, n, seed, drop, attack.overreport (sweepable alias of
+// the scalar `overreport`; naming both is an error).  A spec whose lists
+// are all singletons is exactly one Scenario — Scenario::fromSpec /
+// toSpec round-trip through this grammar, and `avmon_sim --spec file`
+// replaces flag soup with a text file.
 //
 // This header also hosts the small argv reader both command-line tools
 // share, so flag parsing lives in one place.
@@ -42,12 +56,13 @@ struct SweepSpec {
   Scenario base;  ///< scalar keys applied to every point
 
   // Sweep axes; parse() fills absent axes with the base's single value,
-  // so expand() is always the full cross product of five lists.
+  // so expand() is always the full cross product of six lists.
   std::vector<std::string> protocols;
   std::vector<churn::Model> models;
   std::vector<std::size_t> sizes;
   std::vector<std::uint64_t> seeds;
-  std::vector<double> drops;  ///< messageDropProbability axis
+  std::vector<double> drops;        ///< messageDropProbability axis
+  std::vector<double> overreports;  ///< attack.overreport axis
 
   /// Parses spec text; throws std::invalid_argument naming the offending
   /// line on unknown keys, duplicates, or malformed values.
@@ -61,8 +76,8 @@ struct SweepSpec {
   std::size_t pointCount() const;
 
   /// The cross product, in deterministic nested order: protocol
-  /// (outermost), model, n, seed, drop (innermost). Same spec, same
-  /// expansion — sweeps are reproducible by construction.
+  /// (outermost), model, n, seed, drop, attack.overreport (innermost).
+  /// Same spec, same expansion — sweeps are reproducible by construction.
   std::vector<Scenario> expand() const;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "experiments/adversary.hpp"
 #include "experiments/protocol.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/streaming/reducer_registry.hpp"
@@ -51,6 +52,12 @@ StreamingCollector::StreamingCollector(
     bank.participants.push_back(id);
     if (measuredSet_.count(id) != 0) bank.measuredHome.push_back(id);
   });
+
+  // Collusion victims, partitioned the same way, so the resilience
+  // reducer's barrier gauges are computed on each victim's home thread.
+  for (const NodeId& id : runner.adversary().victims) {
+    banks_[world.shardOf(id)].victimsHome.push_back(id);
+  }
 }
 
 void StreamingCollector::onWindowBarrier(sim::ShardedSimulator& world,
@@ -84,6 +91,20 @@ void StreamingCollector::onWindowBarrier(sim::ShardedSimulator& world,
     probe.discoveries =
         static_cast<std::uint64_t>(discovered - bank.discoveredSoFar);
     bank.discoveredSoFar = discovered;
+    // Eclipse gauges over the victims homed here (the victim list is tiny
+    // — the attack spec's victim count — so this stays O(1)-ish).
+    const ResolvedAdversary& adversary = runner_->adversary();
+    for (const NodeId& id : bank.victimsHome) {
+      std::size_t monitors = 0, colluding = 0;
+      for (const NodeId& m : protocol.monitorsOf(id)) {
+        ++monitors;
+        if (adversary.isColluder(m)) ++colluding;
+      }
+      if (monitors > 0) {
+        ++probe.victimsMonitored;
+        if (colluding == monitors) ++probe.victimsEclipsed;
+      }
+    }
     for (auto& reducer : bank.reducers) reducer->onWindow(probe);
   });
 
@@ -172,20 +193,28 @@ NodeProbe StreamingCollector::probeOf(const NodeId& id) const {
     }
   }
 
-  if (probe.measured && nt != nullptr && nt->firstJoin()) {
-    double estSum = 0.0;
-    double actualSum = 0.0;
-    std::size_t reporters = 0;
-    for (const NodeId& monitorId : protocol.monitorsOf(id)) {
-      const auto sample = protocol.estimate(monitorId, id);
-      if (!sample) continue;
-      estSum += sample->estimated;
-      actualSum += nt->availability(sample->windowStart, sample->windowEnd);
-      ++reporters;
+  // The one shared accuracy definition (experiments/adversary.cpp) — the
+  // materialized lane uses the same function, so the lanes stay
+  // sample-for-sample identical.
+  if (probe.measured && nt != nullptr) {
+    if (const auto acc = alignedAccuracyOf(protocol, *nt)) {
+      probe.accuracyAbsError = std::fabs(acc->estimated - acc->actual);
     }
-    if (reporters > 0) {
-      const double n = static_cast<double>(reporters);
-      probe.accuracyAbsError = std::fabs(estSum / n - actualSum / n);
+  }
+
+  const ResolvedAdversary& adversary = runner_->adversary();
+  probe.victim = adversary.isVictim(id);
+  if (probe.victim) {
+    std::size_t monitors = 0, colluding = 0;
+    for (const NodeId& m : protocol.monitorsOf(id)) {
+      ++monitors;
+      if (adversary.isColluder(m)) ++colluding;
+    }
+    probe.eclipsed = monitors > 0 && colluding == monitors;
+    if (nt != nullptr) {
+      if (const auto acc = alignedAccuracyOf(protocol, *nt)) {
+        probe.victimAbsError = std::fabs(acc->estimated - acc->actual);
+      }
     }
   }
   return probe;

@@ -91,6 +91,7 @@ class StreamingCollector {
     sim::TrafficCounters lastTotals;  ///< network totals at the last barrier
     std::vector<NodeId> participants;  ///< forEachNode order, home-shard cut
     std::vector<NodeId> measuredHome;  ///< measured nodes homed here
+    std::vector<NodeId> victimsHome;   ///< collusion victims homed here
     std::size_t discoveredSoFar = 0;   ///< measured nodes discovered by now
   };
 

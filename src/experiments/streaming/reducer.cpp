@@ -51,7 +51,19 @@ class SummaryReducer final : public Reducer {
     agg_.found += o.agg_.found;
   }
 
-  void finish(StreamedSummary& out) const override { out = agg_; }
+  void finish(StreamedSummary& out) const override {
+    // Field-wise, not whole-struct: the resilience reducer owns the
+    // victim fields of the same summary, and finish order (the scenario's
+    // reducer list) must not decide whose fields survive.
+    out.discoverySeconds = agg_.discoverySeconds;
+    out.memoryEntries = agg_.memoryEntries;
+    out.outgoingBytesPerSecond = agg_.outgoingBytesPerSecond;
+    out.uselessPingsPerMinute = agg_.uselessPingsPerMinute;
+    out.computationsPerSecond = agg_.computationsPerSecond;
+    out.accuracyAbsError = agg_.accuracyAbsError;
+    out.joined = agg_.joined;
+    out.found = agg_.found;
+  }
 
   std::size_t stateBytes() const override {
     return sizeof(*this) - sizeof(StreamedSummary) +
@@ -149,6 +161,70 @@ class DiscoveryReducer final : public Reducer {
   std::uint64_t totalDiscoveries_ = 0;
 };
 
+/// "resilience": graceful degradation under the scenario's adversary —
+/// windowed eclipse gauges over the collusion victims plus the end-of-run
+/// victim accuracy distribution. Emits all-zero columns (and an empty
+/// summary metric) when no attack is armed, so it is safe to run always.
+class ResilienceReducer final : public Reducer {
+ public:
+  std::string name() const override { return "resilience"; }
+
+  std::unique_ptr<Reducer> fork() const override {
+    return std::make_unique<ResilienceReducer>();
+  }
+
+  void onWindow(const WindowProbe& probe) override {
+    windowVictimsMonitored_ += probe.victimsMonitored;
+    windowVictimsEclipsed_ += probe.victimsEclipsed;
+  }
+
+  void onNode(const NodeProbe& probe) override {
+    if (!probe.victim) return;
+    ++victims_;
+    if (probe.eclipsed) ++eclipsed_;
+    if (probe.victimAbsError) victimAbsError_.add(*probe.victimAbsError);
+  }
+
+  void mergeFrom(const Reducer& other) override {
+    const auto& o = dynamic_cast<const ResilienceReducer&>(other);
+    windowVictimsMonitored_ += o.windowVictimsMonitored_;
+    windowVictimsEclipsed_ += o.windowVictimsEclipsed_;
+    victims_ += o.victims_;
+    eclipsed_ += o.eclipsed_;
+    victimAbsError_.merge(o.victimAbsError_);
+  }
+
+  void emitWindowColumns(WindowRow& row) const override {
+    row.columns.emplace_back("victims_monitored",
+                             static_cast<double>(windowVictimsMonitored_));
+    row.columns.emplace_back("victims_eclipsed",
+                             static_cast<double>(windowVictimsEclipsed_));
+  }
+
+  void resetWindow() override {
+    windowVictimsMonitored_ = 0;
+    windowVictimsEclipsed_ = 0;
+  }
+
+  void finish(StreamedSummary& out) const override {
+    out.victims = victims_;
+    out.eclipsed = eclipsed_;
+    out.victimAbsError = victimAbsError_;
+  }
+
+  std::size_t stateBytes() const override {
+    return sizeof(*this) - sizeof(StreamedMetric) +
+           victimAbsError_.stateBytes();
+  }
+
+ private:
+  std::uint64_t windowVictimsMonitored_ = 0;
+  std::uint64_t windowVictimsEclipsed_ = 0;
+  std::uint64_t victims_ = 0;
+  std::uint64_t eclipsed_ = 0;
+  StreamedMetric victimAbsError_;
+};
+
 }  // namespace
 
 std::unique_ptr<Reducer> makeSummaryReducer() {
@@ -159,6 +235,9 @@ std::unique_ptr<Reducer> makeTrafficReducer() {
 }
 std::unique_ptr<Reducer> makeDiscoveryReducer() {
   return std::make_unique<DiscoveryReducer>();
+}
+std::unique_ptr<Reducer> makeResilienceReducer() {
+  return std::make_unique<ResilienceReducer>();
 }
 
 }  // namespace avmon::experiments::streaming

@@ -57,6 +57,13 @@ struct WindowProbe {
   /// Measured nodes whose FIRST monitor discovery instant fell inside
   /// (windowStart, windowEnd].
   std::uint64_t discoveries = 0;
+  /// Collusion-attack victims homed in this shard with >= 1 discovered
+  /// monitor at the barrier, and those whose monitors are ALL coalition
+  /// members. Gauges, not deltas — each victim lives in exactly one shard,
+  /// so the cross-shard sum is the system-wide count. Always 0 when the
+  /// scenario arms no attack.
+  std::uint64_t victimsMonitored = 0;
+  std::uint64_t victimsEclipsed = 0;
 };
 
 /// One participant's end-of-run samples. Each optional is engaged exactly
@@ -73,6 +80,15 @@ struct NodeProbe {
   std::optional<double> uselessPingsPerMinute;
   std::optional<double> computationsPerSecond;
   std::optional<double> accuracyAbsError;
+  /// Targeted by the scenario's collusion attack (false when none armed).
+  bool victim = false;
+  /// Victim whose every discovered monitor is a coalition member (and it
+  /// has at least one) — its availability record is adversary-controlled.
+  bool eclipsed = false;
+  /// |estimated - actual| for victims regardless of measured-set
+  /// membership (accuracyAbsError above stays measured-set-only so the
+  /// summary metric is unchanged by the attack's victim draw).
+  std::optional<double> victimAbsError;
 };
 
 /// One merged time-series row: the window plus named columns contributed
@@ -119,6 +135,12 @@ struct StreamedSummary {
   StreamedMetric accuracyAbsError;
   std::uint64_t joined = 0;  ///< measured nodes that ever joined
   std::uint64_t found = 0;   ///< of those, discovered >= 1 monitor
+
+  /// Resilience under attack (the "resilience" reducer; all zero when the
+  /// scenario arms no adversary).
+  StreamedMetric victimAbsError;  ///< |est - actual| over reporting victims
+  std::uint64_t victims = 0;      ///< targeted participants
+  std::uint64_t eclipsed = 0;     ///< of those, fully coalition-eclipsed
 
   double discoveredFraction() const noexcept {
     return joined == 0
@@ -175,5 +197,6 @@ class Reducer {
 std::unique_ptr<Reducer> makeSummaryReducer();
 std::unique_ptr<Reducer> makeTrafficReducer();
 std::unique_ptr<Reducer> makeDiscoveryReducer();
+std::unique_ptr<Reducer> makeResilienceReducer();
 
 }  // namespace avmon::experiments::streaming

@@ -12,6 +12,9 @@ ReducerRegistry::ReducerRegistry() {
        /*windowed=*/true, [] { return makeTrafficReducer(); }});
   add({"discovery", "windowed first-monitor discovery counts",
        /*windowed=*/true, [] { return makeDiscoveryReducer(); }});
+  add({"resilience",
+       "victim eclipse gauges and accuracy under the scenario's adversary",
+       /*windowed=*/true, [] { return makeResilienceReducer(); }});
 }
 
 ReducerRegistry& ReducerRegistry::instance() {

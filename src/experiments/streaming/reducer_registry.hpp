@@ -1,9 +1,9 @@
 // Name -> Reducer factory table, mirroring ProtocolRegistry: one registry
 // serves the whole process, Scenario::validate() resolves reducer names
 // through it, the StreamingCollector instantiates through it, and tools
-// enumerate it for --help / spec error messages. The three built-ins
-// ("summary", "traffic", "discovery") are pre-registered; tests and
-// downstream code can add more.
+// enumerate it for --help / spec error messages. The four built-ins
+// ("summary", "traffic", "discovery", "resilience") are pre-registered;
+// tests and downstream code can add more.
 #pragma once
 
 #include <functional>
@@ -30,7 +30,7 @@ struct ReducerFactory {
 class ReducerRegistry {
  public:
   /// The process-wide registry with the built-ins pre-registered:
-  /// summary, traffic, discovery.
+  /// summary, traffic, discovery, resilience.
   static ReducerRegistry& instance();
 
   /// Registers a factory; throws std::invalid_argument on a duplicate or

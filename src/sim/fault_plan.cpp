@@ -1,0 +1,122 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace avmon::sim {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::invalid_argument("FaultPlan: " + what);
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const noexcept {
+  return partitions.empty() && bursts.empty() && latencyWindows.empty() &&
+         geo.regions == 0;
+}
+
+void FaultPlan::validate() const {
+  for (const PartitionWindow& w : partitions) {
+    if (w.end <= w.start) {
+      invalid("partition window must end after it starts (start=" +
+              std::to_string(w.start) + ", end=" + std::to_string(w.end) +
+              ")");
+    }
+    if (w.groups < 2) {
+      invalid("partition needs at least 2 groups, got " +
+              std::to_string(w.groups));
+    }
+  }
+  for (const BurstSpec& b : bursts) {
+    if (b.duration < 1) {
+      invalid("burst duration must be at least 1 tick, got " +
+              std::to_string(b.duration));
+    }
+    if (!(b.fraction > 0.0) || b.fraction > 1.0) {
+      invalid("burst fraction must be in (0, 1], got " +
+              std::to_string(b.fraction));
+    }
+  }
+  for (const LatencyWindow& w : latencyWindows) {
+    if (w.end <= w.start) {
+      invalid("latency window must end after it starts (start=" +
+              std::to_string(w.start) + ", end=" + std::to_string(w.end) +
+              ")");
+    }
+    if (w.minLatency < 1 || w.maxLatency < w.minLatency) {
+      invalid("latency window band needs 1 <= min <= max, got [" +
+              std::to_string(w.minLatency) + ", " +
+              std::to_string(w.maxLatency) + "]");
+    }
+  }
+  if (geo.regions > 0) {
+    if (geo.regions < 2) {
+      invalid("geo bands need at least 2 regions, got " +
+              std::to_string(geo.regions));
+    }
+    if (geo.intraMin < 1 || geo.intraMax < geo.intraMin) {
+      invalid("geo intra band needs 1 <= min <= max, got [" +
+              std::to_string(geo.intraMin) + ", " +
+              std::to_string(geo.intraMax) + "]");
+    }
+    if (geo.interMin < 1 || geo.interMax < geo.interMin) {
+      invalid("geo inter band needs 1 <= min <= max, got [" +
+              std::to_string(geo.interMin) + ", " +
+              std::to_string(geo.interMax) + "]");
+    }
+  }
+}
+
+SimDuration FaultPlan::lookaheadFloor(
+    SimDuration baseMinLatency) const noexcept {
+  SimDuration floor = baseMinLatency;
+  for (const LatencyWindow& w : latencyWindows) {
+    floor = std::min(floor, w.minLatency);
+  }
+  if (geo.regions > 0) {
+    floor = std::min({floor, geo.intraMin, geo.interMin});
+  }
+  return std::max<SimDuration>(1, floor);
+}
+
+std::uint32_t FaultPlan::blockOf(std::uint32_t index,
+                                 std::uint32_t blocks) const noexcept {
+  if (population_ == 0 || index >= population_ || blocks == 0) return 0;
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(index) *
+                                    blocks / population_);
+}
+
+bool FaultPlan::reachable(SimTime at, std::uint32_t fromIndex,
+                          std::uint32_t toIndex) const noexcept {
+  if (fromIndex == toIndex) return true;
+  for (const PartitionWindow& w : partitions) {
+    if (at < w.start || at >= w.end) continue;
+    if (blockOf(fromIndex, w.groups) != blockOf(toIndex, w.groups)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaultPlan::latencyBand(SimTime at, std::uint32_t fromIndex,
+                            std::uint32_t toIndex, SimDuration& lo,
+                            SimDuration& hi) const noexcept {
+  for (const LatencyWindow& w : latencyWindows) {
+    if (at < w.start || at >= w.end) continue;
+    lo = w.minLatency;
+    hi = w.maxLatency;
+    return;  // first matching window wins
+  }
+  if (geo.regions > 0) {
+    const bool intra =
+        blockOf(fromIndex, geo.regions) == blockOf(toIndex, geo.regions);
+    lo = intra ? geo.intraMin : geo.interMin;
+    hi = intra ? geo.intraMax : geo.interMax;
+  }
+}
+
+}  // namespace avmon::sim

@@ -69,14 +69,27 @@ bool Network::isUp(const NodeId& id) const {
          slots_[slot].endpoint != nullptr;
 }
 
-SimDuration Network::sampleLatency(NodeState& sender) {
-  return config_.minLatency +
-         static_cast<SimDuration>(sender.stream.below(static_cast<std::uint64_t>(
-             config_.maxLatency - config_.minLatency + 1)));
+std::uint32_t Network::globalIndexOf(const NodeId& id) {
+  // Sharded mode answers from the router's global map without touching
+  // local slots; single-shard mode's slot index *is* the global index.
+  return router_ != nullptr ? router_->globalIndexOf(id) : slotFor(id);
+}
+
+SimDuration Network::sampleLatency(NodeState& sender, std::uint32_t toIndex) {
+  SimDuration lo = config_.minLatency;
+  SimDuration hi = config_.maxLatency;
+  if (plan_ != nullptr) {
+    plan_->latencyBand(sim_.now(), sender.globalIndex, toIndex, lo, hi);
+  }
+  return lo + static_cast<SimDuration>(sender.stream.below(
+                  static_cast<std::uint64_t>(hi - lo + 1)));
 }
 
 void Network::send(const NodeId& from, const NodeId& to, Message message) {
   AVMON_DET_CHECK(detTag, "Network::send");
+  // Only a fault plan needs the target's index at send time (band
+  // selection); resolve it before binding the sender reference.
+  const std::uint32_t toIndex = plan_ != nullptr ? globalIndexOf(to) : 0;
   NodeState& sender = slots_[slotFor(from)];
   charge(sender, wireBytes(message));
   if (config_.messageDropProbability > 0 &&
@@ -84,7 +97,7 @@ void Network::send(const NodeId& from, const NodeId& to, Message message) {
     ++lost_;
     return;
   }
-  const SimDuration latency = sampleLatency(sender);
+  const SimDuration latency = sampleLatency(sender, toIndex);
   if (router_ != nullptr) {
     // Sharded mode: every inter-node delivery — even one whose target
     // lives on this shard — crosses the hand-off layer, so insertion
@@ -105,6 +118,17 @@ void Network::send(const NodeId& from, const NodeId& to, Message message) {
 
 void Network::deliver(const NodeId& from, std::uint32_t toSlot,
                       const Message& message) {
+  if (plan_ != nullptr) {
+    // Partition cut is judged at the delivery instant — a message launched
+    // before the window opens but arriving inside it is lost, exactly like
+    // a target that died mid-flight.
+    const std::uint32_t fromIndex = globalIndexOf(from);
+    if (!plan_->reachable(sim_.now(), fromIndex,
+                          slots_[toSlot].globalIndex)) {
+      ++lost_;
+      return;
+    }
+  }
   NodeState& target = slots_[toSlot];
   if (!target.up || target.endpoint == nullptr) {
     ++lost_;
@@ -116,9 +140,20 @@ void Network::deliver(const NodeId& from, std::uint32_t toSlot,
 
 void Network::serveRpc(const NodeId& from, std::uint32_t toSlot,
                        const RpcRequest& request, RpcTicket ticket) {
+  // The caller's index is needed for both the partition check and the
+  // response leg's latency band; resolve before binding any slot ref.
+  const std::uint32_t callerIndex =
+      plan_ != nullptr ? globalIndexOf(from) : 0;
   NodeState& target = slots_[toSlot];
   if (!target.up || target.endpoint == nullptr) {
     return;  // unreachable target: the caller's backstop reports it
+  }
+  if (plan_ != nullptr &&
+      !plan_->reachable(sim_.now(), callerIndex, target.globalIndex)) {
+    // Partitioned at request arrival: the request never lands, so the
+    // target spends nothing and the caller's rpcTimeout backstop fires —
+    // indistinguishable from the target dying mid-flight.
+    return;
   }
   // The target serves the request and spends its response bytes even if
   // the caller's deadline has already passed — a late response is still
@@ -127,7 +162,7 @@ void Network::serveRpc(const NodeId& from, std::uint32_t toSlot,
   Endpoint* endpoint = target.endpoint;
   RpcResponse response = endpoint->onRpc(from, request);
   NodeState& responder = slots_[toSlot];  // re-fetch: onRpc may grow slots_
-  const SimDuration latency = sampleLatency(responder);
+  const SimDuration latency = sampleLatency(responder, callerIndex);
   if (router_ != nullptr) {
     router_->handoffRpcResponse(sim_.now() + latency, nextKey(responder), from,
                                 std::move(response), std::move(ticket));
@@ -183,8 +218,15 @@ std::optional<RpcResponse> Network::call(const NodeId& from, const NodeId& to,
       sender.stream.chance(config_.rpcFailProbability)) {
     return std::nullopt;  // injected timeout; request bytes already spent
   }
+  const std::uint32_t fromIndex = sender.globalIndex;
   NodeState& target = slots_[slotFor(to)];
   if (!target.up || target.endpoint == nullptr) {
+    return std::nullopt;
+  }
+  if (plan_ != nullptr &&
+      !plan_->reachable(sim_.now(), fromIndex, target.globalIndex)) {
+    // Instant lane: partition judged at call time, like liveness — a
+    // timeout with only the request bytes spent.
     return std::nullopt;
   }
   charge(target, responseWireBytes(request));
@@ -204,6 +246,7 @@ void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
   // with nullopt unless a response landed first, so every failure mode —
   // injected fault, dead target, or a round trip slower than the deadline
   // — surfaces at the same instant and is indistinguishable by timing.
+  const std::uint32_t toIndex = plan_ != nullptr ? globalIndexOf(to) : 0;
   NodeState& sender = slots_[slotFor(from)];
   charge(sender, requestWireBytes(request));
   auto settled = std::make_shared<bool>(false);
@@ -217,7 +260,7 @@ void Network::callAsyncDeferred(const NodeId& from, const NodeId& to,
       sender.stream.chance(config_.rpcFailProbability)) {
     return;  // the request is lost; the backstop reports the timeout
   }
-  const SimDuration requestLatency = sampleLatency(sender);
+  const SimDuration requestLatency = sampleLatency(sender, toIndex);
   RpcTicket ticket{settled, sharedHandler};
   if (router_ != nullptr) {
     // Sharded mode: the request leg crosses the hand-off layer to the

@@ -45,6 +45,7 @@
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/message.hpp"
 #include "sim/rpc.hpp"
 #include "sim/simulator.hpp"
@@ -278,6 +279,18 @@ class Network {
   /// endpoint attaches (slots cache their global index at attach time).
   void setRouter(CrossShardRouter* router) { router_ = router; }
 
+  /// Attaches (or clears) a scheduled fault plan, shared read-only across
+  /// every shard's Network. While set, partition windows make cross-group
+  /// traffic vanish in flight (one-way deliveries count in lost(); RPCs
+  /// surface as the caller's rpcTimeout, exactly like a mid-flight death)
+  /// and latency windows / geo bands override the flat [min, max] band.
+  /// Reachability and bands are pure functions of (now, sender index,
+  /// target index) and the latency draw still consumes exactly one value
+  /// from the sender's stream, so any shard count stays bit-identical and
+  /// a null/empty plan reproduces the unfaulted run bit-for-bit. Must be
+  /// installed before the run starts and outlive the network.
+  void setFaultPlan(const FaultPlan* plan) { plan_ = plan; }
+
   /// Destination-side re-insertion of a routed one-way message: schedules
   /// local delivery at `due` (target liveness judged then, as usual).
   void scheduleHandoffDelivery(SimTime due, const NodeId& from,
@@ -343,7 +356,18 @@ class Network {
     totalTraffic_.messagesSent += 1;
   }
 
-  SimDuration sampleLatency(NodeState& sender);
+  // One latency draw from the sender's stream, over the band the fault
+  // plan (if any) prescribes for (now, sender, toIndex). Exactly one draw
+  // in every configuration — band selection is draw-free — so per-sender
+  // stream alignment is structural, not coincidental. Callers resolve
+  // `toIndex` (via globalIndexOf) *before* binding the sender reference:
+  // single-shard index resolution can grow slots_.
+  SimDuration sampleLatency(NodeState& sender, std::uint32_t toIndex);
+
+  // Partition-independent index of `id`: the router's global index when
+  // sharded, the dense slot (== global index) otherwise. May grow slots_
+  // in single-shard mode — never call while holding a NodeState&.
+  std::uint32_t globalIndexOf(const NodeId& id);
 
   HandoffKey nextKey(NodeState& sender) noexcept {
     return HandoffKey{sender.globalIndex, sender.handoffSeq++};
@@ -370,6 +394,7 @@ class Network {
   Rng rng_;
   std::uint64_t streamBase_;
   CrossShardRouter* router_ = nullptr;
+  const FaultPlan* plan_ = nullptr;
   std::unordered_map<NodeId, std::uint32_t> slotOf_;
   std::vector<NodeState> slots_;
   std::uint64_t delivered_ = 0;

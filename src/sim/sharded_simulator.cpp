@@ -94,7 +94,10 @@ unsigned ShardedSimulator::computeWorkerCount(const Config& config) noexcept {
 }
 
 ShardedSimulator::ShardedSimulator(Config config)
-    : window_(std::max<SimDuration>(1, config.net.minLatency)),
+    : window_(std::max<SimDuration>(
+          1, config.lookahead > 0
+                 ? std::min(config.lookahead, config.net.minLatency)
+                 : config.net.minLatency)),
       workerCount_(computeWorkerCount(config)),
       barrier_(workerCount_) {
   const std::size_t shardCount = std::max<std::size_t>(1, config.shards);
@@ -102,6 +105,9 @@ ShardedSimulator::ShardedSimulator(Config config)
     throw std::invalid_argument(
         "ShardedSimulator: minLatency must be >= 1 ms — it is the lookahead "
         "that keeps shards independent within a window");
+  }
+  if (config.lookahead < 0) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be >= 0");
   }
   if (config.net.minLatency > config.net.maxLatency) {
     throw std::invalid_argument("ShardedSimulator: minLatency > maxLatency");
@@ -152,6 +158,12 @@ Network& ShardedSimulator::netOf(std::size_t shard) {
 
 const Network& ShardedSimulator::netOf(std::size_t shard) const {
   return *shards_[shard]->net;
+}
+
+void ShardedSimulator::setFaultPlan(const FaultPlan* plan) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->net->setFaultPlan(plan);
+  }
 }
 
 std::uint32_t ShardedSimulator::registerNode(const NodeId& id) {

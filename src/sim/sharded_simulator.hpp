@@ -92,7 +92,19 @@ class ShardedSimulator {
     std::uint64_t netSeed = 1;
     /// Worker threads; 0 = min(shards, hardware concurrency).
     unsigned threads = 0;
+    /// Cross-shard lookahead bounding the window length; 0 (the default)
+    /// means net.minLatency. A fault plan whose latency windows or geo
+    /// bands dip below the base band minimum must lower this to the
+    /// plan's lookaheadFloor, or a fast-regime message could be due
+    /// inside the window that sent it.
+    SimDuration lookahead = 0;
   };
+
+  /// Attaches a fault plan to every shard's Network (see
+  /// Network::setFaultPlan). The plan must outlive the simulator; callers
+  /// are responsible for configuring `Config::lookahead` to the plan's
+  /// lookaheadFloor before construction.
+  void setFaultPlan(const FaultPlan* plan);
 
   explicit ShardedSimulator(Config config);
   ~ShardedSimulator();

@@ -1,0 +1,342 @@
+// Adversary layer (experiments/adversary.hpp): deterministic cohort
+// resolution, correlated-burst trace rewriting, the collusion/amnesia node
+// behaviors they arm, and the Section 4.3 cross-validation — simulated
+// coalition pollution rates must track analysis::probSystemCollusionFree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+#include "avmon/config.hpp"
+#include "avmon/monitor_selector.hpp"
+#include "churn/churn_model.hpp"
+#include "experiments/adversary.hpp"
+#include "experiments/scenario.hpp"
+#include "golden_hash.hpp"
+#include "hash/hash_function.hpp"
+#include "trace/availability_trace.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+trace::AvailabilityTrace synthTrace(std::size_t n, std::uint64_t seed) {
+  churn::WorkloadParams params;
+  params.stableSize = n;
+  params.horizon = 2 * kHour;
+  params.controlJoinTime = 30 * kMinute;
+  params.seed = seed;
+  return churn::generate(churn::Model::kSynth, params);
+}
+
+Scenario attackScenario(std::uint32_t collusion, std::uint32_t victims,
+                        double forgetful) {
+  Scenario s;
+  s.attack.collusion = collusion;
+  s.attack.victims = victims;
+  s.attack.forgetfulFraction = forgetful;
+  s.seed = 424242;
+  return s;
+}
+
+// ---- resolveAdversary ----
+
+TEST(ResolveAdversaryTest, IsDeterministicDisjointAndSized) {
+  const auto trace = synthTrace(200, 7);
+  const Scenario s = attackScenario(5, 3, 0.0);
+
+  const ResolvedAdversary a = resolveAdversary(s, trace);
+  const ResolvedAdversary b = resolveAdversary(s, trace);
+  EXPECT_EQ(a.colluders, b.colluders);
+  EXPECT_EQ(a.victims, b.victims);
+  EXPECT_EQ(a.amnesiacs, b.amnesiacs);
+
+  EXPECT_EQ(a.colluders.size(), 5u);
+  EXPECT_EQ(a.victims.size(), 3u);
+  EXPECT_TRUE(a.enabled());
+  for (const NodeId& c : a.colluders) {
+    EXPECT_TRUE(a.isColluder(c));
+    EXPECT_FALSE(a.isVictim(c)) << "coalition and victims must be disjoint";
+  }
+  for (const NodeId& v : a.victims) EXPECT_TRUE(a.isVictim(v));
+}
+
+TEST(ResolveAdversaryTest, NoAttackKeysResolveToEmptyCohorts) {
+  const auto trace = synthTrace(50, 3);
+  const ResolvedAdversary a = resolveAdversary(Scenario{}, trace);
+  EXPECT_TRUE(a.colluders.empty());
+  EXPECT_TRUE(a.victims.empty());
+  EXPECT_TRUE(a.amnesiacs.empty());
+  EXPECT_FALSE(a.enabled());
+}
+
+TEST(ResolveAdversaryTest, CollusionDefaultsToOneVictimAndClamps) {
+  const auto trace = synthTrace(40, 5);
+  const std::size_t population = trace.nodes().size();
+
+  // victims = 0 with collusion > 0 means one victim.
+  const ResolvedAdversary one =
+      resolveAdversary(attackScenario(2, 0, 0.0), trace);
+  EXPECT_EQ(one.victims.size(), 1u);
+  EXPECT_EQ(one.colluders.size(), 2u);
+
+  // Oversized asks clamp to what the population can supply, keeping the
+  // cohorts disjoint.
+  const ResolvedAdversary big = resolveAdversary(
+      attackScenario(10000, 10000, 0.0), trace);
+  EXPECT_EQ(big.victims.size(), population - 1);
+  EXPECT_GE(big.colluders.size(), 1u);
+  EXPECT_LE(big.colluders.size() + big.victims.size(), population);
+}
+
+TEST(ResolveAdversaryTest, ForgetfulCohortIsDeterministicFraction) {
+  const auto trace = synthTrace(300, 11);
+  const std::size_t population = trace.nodes().size();
+
+  const ResolvedAdversary half =
+      resolveAdversary(attackScenario(0, 0, 0.5), trace);
+  EXPECT_EQ(half.amnesiacs,
+            resolveAdversary(attackScenario(0, 0, 0.5), trace).amnesiacs);
+  EXPECT_NEAR(static_cast<double>(half.amnesiacs.size()) / population, 0.5,
+              0.15);
+  EXPECT_TRUE(half.enabled());
+
+  const ResolvedAdversary all =
+      resolveAdversary(attackScenario(0, 0, 1.0), trace);
+  EXPECT_EQ(all.amnesiacs.size(), population);
+}
+
+TEST(ResolveAdversaryTest, CohortsVaryWithSeed) {
+  const auto trace = synthTrace(200, 7);
+  Scenario a = attackScenario(5, 3, 0.0);
+  Scenario b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(resolveAdversary(a, trace).colluders,
+            resolveAdversary(b, trace).colluders);
+}
+
+// ---- applyBursts ----
+
+TEST(ApplyBurstsTest, FullFractionBurstClipsEverySession) {
+  auto trace = synthTrace(120, 13);
+  const SimTime at = 40 * kMinute;
+  const SimDuration duration = 10 * kMinute;
+  applyBursts(trace, {{at, duration, 1.0}}, /*seed=*/99);
+
+  std::string why;
+  EXPECT_TRUE(trace.validate(&why)) << why;
+  for (const auto& nt : trace.nodes()) {
+    EXPECT_DOUBLE_EQ(nt.availability(at, at + duration), 0.0) << "node was "
+        << "up inside the burst window";
+  }
+  EXPECT_EQ(trace.aliveCount(at), 0u);
+  EXPECT_EQ(trace.aliveCount(at + duration / 2), 0u);
+}
+
+TEST(ApplyBurstsTest, EmptyBurstListIsIdentity) {
+  const auto before = synthTrace(80, 17);
+  auto after = before;
+  applyBursts(after, {}, /*seed=*/5);
+  ASSERT_EQ(after.nodes().size(), before.nodes().size());
+  for (std::size_t i = 0; i < before.nodes().size(); ++i) {
+    EXPECT_EQ(after.nodes()[i].sessions.size(),
+              before.nodes()[i].sessions.size());
+    for (std::size_t j = 0; j < before.nodes()[i].sessions.size(); ++j) {
+      EXPECT_EQ(after.nodes()[i].sessions[j], before.nodes()[i].sessions[j]);
+    }
+  }
+}
+
+TEST(ApplyBurstsTest, PartialBurstIsDeterministicAndLeavesSurvivors) {
+  auto a = synthTrace(200, 19);
+  auto b = synthTrace(200, 19);
+  const SimTime at = kHour;
+  const SimDuration duration = 5 * kMinute;
+  applyBursts(a, {{at, duration, 0.4}}, /*seed=*/7);
+  applyBursts(b, {{at, duration, 0.4}}, /*seed=*/7);
+
+  std::size_t downA = 0;
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].sessions.size(), b.nodes()[i].sessions.size());
+    if (a.nodes()[i].availability(at, at + duration) == 0.0) ++downA;
+  }
+  // The cluster covers ceil(fraction * n) members; everyone else keeps
+  // whatever schedule churn gave them, so some nodes must still be up.
+  EXPECT_GE(downA, static_cast<std::size_t>(0.4 * a.nodes().size()));
+  EXPECT_GT(a.aliveCount(at + duration / 2), 0u);
+}
+
+// ---- armed node behaviors ----
+
+TEST(AdversaryBehaviorTest, CollusionLiesOnlyAboutVictims) {
+  Scenario s;
+  s.model = churn::Model::kSynth;
+  s.stableSize = 120;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.seed = 2024;
+  ScenarioRunner runner(s);
+  runner.run();
+
+  // Enlist a node with a non-empty target set and make one target a
+  // victim: the estimate for the victim snaps to the coalition lie while
+  // other targets keep their honest history estimates.
+  const NodeId* monitorId = nullptr;
+  for (const auto& nt : runner.schedule().nodes()) {
+    if (runner.node(nt.id).targetSet().size() >= 2) {
+      monitorId = &nt.id;
+      break;
+    }
+  }
+  ASSERT_NE(monitorId, nullptr);
+  AvmonNode& monitor = runner.mutableNode(*monitorId);
+
+  const auto& ts = monitor.targetSet();
+  const NodeId victim = ts.begin()->first;
+  NodeId other;
+  for (const auto& entry : ts) {
+    if (entry.first != victim) other = entry.first;
+  }
+  ASSERT_NE(other, victim);
+  const auto honestVictim = monitor.availabilityEstimateOf(victim);
+  const auto honestOther = monitor.availabilityEstimateOf(other);
+  ASSERT_TRUE(honestVictim.has_value());
+  ASSERT_TRUE(honestOther.has_value());
+
+  auto victims = std::make_shared<std::unordered_set<NodeId>>();
+  victims->insert(victim);
+  monitor.setCollusion(victims);
+  EXPECT_EQ(monitor.availabilityEstimateOf(victim), 1.0);
+  EXPECT_EQ(monitor.availabilityEstimateOf(other), honestOther);
+
+  monitor.setCollusion(nullptr);  // leaving the coalition restores honesty
+  EXPECT_EQ(monitor.availabilityEstimateOf(victim), honestVictim);
+}
+
+TEST(AdversaryBehaviorTest, AmnesiaWipesPersistentStateOnLeave) {
+  Scenario s;
+  s.model = churn::Model::kSynth;
+  s.stableSize = 100;
+  s.horizon = kHour;
+  s.warmup = 20 * kMinute;
+  s.seed = 31;
+
+  Scenario forgetfulTwin = s;
+  forgetfulTwin.attack.forgetfulFraction = 1.0;
+
+  ScenarioRunner honest(s);
+  honest.run();
+  ScenarioRunner wiped(forgetfulTwin);
+  wiped.run();
+
+  // Every node's final lifecycle event by the horizon is a leave, so a
+  // universally forgetful population ends the run with no persistent
+  // state anywhere — while the honest twin retains plenty.
+  std::size_t honestEntries = 0;
+  for (const auto& nt : honest.schedule().nodes()) {
+    const AvmonNode& node = honest.node(nt.id);
+    honestEntries += node.coarseView().size() + node.pingingSet().size() +
+                     node.targetSet().size();
+  }
+  EXPECT_GT(honestEntries, 0u);
+
+  EXPECT_EQ(wiped.adversary().amnesiacs.size(),
+            wiped.schedule().nodes().size());
+  for (const auto& nt : wiped.schedule().nodes()) {
+    const AvmonNode& node = wiped.node(nt.id);
+    if (node.isAlive()) continue;  // end-of-horizon stragglers keep state
+    EXPECT_TRUE(node.coarseView().empty()) << nt.id.toString();
+    EXPECT_TRUE(node.pingingSet().empty()) << nt.id.toString();
+    EXPECT_TRUE(node.targetSet().empty()) << nt.id.toString();
+  }
+}
+
+// ---- end-to-end determinism with an armed adversary ----
+
+TEST(AdversaryDeterminismTest, AttackRunIsShardInvariant) {
+  Scenario s;
+  s.model = churn::Model::kSynth;
+  s.stableSize = 120;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.seed = 321;
+  s.attack.collusion = 6;
+  s.attack.victims = 4;
+  s.attack.forgetfulFraction = 0.2;
+
+  std::uint64_t summary1 = 0, perNode1 = 0;
+  std::vector<NodeId> colluders1;
+  for (const unsigned shards : {1u, 3u}) {
+    Scenario shardCopy = s;
+    shardCopy.shards = shards;
+    ScenarioRunner runner(shardCopy);
+    runner.run();
+    if (shards == 1) {
+      summary1 = summaryHash(runner);
+      perNode1 = perNodeHash(runner);
+      colluders1 = runner.adversary().colluders;
+      EXPECT_EQ(colluders1.size(), 6u);
+    } else {
+      EXPECT_EQ(summaryHash(runner), summary1);
+      EXPECT_EQ(perNodeHash(runner), perNode1);
+      EXPECT_EQ(runner.adversary().colluders, colluders1);
+    }
+  }
+}
+
+// ---- Section 4.3 cross-validation (paper formulas vs the harness) ----
+
+TEST(CollusionMathTest, PollutionRateTracksProbSystemCollusionFree) {
+  // Many independently-resolved coalitions against the real selection
+  // hash: the fraction of (coalition, victim-set) draws where NO colluder
+  // satisfies the consistency condition for any victim must match the
+  // closed form (1 - K/N)^(C*V) from Section 4.3.
+  constexpr std::size_t kN = 400;
+  constexpr std::uint32_t kColluders = 4;
+  constexpr std::uint32_t kVictims = 6;
+  constexpr int kTrials = 400;
+
+  // Always-up population: cohort resolution only needs the node list.
+  std::vector<trace::NodeTrace> nodes(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    nodes[i].id = NodeId::fromIndex(static_cast<std::uint32_t>(i));
+    nodes[i].sessions = {{0, kHour}};
+  }
+  const trace::AvailabilityTrace trace(kHour, std::move(nodes));
+
+  const auto hashFn = hash::makeHashFunction("splitmix64");
+  const unsigned k = defaultK(kN);
+  const HashMonitorSelector selector(*hashFn, k, kN);
+
+  int cleanTrials = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Scenario s = attackScenario(kColluders, kVictims, 0.0);
+    s.seed = 1000 + static_cast<std::uint64_t>(t);
+    const ResolvedAdversary adversary = resolveAdversary(s, trace);
+    ASSERT_EQ(adversary.colluders.size(), kColluders);
+    ASSERT_EQ(adversary.victims.size(), kVictims);
+    bool polluted = false;
+    for (const NodeId& c : adversary.colluders) {
+      for (const NodeId& v : adversary.victims) {
+        polluted = polluted || selector.isMonitor(c, v);
+      }
+    }
+    cleanTrials += polluted ? 0 : 1;
+  }
+
+  const double measured =
+      static_cast<double>(cleanTrials) / static_cast<double>(kTrials);
+  const double analytic = analysis::probSystemCollusionFree(
+      kN, k, static_cast<std::size_t>(kColluders) * kVictims);
+  // 400 Bernoulli trials at p ~ 0.6: sigma ~ 0.025, so 0.1 is ~4 sigma —
+  // CI-stable while still falsifying a wrong exponent or wrong K.
+  EXPECT_NEAR(measured, analytic, 0.1);
+  // The per-victim form must bound the system form from above.
+  EXPECT_GT(analysis::probNoColluderInPS(kN, k, kColluders), analytic);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -61,6 +61,35 @@ TEST(ProtocolRegistryTest, OnlyAvmonIsMultiShard) {
 
 // ---- spec round-trip ----
 
+bool faultsEqual(const sim::FaultPlan& a, const sim::FaultPlan& b) {
+  if (a.partitions.size() != b.partitions.size() ||
+      a.bursts.size() != b.bursts.size() ||
+      a.latencyWindows.size() != b.latencyWindows.size())
+    return false;
+  for (std::size_t i = 0; i < a.partitions.size(); ++i) {
+    if (a.partitions[i].start != b.partitions[i].start ||
+        a.partitions[i].end != b.partitions[i].end ||
+        a.partitions[i].groups != b.partitions[i].groups)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.bursts.size(); ++i) {
+    if (a.bursts[i].at != b.bursts[i].at ||
+        a.bursts[i].duration != b.bursts[i].duration ||
+        a.bursts[i].fraction != b.bursts[i].fraction)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.latencyWindows.size(); ++i) {
+    if (a.latencyWindows[i].start != b.latencyWindows[i].start ||
+        a.latencyWindows[i].end != b.latencyWindows[i].end ||
+        a.latencyWindows[i].minLatency != b.latencyWindows[i].minLatency ||
+        a.latencyWindows[i].maxLatency != b.latencyWindows[i].maxLatency)
+      return false;
+  }
+  return a.geo.regions == b.geo.regions && a.geo.intraMin == b.geo.intraMin &&
+         a.geo.intraMax == b.geo.intraMax && a.geo.interMin == b.geo.interMin &&
+         a.geo.interMax == b.geo.interMax;
+}
+
 bool scenarioEquals(const Scenario& a, const Scenario& b) {
   const bool configEqual =
       a.configOverride.has_value() == b.configOverride.has_value() &&
@@ -79,7 +108,12 @@ bool scenarioEquals(const Scenario& a, const Scenario& b) {
          a.deferredRpc == b.deferredRpc &&
          a.metrics.window == b.metrics.window &&
          a.metrics.reducers == b.metrics.reducers &&
-         a.metrics.quantiles == b.metrics.quantiles;
+         a.metrics.quantiles == b.metrics.quantiles &&
+         faultsEqual(a.faults, b.faults) &&
+         a.attack.collusion == b.attack.collusion &&
+         a.attack.victims == b.attack.victims &&
+         a.attack.forgetfulFraction == b.attack.forgetfulFraction &&
+         a.shuffle == b.shuffle && a.notifyDedupMax == b.notifyDedupMax;
 }
 
 TEST(ScenarioSpecTest, DefaultScenarioRoundTrips) {
@@ -148,6 +182,56 @@ TEST(ScenarioSpecTest, RoundTripIsFixedPointProperty) {
             static_cast<double>(1 + nextRand() % 999) / 1000.0);
       }
     }
+    // Fault schedule and adversary keys (all optional; absent by default).
+    if (nextRand() % 3 == 0) {
+      const std::size_t count = 1 + nextRand() % 3;
+      for (std::size_t p = 0; p < count; ++p) {
+        sim::PartitionWindow w;
+        w.start = static_cast<SimTime>(nextRand() % kHour);
+        w.end = w.start + 1000 * (1 + static_cast<SimDuration>(nextRand() % 3600));
+        w.groups = 2 + static_cast<std::uint32_t>(nextRand() % 6);
+        s.faults.partitions.push_back(w);
+      }
+    }
+    if (nextRand() % 3 == 0) {
+      sim::BurstSpec b;
+      b.at = static_cast<SimTime>(nextRand() % kHour);
+      b.duration = 1000 * (1 + static_cast<SimDuration>(nextRand() % 600));
+      b.fraction = static_cast<double>(1 + nextRand() % 99) / 99.0;
+      s.faults.bursts.push_back(b);
+    }
+    if (nextRand() % 3 == 0) {
+      sim::LatencyWindow w;
+      w.start = static_cast<SimTime>(nextRand() % kHour);
+      w.end = w.start + 1000 * (1 + static_cast<SimDuration>(nextRand() % 3600));
+      w.minLatency = 1 + static_cast<SimDuration>(nextRand() % 100);
+      w.maxLatency = w.minLatency + static_cast<SimDuration>(nextRand() % 400);
+      s.faults.latencyWindows.push_back(w);
+    }
+    if (nextRand() % 3 == 0) {
+      s.faults.geo.regions = 2 + static_cast<std::uint32_t>(nextRand() % 7);
+      s.faults.geo.intraMin = 1 + static_cast<SimDuration>(nextRand() % 20);
+      s.faults.geo.intraMax =
+          s.faults.geo.intraMin + static_cast<SimDuration>(nextRand() % 30);
+      s.faults.geo.interMin = 1 + static_cast<SimDuration>(nextRand() % 100);
+      s.faults.geo.interMax =
+          s.faults.geo.interMin + static_cast<SimDuration>(nextRand() % 200);
+    }
+    if (nextRand() % 3 == 0) {
+      s.attack.collusion = 1 + static_cast<std::uint32_t>(nextRand() % 12);
+      s.attack.victims = static_cast<std::uint32_t>(nextRand() % 8);
+    }
+    if (nextRand() % 3 == 0) {
+      s.attack.forgetfulFraction =
+          static_cast<double>(1 + nextRand() % 99) / 99.0;
+    }
+    if (nextRand() % 3 == 0) {
+      s.shuffle = nextRand() % 2 == 0 ? avmon::ShufflePolicy::kUnionSample
+                                      : avmon::ShufflePolicy::kSwap;
+    }
+    if (nextRand() % 3 == 0) {
+      s.notifyDedupMax = 1 + static_cast<std::uint32_t>(nextRand() % 64);
+    }
 
     const std::string spec1 = s.toSpec();
     const Scenario s2 = Scenario::fromSpec(spec1);
@@ -211,6 +295,14 @@ TEST(ScenarioSpecTest, ErrorsNameTheOffendingLine) {
   expectError("model = FOO\n", "unknown model");
   expectError("measured = sometimes\n", "measured");
   expectError("pr2 = maybe\n", "boolean");
+  expectError("faults.partition = 600\n", "t0:t1:groups");
+  expectError("faults.burst = 100:60\n", "t:duration:fraction");
+  expectError("faults.latency = 0:60:30\n", "t0:t1:min_ms:max_ms");
+  expectError("faults.geo = 4:5:20\n", "regions:intra_min_ms");
+  expectError("shuffle = shake\n", "union-sample|swap");
+  // The scalar `overreport` and the sweep axis `attack.overreport` both
+  // drive overreportFraction — naming both is ambiguous, not a merge.
+  expectError("overreport = 0.1\nattack.overreport = 0.2, 0.4\n", "sweep");
 }
 
 TEST(ScenarioSpecTest, FromSpecRejectsSweeps) {
@@ -237,6 +329,48 @@ TEST(ScenarioSpecTest, StreamingMetricsKeysParseAndStayOptional) {
   // unless a scenario opted in.
   EXPECT_EQ(Scenario{}.toSpec().find("metrics."), std::string::npos);
   EXPECT_FALSE(Scenario{}.metrics.enabled());
+}
+
+TEST(ScenarioSpecTest, FaultAndAttackKeysParseRoundTripAndStayOptional) {
+  const Scenario s = Scenario::fromSpec(
+      "model = SYNTH\nn = 200\n"
+      "faults.partition = 2400:3000:2; 3600:3900:4\n"
+      "faults.burst = 2700:300:0.25\n"
+      "faults.latency = 1800:2400:30:300\n"
+      "faults.geo = 4:5:20:50:150\n"
+      "attack.collusion = 6\nattack.victims = 4\n"
+      "attack.forgetful = 0.2\n");
+  ASSERT_EQ(s.faults.partitions.size(), 2u);
+  EXPECT_EQ(s.faults.partitions[0].start, 2400 * kSecond);
+  EXPECT_EQ(s.faults.partitions[0].end, 3000 * kSecond);
+  EXPECT_EQ(s.faults.partitions[0].groups, 2u);
+  EXPECT_EQ(s.faults.partitions[1].groups, 4u);
+  ASSERT_EQ(s.faults.bursts.size(), 1u);
+  EXPECT_EQ(s.faults.bursts[0].at, 2700 * kSecond);
+  EXPECT_EQ(s.faults.bursts[0].duration, 300 * kSecond);
+  EXPECT_DOUBLE_EQ(s.faults.bursts[0].fraction, 0.25);
+  ASSERT_EQ(s.faults.latencyWindows.size(), 1u);
+  EXPECT_EQ(s.faults.latencyWindows[0].minLatency, 30);
+  EXPECT_EQ(s.faults.latencyWindows[0].maxLatency, 300);
+  EXPECT_EQ(s.faults.geo.regions, 4u);
+  EXPECT_EQ(s.faults.geo.interMax, 150);
+  EXPECT_EQ(s.attack.collusion, 6u);
+  EXPECT_EQ(s.attack.victims, 4u);
+  EXPECT_DOUBLE_EQ(s.attack.forgetfulFraction, 0.2);
+  EXPECT_NO_THROW(s.validate());
+
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_TRUE(scenarioEquals(s, back));
+  EXPECT_EQ(s.toSpec(), back.toSpec());
+
+  // Pre-fault specs serialize byte-unchanged: no fault/attack keys appear
+  // unless a scenario armed them, so every historical spec (and golden
+  // fingerprint) is untouched.
+  const std::string defaults = Scenario{}.toSpec();
+  EXPECT_EQ(defaults.find("faults."), std::string::npos);
+  EXPECT_EQ(defaults.find("attack."), std::string::npos);
+  EXPECT_TRUE(Scenario{}.faults.empty());
+  EXPECT_FALSE(Scenario{}.attack.enabled());
 }
 
 TEST(ScenarioSpecTest, FormatDoubleIsShortestExact) {
@@ -283,6 +417,29 @@ TEST(SweepSpecTest, ExpansionCountAndOrderAreDeterministic) {
     EXPECT_TRUE(scenarioEquals(scenarios[i], again[i])) << i;
     EXPECT_EQ(scenarios[i].toSpec(), again[i].toSpec()) << i;
   }
+}
+
+TEST(SweepSpecTest, AttackOverreportIsTheInnermostSweepAxis) {
+  const SweepSpec sweep = SweepSpec::parse(
+      "model = STAT\nn = 60\nseed = 1, 2\n"
+      "attack.overreport = 0, 0.5\n");
+  EXPECT_EQ(sweep.pointCount(), 4u);
+  const auto scenarios = sweep.expand();
+  ASSERT_EQ(scenarios.size(), 4u);
+  // Nested order: ... > seed > drop > overreport (overreport innermost).
+  EXPECT_EQ(scenarios[0].seed, 1u);
+  EXPECT_DOUBLE_EQ(scenarios[0].overreportFraction, 0.0);
+  EXPECT_DOUBLE_EQ(scenarios[1].overreportFraction, 0.5);
+  EXPECT_EQ(scenarios[1].seed, 1u);
+  EXPECT_EQ(scenarios[2].seed, 2u);
+  EXPECT_DOUBLE_EQ(scenarios[3].overreportFraction, 0.5);
+
+  // The scalar spelling feeds the same field as a one-point axis.
+  const auto scalar = SweepSpec::parse("model = STAT\nn = 60\n"
+                                       "overreport = 0.3\n")
+                          .expand();
+  ASSERT_EQ(scalar.size(), 1u);
+  EXPECT_DOUBLE_EQ(scalar[0].overreportFraction, 0.3);
 }
 
 TEST(SweepSpecTest, AbsentAxesDefaultToSingletons) {
@@ -339,6 +496,24 @@ TEST(ScenarioValidateTest, ActionableErrors) {
               "unknown reducer");
   expectError([](Scenario& s) { s.metrics.quantiles = {1.5}; },
               "metrics.quantiles");
+  expectError([](Scenario& s) { s.faults.partitions.push_back({600, 500, 2}); },
+              "partition window must end after it starts");
+  expectError([](Scenario& s) { s.faults.bursts.push_back({100, 60, 1.5}); },
+              "burst fraction");
+  expectError(
+      [](Scenario& s) { s.faults.latencyWindows.push_back({0, 600, 300, 30}); },
+      "latency window band");
+  expectError(
+      [](Scenario& s) {
+        s.faults.geo.regions = 1;
+        s.faults.geo.intraMin = s.faults.geo.intraMax = 5;
+        s.faults.geo.interMin = s.faults.geo.interMax = 50;
+      },
+      "at least 2 regions");
+  expectError([](Scenario& s) { s.attack.forgetfulFraction = 1.5; },
+              "attack.forgetful");
+  expectError([](Scenario& s) { s.attack.victims = 3; }, "attack.collusion");
+  expectError([](Scenario& s) { s.notifyDedupMax = 0; }, "notify_dedup_max");
 }
 
 TEST(ScenarioValidateTest, TraceModelsIgnoreStableSize) {

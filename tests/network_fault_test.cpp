@@ -390,3 +390,117 @@ TEST(NetworkFaultTest, CrossShardRpcFailProbabilityIsHonored) {
 
 }  // namespace
 }  // namespace avmon::sim
+
+// ---------------------------------------------------------------------------
+// Scheduled fault plans (sim/fault_plan.hpp) at scenario level: timed
+// partitions, correlated bursts, and latency-regime windows + geo bands
+// must be DETERMINISTIC — bit-identical metrics at every shard count and
+// a pinned fingerprint per RPC lane, exactly like the unfaulted goldens
+// in scenario_metrics_test.
+// ---------------------------------------------------------------------------
+
+#include "golden_hash.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+Scenario faultBase() {
+  Scenario s;
+  s.model = churn::Model::kSynth;
+  s.stableSize = 120;
+  s.horizon = 90 * kMinute;
+  s.warmup = 30 * kMinute;
+  s.controlFraction = 0.1;
+  s.seed = 314;
+  s.hashName = "splitmix64";
+  return s;
+}
+
+struct FaultGolden {
+  const char* name;
+  Scenario scenario;
+  std::uint64_t deferredSummary;
+  std::uint64_t deferredPerNode;
+  std::uint64_t instantSummary;
+  std::uint64_t instantPerNode;
+};
+
+std::vector<FaultGolden> faultGoldens() {
+  Scenario partition = faultBase();
+  partition.faults.partitions.push_back({40 * kMinute, 50 * kMinute, 2});
+
+  Scenario burst = faultBase();
+  burst.faults.bursts.push_back({45 * kMinute, 5 * kMinute, 0.25});
+
+  Scenario latency = faultBase();
+  latency.faults.latencyWindows.push_back(
+      {30 * kMinute, 40 * kMinute, 30, 300});
+  latency.faults.geo.regions = 4;
+  latency.faults.geo.intraMin = 5;
+  latency.faults.geo.intraMax = 20;
+  latency.faults.geo.interMin = 50;
+  latency.faults.geo.interMax = 150;
+
+  return {
+      {"partition", partition, 0xd2cbe7810a2822cbULL, 0x2008125dcc567c76ULL,
+       0x21f008f6f1d74afbULL, 0xc0d398fd09e4db52ULL},
+      {"burst", burst, 0xa192b1754ee756adULL, 0xe9f8df8cd145201dULL,
+       0xcccff51e1d7eb01eULL, 0xb4f697e692d21539ULL},
+      {"latency", latency, 0xed7fa1fb97aca39cULL, 0x1f226a5d5a9dbeb5ULL,
+       0x11cdfd3202b21409ULL, 0x15b5ec75f2f4505dULL},
+  };
+}
+
+TEST(FaultPlanGoldenTest, DeferredLaneIsPinnedAndShardInvariant) {
+  for (const FaultGolden& g : faultGoldens()) {
+    for (const unsigned shards : {1u, 2u, 3u, 8u}) {
+      Scenario s = g.scenario;
+      s.shards = shards;
+      ScenarioRunner runner(s);
+      runner.run();
+      EXPECT_EQ(summaryHash(runner), g.deferredSummary)
+          << g.name << " S=" << shards;
+      EXPECT_EQ(perNodeHash(runner), g.deferredPerNode)
+          << g.name << " S=" << shards;
+    }
+  }
+}
+
+TEST(FaultPlanGoldenTest, InstantRpcLaneIsPinned) {
+  for (const FaultGolden& g : faultGoldens()) {
+    Scenario s = g.scenario;
+    s.deferredRpc = false;
+    ScenarioRunner runner(s);
+    runner.run();
+    EXPECT_EQ(summaryHash(runner), g.instantSummary) << g.name;
+    EXPECT_EQ(perNodeHash(runner), g.instantPerNode) << g.name;
+  }
+}
+
+TEST(FaultPlanGoldenTest, FaultPlansActuallyPerturbTheRun) {
+  // The pins above would be vacuous if an armed plan collapsed into the
+  // unfaulted run: each faulted fingerprint must differ from the
+  // fault-free baseline of the same seed.
+  ScenarioRunner baseline(faultBase());
+  baseline.run();
+  const std::uint64_t cleanSummary = summaryHash(baseline);
+  for (const FaultGolden& g : faultGoldens()) {
+    EXPECT_NE(g.deferredSummary, cleanSummary) << g.name;
+  }
+}
+
+TEST(FaultPlanGoldenTest, PartitionWindowSeversCrossGroupTraffic) {
+  // Behavioral sanity behind the partition pin: messages across the two
+  // partition groups are lost during the window, so the faulted run must
+  // lose strictly more than its unfaulted twin.
+  ScenarioRunner clean(faultBase());
+  clean.run();
+  Scenario s = faultBase();
+  s.faults.partitions.push_back({40 * kMinute, 50 * kMinute, 2});
+  ScenarioRunner cut(s);
+  cut.run();
+  EXPECT_GT(cut.world().lost(), clean.world().lost());
+}
+
+}  // namespace
+}  // namespace avmon::experiments
