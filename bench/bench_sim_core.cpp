@@ -7,9 +7,12 @@
 // Benchmark dependency — and emits a machine-readable BENCH_simcore.json
 // so every future PR can extend the trajectory.
 //
-// Usage: bench_sim_core [--preset smoke|full] [--out PATH]
-//   smoke  ~1 s, for CI artifact jobs
-//   full   ~20 s, the checked-in trajectory point (default)
+// Usage: bench_sim_core [--preset smoke|full] [--out PATH] [--million]
+//   smoke     ~1 s, for CI artifact jobs
+//   full      ~20 s, the checked-in trajectory point (default)
+//   --million additionally runs the N = 10^6 memory-diet scenario
+//             (examples/specs/million_node.spec in-process; minutes of
+//             wall time and ~3 GB of RSS) and appends its rows
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +32,8 @@
 #include "common/rng.hpp"
 #include "experiments/metrics.hpp"
 #include "experiments/scenario.hpp"
+#include "experiments/spec.hpp"
+#include "golden_hash.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -342,7 +347,52 @@ struct Row {
   std::string name;
   double value;
   std::string unit;
+  /// Optional qualifier emitted into the JSON (e.g. "skipped_1core" on a
+  /// speedup row measured without enough hardware threads, or the golden
+  /// fingerprint of the million-node run).
+  std::string note{};
 };
+
+// ---------------------------------------------------------------------------
+// Workload 8 (--million): the ROADMAP million-node scenario — N = 10^6
+// through the memory diet (SoA node state, compact histories, streamed
+// metrics, sharded execution). Mirrors examples/specs/million_node.spec
+// exactly; the smoke-scale twin of that spec is pinned by soa_state_test,
+// and this run reports the full-scale golden fingerprint in its row note.
+// ---------------------------------------------------------------------------
+struct MillionRun {
+  double seconds = 0.0;
+  double eventsPerSec = 0.0;
+  double peakRssKb = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+MillionRun millionNodeRun(std::size_t n) {
+  experiments::Scenario s;
+  s.model = churn::Model::kStat;
+  s.stableSize = n;
+  s.horizon = 3 * kMinute;
+  s.warmup = 1 * kMinute;
+  s.seed = 1000003;
+  s.hashName = "splitmix64";
+  s.configOverride = experiments::cvsKOverride(s.model, n, /*cvs=*/4, /*k=*/1);
+  s.shards = 4;
+  s.history = "compact";
+  s.metrics.window = kMinute;
+  s.metrics.reducers = {"summary"};
+  experiments::ScenarioRunner runner(s);
+  MillionRun result;
+  const auto start = wallClockNow();
+  runner.run();
+  result.seconds = secondsSince(start);
+  result.eventsPerSec =
+      static_cast<double>(runner.world().executedEvents()) / result.seconds;
+  result.fingerprint = experiments::summaryHash(runner);
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  result.peakRssKb = static_cast<double>(usage.ru_maxrss);
+  return result;
+}
 
 }  // namespace
 }  // namespace avmon
@@ -352,15 +402,19 @@ int main(int argc, char** argv) {
 
   std::string preset = "full";
   std::string outPath = "BENCH_simcore.json";
+  bool million = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--preset" && i + 1 < argc) {
       preset = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       outPath = argv[++i];
+    } else if (arg == "--million") {
+      million = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--preset smoke|full] [--out PATH]\n", argv[0]);
+      std::fprintf(
+          stderr, "usage: %s [--preset smoke|full] [--out PATH] [--million]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -431,13 +485,18 @@ int main(int argc, char** argv) {
                   "events/sec"});
   rows.push_back({"sharded_scenario_4shards", fourShards.eventsPerSec,
                   "events/sec"});
-  rows.push_back({"sharded_scenario_speedup_4shards", shardedSpeedup, "x"});
+  Row speedupRow{"sharded_scenario_speedup_4shards", shardedSpeedup, "x"};
+  // The >=1.5x bar needs the 4 shards on 4 real threads; on a smaller
+  // host the measurement is still recorded but marked so downstream
+  // trajectory checks skip the assertion instead of failing on hardware.
+  if (cores < 4) speedupRow.note = "skipped_1core";
+  rows.push_back(std::move(speedupRow));
   rows.push_back({"sharded_hw_threads", static_cast<double>(cores),
                   "threads"});
   if (cores < 4) {
     std::printf(
         "NOTE: only %u hardware thread(s); the >=1.5x sharded target "
-        "applies to >=4-core hosts\n",
+        "applies to >=4-core hosts (row marked skipped_1core)\n",
         cores);
   } else if (shardedSpeedup < 1.5) {
     std::printf(
@@ -477,6 +536,24 @@ int main(int argc, char** argv) {
         streamedLane.stateBytes, materializedLane.stateBytes);
   }
 
+  if (million) {
+    // Run last: getrusage's high-water mark is monotone, so everything
+    // before this point is guaranteed smaller than the million-node peak.
+    const std::size_t millionN = 1'000'000;
+    const MillionRun run = millionNodeRun(millionN);
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof fingerprint, "0x%016llx",
+                  static_cast<unsigned long long>(run.fingerprint));
+    rows.push_back({"million_node_events_per_sec", run.eventsPerSec,
+                    "events/sec", fingerprint});
+    rows.push_back({"million_node_wall", run.seconds, "sec"});
+    rows.push_back({"million_node_peak_rss_kb", run.peakRssKb, "kb"});
+    rows.push_back({"million_node_peak_rss_bytes_per_node",
+                    run.peakRssKb * 1024.0 / static_cast<double>(millionN),
+                    "bytes/node"});
+    std::printf("million-node golden fingerprint: %s\n", fingerprint);
+  }
+
   std::printf("# bench_sim_core (%s preset)\n", preset.c_str());
   for (const Row& row : rows) {
     if (row.unit == "x" || row.unit == "fraction") {
@@ -497,11 +574,20 @@ int main(int argc, char** argv) {
     std::fprintf(out, "  \"preset\": \"%s\",\n", preset.c_str());
     std::fprintf(out, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(out,
-                   "    {\"name\": \"%s\", \"value\": %.1f, \"unit\": "
-                   "\"%s\"}%s\n",
-                   rows[i].name.c_str(), rows[i].value,
-                   rows[i].unit.c_str(), i + 1 < rows.size() ? "," : "");
+      if (rows[i].note.empty()) {
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"value\": %.1f, \"unit\": "
+                     "\"%s\"}%s\n",
+                     rows[i].name.c_str(), rows[i].value,
+                     rows[i].unit.c_str(), i + 1 < rows.size() ? "," : "");
+      } else {
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"value\": %.1f, \"unit\": "
+                     "\"%s\", \"note\": \"%s\"}%s\n",
+                     rows[i].name.c_str(), rows[i].value,
+                     rows[i].unit.c_str(), rows[i].note.c_str(),
+                     i + 1 < rows.size() ? "," : "");
+      }
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

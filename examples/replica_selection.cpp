@@ -30,6 +30,7 @@ int main() {
   // Candidates carry *queried* availability (what the monitors report);
   // ground truth is kept aside for scoring.
   std::vector<replication::Candidate> candidates;
+  // lint:allow(per-node-alloc, example tool's one-shot scoring table; not a simulator probe path)
   std::unordered_map<NodeId, double> truth;
   for (const auto& nt : runner.schedule().nodes()) {
     const AvmonNode& node = runner.node(nt.id);

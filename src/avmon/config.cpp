@@ -88,6 +88,12 @@ void AvmonConfig::validate() const {
   if (notifyDedup && notifyDedupMax == 0)
     throw std::invalid_argument(
         "AvmonConfig: notifyDedupMax must be >= 1 when notifyDedup is on");
+  if (historyStyle != "raw" && historyStyle != "recent" &&
+      historyStyle != "aged" && historyStyle != "compact")
+    throw std::invalid_argument("AvmonConfig: unknown historyStyle '" +
+                                historyStyle + "'");
+  if (historyParam < 0.0)
+    throw std::invalid_argument("AvmonConfig: historyParam must be >= 0");
 }
 
 }  // namespace avmon

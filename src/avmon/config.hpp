@@ -94,6 +94,13 @@ struct AvmonConfig {
   std::size_t bytesPerEntry = 8;
   std::size_t pingBytes = 8;
 
+  /// Availability-history store a monitor keeps per target (Section 1's
+  /// orthogonal "raw, aged, recent" choice, plus the bounded-memory
+  /// "compact" run-length store million-node scenarios require). Styles as
+  /// accepted by history::makeHistory; param 0 = the style's default knob.
+  std::string historyStyle = "raw";
+  double historyParam = 0.0;
+
   /// Builds the paper's default evaluation configuration for size n:
   /// cvs = 4·⁴√N, K = log2 N, T = TA = 1 min, forgetful(τ=2min, c=1).
   static AvmonConfig paperDefaults(std::size_t n);

@@ -50,9 +50,17 @@ class FlatSeenSet {
 
 thread_local FlatSeenSet seenPairsScratch;
 
+// Per-thread scratch for the tick-level view juggling. Each buffer is
+// fully assign()ed before every use, so sharing one instance across all
+// nodes on a thread is safe — and drops three vectors (~72 B plus their
+// heap blocks) from every node, which mattered once nodes number millions.
+thread_local std::vector<NodeId> mineScratch;
+thread_local std::vector<NodeId> theirsScratch;
+thread_local std::vector<NodeId> poolScratch;
+
 }  // namespace
 
-AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
+AvmonNode::AvmonNode(NodeId id, std::shared_ptr<const AvmonConfig> config,
                      const MonitorSelector& selector, sim::Simulator& sim,
                      sim::Network& net, BootstrapFn bootstrap, Rng rng)
     : id_(id),
@@ -62,12 +70,39 @@ AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
       net_(net),
       bootstrap_(std::move(bootstrap)),
       rng_(std::move(rng)),
-      notifiedPairs_(config_.notifyDedupMax) {
-  config_.validate();
+      notifiedPairs_(config_->notifyDedupMax) {
+  config_->validate();
   net_.attach(id_, *this);
   // Determinism sentinel: this node's stream is owned by its home shard
   // (inherited from the simulator it lives on; unbound in plain runs).
   AVMON_DET_BIND_LIKE(rng_.detTag, sim_.detTag);
+}
+
+AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
+                     const MonitorSelector& selector, sim::Simulator& sim,
+                     sim::Network& net, BootstrapFn bootstrap, Rng rng)
+    : AvmonNode(id, std::make_shared<const AvmonConfig>(std::move(config)),
+                selector, sim, net, std::move(bootstrap), std::move(rng)) {}
+
+void AvmonNode::bindStateSlot(soa::NodeStateTable* table, std::uint32_t slot) {
+  soa_ = table;
+  soaSlot_ = slot;
+  publishState();
+}
+
+void AvmonNode::publishState() {
+  if (soa_ == nullptr) return;
+  const std::uint32_t s = soaSlot_;
+  soa_->alive[s] = alive_ ? 1 : 0;
+  soa_->cvSize[s] = static_cast<std::uint32_t>(cv_.size());
+  soa_->psSize[s] = static_cast<std::uint32_t>(ps_.size());
+  soa_->tsSize[s] = static_cast<std::uint32_t>(ts_.size());
+  soa_->hashChecks[s] = metrics_.hashChecks;
+  soa_->uselessPings[s] = metrics_.uselessPings;
+  soa_->firstJoin[s] = firstJoinTime_;
+  soa_->firstDiscovery[s] =
+      psDiscoveryTimes_.empty() ? -1 : psDiscoveryTimes_.front();
+  soa_->lastPingReceived[s] = lastMonitoringPingReceived_;
 }
 
 // ---------------------------------------------------------------- lifecycle
@@ -82,10 +117,10 @@ void AvmonNode::join(bool firstJoin) {
 
   // Figure 1: pick a random node; send JOIN with weight cvs on birth, or
   // min(cvs, downtime in protocol periods) on rejoin; inherit its view.
-  int weight = static_cast<int>(config_.cvs);
+  int weight = static_cast<int>(config_->cvs);
   if (!firstJoin && lastLeaveTime_ >= 0) {
     const auto periodsDown = static_cast<int>(
-        (sim_.now() - lastLeaveTime_) / config_.protocolPeriod);
+        (sim_.now() - lastLeaveTime_) / config_->protocolPeriod);
     weight = std::min(weight, std::max(periodsDown, 1));
   }
 
@@ -101,8 +136,8 @@ void AvmonNode::join(bool firstJoin) {
     const std::uint64_t epochAtSend = epoch_;
     net_.exchangeAsync(
         id_, contact,
-        sim::CvFetchRequest{config_.pingBytes,
-                            config_.bytesPerEntry * config_.cvs},
+        sim::CvFetchRequest{config_->pingBytes,
+                            config_->bytesPerEntry * config_->cvs},
         [this, contact,
          epochAtSend](std::optional<sim::CvFetchResponse> fetch) {
           if (!alive_ || epoch_ != epochAtSend) return;
@@ -111,6 +146,7 @@ void AvmonNode::join(bool firstJoin) {
           seed.push_back(contact);
           rng_.shuffle(seed);
           for (const NodeId& n : seed) addToCoarseView(n);
+          publishState();
         });
   }
 
@@ -119,20 +155,21 @@ void AvmonNode::join(bool firstJoin) {
   const std::uint64_t epochAtStart = epoch_;
   sim_.every(sim_.now() + static_cast<SimDuration>(
                               rng_.below(static_cast<std::uint64_t>(
-                                  config_.protocolPeriod))),
-             config_.protocolPeriod, [this, epochAtStart] {
+                                  config_->protocolPeriod))),
+             config_->protocolPeriod, [this, epochAtStart] {
                if (!alive_ || epoch_ != epochAtStart) return false;
                protocolTick();
                return true;
              });
   sim_.every(sim_.now() + static_cast<SimDuration>(
                               rng_.below(static_cast<std::uint64_t>(
-                                  config_.monitoringPeriod))),
-             config_.monitoringPeriod, [this, epochAtStart] {
+                                  config_->monitoringPeriod))),
+             config_->monitoringPeriod, [this, epochAtStart] {
                if (!alive_ || epoch_ != epochAtStart) return false;
                monitoringTick();
                return true;
              });
+  publishState();
 }
 
 void AvmonNode::leave() {
@@ -153,26 +190,29 @@ void AvmonNode::leave() {
     // paper assumes survives downtime is lost with the session. Discovery
     // timestamps stay — they describe events that did happen.
     cv_.clear();
-    cvIndex_.clear();
     ps_.clear();
     ts_.clear();
   }
+  publishState();
 }
 
 // -------------------------------------------------------------- coarse view
 
 bool AvmonNode::addToCoarseView(const NodeId& id) {
-  if (id == id_ || id.isNil() || cvIndex_.count(id)) return false;
-  if (cv_.size() >= config_.cvs) {
+  // Membership by linear scan: |CV| <= cvs, and the vector's one cache
+  // line or two beat the hash-set mirror this used to consult.
+  if (id == id_ || id.isNil() ||
+      std::find(cv_.begin(), cv_.end(), id) != cv_.end()) {
+    return false;
+  }
+  if (cv_.size() >= config_->cvs) {
     // Evict a uniformly random entry to stay within the cvs bound while
     // keeping the view a random subset.
     const std::size_t victim = rng_.index(cv_.size());
-    cvIndex_.erase(cv_[victim]);
     cv_[victim] = id;
   } else {
     cv_.push_back(id);
   }
-  cvIndex_.insert(id);
   return true;
 }
 
@@ -192,11 +232,12 @@ void AvmonNode::onMessage(const NodeId& /*from*/, const sim::Message& message) {
           [](const sim::TextMessage&) {},      // harness-only payload
       },
       message);
+  publishState();
 }
 
 sim::RpcResponse AvmonNode::onRpc(const NodeId& from,
                                   const sim::RpcRequest& request) {
-  return std::visit(
+  sim::RpcResponse response = std::visit(
       sim::Overloaded{
           [](const sim::PingRequest&) -> sim::RpcResponse {
             // Figure 2 step 1: answering at all is the liveness proof.
@@ -214,6 +255,8 @@ sim::RpcResponse AvmonNode::onRpc(const NodeId& from,
           },
       },
       request);
+  publishState();
+  return response;
 }
 
 void AvmonNode::handleJoin(const JoinMessage& msg) {
@@ -221,7 +264,7 @@ void AvmonNode::handleJoin(const JoinMessage& msg) {
   int weight = msg.weight;
   if (weight <= 0 || msg.origin == id_) return;
   ++metrics_.joinsReceived;
-  if (!cvIndex_.count(msg.origin)) {
+  if (std::find(cv_.begin(), cv_.end(), msg.origin) == cv_.end()) {
     addToCoarseView(msg.origin);
     ++metrics_.joinAdds;
     --weight;
@@ -252,7 +295,8 @@ void AvmonNode::handleNotify(const NotifyMessage& msg) {
   if (msg.monitor == id_ && msg.target != id_) {
     if (!ts_.count(msg.target) && checkCondition(id_, msg.target)) {
       TargetRecord rec;
-      rec.history = std::make_unique<history::RawHistory>();
+      rec.history = history::makeHistory(config_->historyStyle,
+                                         config_->historyParam);
       ts_.emplace(msg.target, std::move(rec));
     }
   }
@@ -289,7 +333,7 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
       if (!seen.insert(pairKey(u, v))) continue;
       for (const auto& [mon, tgt] : {std::pair{u, v}, std::pair{v, u}}) {
         if (checkCondition(mon, tgt)) {
-          if (config_.notifyDedup) {
+          if (config_->notifyDedup) {
             // Bounded generational cache (NotifyDedupCache): a false
             // return means this node already told both parties within the
             // last two epochs; the occasional re-NOTIFY after an epoch
@@ -311,19 +355,20 @@ void AvmonNode::discoverPairs(const std::vector<NodeId>& mine,
 
 void AvmonNode::reshuffleCoarseView(const std::vector<NodeId>& fetched,
                                     const NodeId& w) {
-  std::vector<NodeId>& pool = poolScratch_;
+  std::vector<NodeId>& pool = poolScratch;
   pool.assign(cv_.begin(), cv_.end());
   pool.insert(pool.end(), fetched.begin(), fetched.end());
   pool.push_back(w);
 
   rng_.shuffle(pool);
   cv_.clear();
-  cvIndex_.clear();
   for (const NodeId& n : pool) {
-    if (cv_.size() >= config_.cvs) break;
-    if (n == id_ || n.isNil() || cvIndex_.count(n)) continue;
+    if (cv_.size() >= config_->cvs) break;
+    if (n == id_ || n.isNil() ||
+        std::find(cv_.begin(), cv_.end(), n) != cv_.end()) {
+      continue;
+    }
     cv_.push_back(n);
-    cvIndex_.insert(n);
   }
 }
 
@@ -334,16 +379,14 @@ void AvmonNode::protocolTick() {
   const std::uint64_t epochAtTick = epoch_;
   if (!cv_.empty()) {
     const NodeId z = cv_[rng_.index(cv_.size())];
-    net_.exchangeAsync(id_, z, sim::PingRequest{config_.pingBytes},
+    net_.exchangeAsync(id_, z, sim::PingRequest{config_->pingBytes},
                        [this, z,
                         epochAtTick](std::optional<sim::PingResponse> pong) {
                          if (!alive_ || epoch_ != epochAtTick) return;
                          if (pong) return;
                          const auto it = std::find(cv_.begin(), cv_.end(), z);
-                         if (it != cv_.end()) {
-                           cvIndex_.erase(z);
-                           cv_.erase(it);
-                         }
+                         if (it != cv_.end()) cv_.erase(it);
+                         publishState();
                        });
   }
 
@@ -354,8 +397,8 @@ void AvmonNode::protocolTick() {
   // a freshly joined node waits two full periods before crying.
   const SimTime pingBaseline =
       std::max(lastMonitoringPingReceived_, sessionStartTime_);
-  if (config_.pr2 &&
-      sim_.now() - pingBaseline > 2 * config_.monitoringPeriod) {
+  if (config_->pr2 &&
+      sim_.now() - pingBaseline > 2 * config_->monitoringPeriod) {
     for (const NodeId& n : cv_) {
       net_.send(id_, n, ForceAddMessage{id_});
     }
@@ -366,8 +409,8 @@ void AvmonNode::protocolTick() {
   const NodeId w = cv_[rng_.index(cv_.size())];
   net_.exchangeAsync(
       id_, w,
-      sim::CvFetchRequest{config_.pingBytes,
-                          config_.bytesPerEntry * (cv_.size() + 1)},
+      sim::CvFetchRequest{config_->pingBytes,
+                          config_->bytesPerEntry * (cv_.size() + 1)},
       [this, w, epochAtTick](std::optional<sim::CvFetchResponse> fetch) {
         if (!alive_ || epoch_ != epochAtTick) return;
         if (!fetch) return;  // w was down; try again next period
@@ -376,21 +419,25 @@ void AvmonNode::protocolTick() {
         const std::vector<NodeId> fetched = std::move(fetch->view);
 
         // Step 3: consistency checks over (CV(x) ∪ {x,w}) × (CV(w) ∪ {x,w}).
-        mineScratch_.assign(cv_.begin(), cv_.end());
-        mineScratch_.push_back(id_);
-        if (!cvIndex_.count(w)) mineScratch_.push_back(w);
-        theirsScratch_.assign(fetched.begin(), fetched.end());
-        theirsScratch_.push_back(id_);
-        theirsScratch_.push_back(w);
-        discoverPairs(mineScratch_, theirsScratch_);
+        mineScratch.assign(cv_.begin(), cv_.end());
+        mineScratch.push_back(id_);
+        if (std::find(cv_.begin(), cv_.end(), w) == cv_.end()) {
+          mineScratch.push_back(w);
+        }
+        theirsScratch.assign(fetched.begin(), fetched.end());
+        theirsScratch.push_back(id_);
+        theirsScratch.push_back(w);
+        discoverPairs(mineScratch, theirsScratch);
 
         // Step 4: reshuffle the coarse view.
-        if (config_.shuffle == ShufflePolicy::kSwap) {
+        if (config_->shuffle == ShufflePolicy::kSwap) {
           reshuffleBySwap(w);
         } else {
           reshuffleCoarseView(fetched, w);
         }
+        publishState();
       });
+  publishState();
 }
 
 std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
@@ -399,7 +446,6 @@ std::vector<NodeId> AvmonNode::takeRandomEntries(std::size_t count) {
   while (taken.size() < count && !cv_.empty()) {
     const std::size_t idx = rng_.index(cv_.size());
     taken.push_back(cv_[idx]);
-    cvIndex_.erase(cv_[idx]);
     cv_[idx] = cv_.back();
     cv_.pop_back();
   }
@@ -412,7 +458,7 @@ void AvmonNode::reshuffleBySwap(const NodeId& w) {
   // Build the request before the call: it copies `offer`, which the
   // completion handler then owns (argument evaluation order would
   // otherwise be free to move `offer` out before the request reads it).
-  sim::SwapRequest request{offer, config_.bytesPerEntry, half};
+  sim::SwapRequest request{offer, config_->bytesPerEntry, half};
   net_.exchangeAsync(
       id_, w, std::move(request),
       // No epoch guard here, deliberately: the handler only touches the
@@ -428,11 +474,13 @@ void AvmonNode::reshuffleBySwap(const NodeId& w) {
           // injected fault or a deferred-mode deadline). The offer never
           // left — put the entries back rather than leak view slots.
           for (const NodeId& n : offer) addToCoarseView(n);
+          publishState();
           return;
         }
         for (const NodeId& n : swap->given) addToCoarseView(n);
         // Like CYCLON, the initiator also refreshes its pointer to the peer.
         addToCoarseView(w);
+        publishState();
       });
 }
 
@@ -452,7 +500,7 @@ void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
   // safely outlive this tick.
   const std::uint64_t epochAtSend = epoch_;
   net_.exchangeAsync(
-      id_, target, sim::MonitorPingRequest{config_.pingBytes},
+      id_, target, sim::MonitorPingRequest{config_->pingBytes},
       [this, &rec, epochAtSend](std::optional<sim::MonitorPingResponse> ack) {
         if (!alive_ || epoch_ != epochAtSend) return;
         const SimTime now = sim_.now();
@@ -468,8 +516,8 @@ void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
             // Transition up -> down: close the observed session, remember ts(u).
             if (rec.sessionStart >= 0) {
               rec.lastSessionLength = std::max<SimDuration>(
-                  now - rec.sessionStart, config_.monitoringPeriod);
-              const double alpha = config_.forgetful.ewmaAlpha;
+                  now - rec.sessionStart, config_->monitoringPeriod);
+              const double alpha = config_->forgetful.ewmaAlpha;
               rec.ewmaSessionLength =
                   rec.ewmaSessionLength <= 0
                       ? static_cast<double>(rec.lastSessionLength)
@@ -479,6 +527,7 @@ void AvmonNode::pingTarget(const NodeId& target, TargetRecord& rec) {
             rec.downSince = now;
           }
         }
+        publishState();
       });
 }
 
@@ -487,26 +536,27 @@ void AvmonNode::monitoringTick() {
   // lint:allow(unordered-iter, ts_ hash order is a pure function of this node's insertion history on a fixed stdlib; the golden fingerprints pin exactly this ping/draw order, so converting it would change every pinned metric)
   for (auto& [target, rec] : ts_) {
     const bool longDead =
-        config_.forgetful.enabled && rec.downSince >= 0 &&
-        (now - rec.downSince) > config_.forgetful.tau;
+        config_->forgetful.enabled && rec.downSince >= 0 &&
+        (now - rec.downSince) > config_->forgetful.tau;
     if (longDead) {
       // Forgetful pinging: ping with probability c·ts/(ts + t) so the
       // target still receives an expected c pings from each monitor
       // between two successive joins.
       const double observed =
-          config_.forgetful.ewmaSessionLength && rec.ewmaSessionLength > 0
+          config_->forgetful.ewmaSessionLength && rec.ewmaSessionLength > 0
               ? rec.ewmaSessionLength
               : static_cast<double>(rec.lastSessionLength);
       const double ts =
-          std::max(observed, static_cast<double>(config_.monitoringPeriod));
+          std::max(observed, static_cast<double>(config_->monitoringPeriod));
       const double t = static_cast<double>(now - rec.downSince);
-      if (!rng_.chance(config_.forgetful.c * ts / (ts + t))) {
+      if (!rng_.chance(config_->forgetful.c * ts / (ts + t))) {
         ++metrics_.forgetfulSuppressed;
         continue;
       }
     }
     pingTarget(target, rec);
   }
+  publishState();
 }
 
 void AvmonNode::acceptMonitoringPing() {

@@ -30,6 +30,7 @@
 #include "avmon/config.hpp"
 #include "avmon/messages.hpp"
 #include "avmon/monitor_selector.hpp"
+#include "avmon/node_state.hpp"
 #include "avmon/notify_dedup.hpp"
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
@@ -68,6 +69,15 @@ struct TargetRecord {
 
 class AvmonNode final : public sim::Endpoint {
  public:
+  /// Shared-config constructor: every node of a scenario points at ONE
+  /// immutable AvmonConfig (the million-node memory diet — a per-node copy
+  /// costs ~150 B each). The config must already be validate()d.
+  AvmonNode(NodeId id, std::shared_ptr<const AvmonConfig> config,
+            const MonitorSelector& selector, sim::Simulator& sim,
+            sim::Network& net, BootstrapFn bootstrap, Rng rng);
+
+  /// Convenience for tests and one-off nodes: wraps the value in a private
+  /// shared config.
   AvmonNode(NodeId id, AvmonConfig config, const MonitorSelector& selector,
             sim::Simulator& sim, sim::Network& net, BootstrapFn bootstrap,
             Rng rng);
@@ -91,7 +101,13 @@ class AvmonNode final : public sim::Endpoint {
   // ---- observable state ----
 
   const NodeId& id() const noexcept { return id_; }
-  const AvmonConfig& config() const noexcept { return config_; }
+  const AvmonConfig& config() const noexcept { return *config_; }
+
+  /// Binds this node to row `slot` of a struct-of-arrays probe table (see
+  /// node_state.hpp) and publishes the current state into it. The table
+  /// must outlive the node and already cover `slot`.
+  void bindStateSlot(soa::NodeStateTable* table, std::uint32_t slot);
+  std::uint32_t stateSlot() const noexcept { return soaSlot_; }
   const std::vector<NodeId>& coarseView() const noexcept { return cv_; }
   const std::unordered_set<NodeId>& pingingSet() const noexcept { return ps_; }
   const std::unordered_map<NodeId, TargetRecord>& targetSet() const noexcept {
@@ -201,8 +217,13 @@ class AvmonNode final : public sim::Endpoint {
   // Sends one monitoring ping and records the outcome.
   void pingTarget(const NodeId& target, TargetRecord& rec);
 
+  // Copies the probe-hot scalars into the bound NodeStateTable row (no-op
+  // when unbound). Called at the end of every externally driven mutation
+  // so the row is exact whenever the world is quiescent.
+  void publishState();
+
   NodeId id_;
-  AvmonConfig config_;
+  std::shared_ptr<const AvmonConfig> config_;
   const MonitorSelector& selector_;
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -215,8 +236,11 @@ class AvmonNode final : public sim::Endpoint {
   SimTime firstJoinTime_ = -1;
   SimTime sessionStartTime_ = -1;
 
+  // The coarse view is a plain vector: membership checks scan it linearly
+  // (|CV| <= cvs, a handful to ~130 entries), which beats the hash-set
+  // mirror it used to carry — that mirror cost ~50 heap bytes per entry
+  // per node, the single biggest per-node line item at million-node scale.
   std::vector<NodeId> cv_;
-  std::unordered_set<NodeId> cvIndex_;  // mirror of cv_ for O(1) membership
   std::unordered_set<NodeId> ps_;
   std::unordered_map<NodeId, TargetRecord> ts_;
 
@@ -224,11 +248,10 @@ class AvmonNode final : public sim::Endpoint {
   SimTime lastMonitoringPingReceived_ = -1;
   NotifyDedupCache notifiedPairs_;  // generational NOTIFY dedup cache
 
-  // Scratch storage for the per-tick discovery step. Cleared, never
-  // shrunk, so the steady-state protocol tick allocates nothing.
-  std::vector<NodeId> mineScratch_;
-  std::vector<NodeId> theirsScratch_;
-  std::vector<NodeId> poolScratch_;
+  // Struct-of-arrays probe mirror (see node_state.hpp); null until the
+  // owning protocol binds a row.
+  soa::NodeStateTable* soa_ = nullptr;
+  std::uint32_t soaSlot_ = 0;
 
   bool overreporting_ = false;
   // Non-null while colluding: the shared victim set this node lies about.

@@ -39,6 +39,7 @@ ResolvedAdversary resolveAdversary(const Scenario& scenario,
         std::max<std::uint32_t>(1, scenario.attack.victims), n - 1);
     const std::size_t coalitionSize =
         std::min<std::size_t>(scenario.attack.collusion, n - victimCount);
+    // lint:allow(per-node-alloc, built once at resolve time and bounded by the attack's victim count, not N)
     auto victimSet = std::make_shared<std::unordered_set<NodeId>>();
     for (std::size_t i = 0; i < victimCount; ++i) {
       out.victims.push_back(nodes[order[i]].id);
@@ -109,16 +110,19 @@ std::optional<AvailabilityAccuracy> alignedAccuracyOf(
   acc.id = nt.id;
   double estSum = 0.0;
   double actualSum = 0.0;
-  for (const NodeId& monitorId : protocol.monitorsOf(nt.id)) {
+  // visitMonitorsOf promises exactly the monitorsOf order without the
+  // vector copy — this probe runs once per node per run, so the copies
+  // were the accuracy scan's O(N) allocation churn at million-node scale.
+  protocol.visitMonitorsOf(nt.id, [&](const NodeId& monitorId) {
     const auto sample = protocol.estimate(monitorId, nt.id);
-    if (!sample) continue;
+    if (!sample) return;
     estSum += sample->estimated;
     // Ground truth aligned to this monitor's observation window (see
     // Protocol::estimate): truth over any other window would bias the
     // ratio on short runs.
     actualSum += nt.availability(sample->windowStart, sample->windowEnd);
     ++acc.reporters;
-  }
+  });
   if (acc.reporters == 0) return std::nullopt;
   acc.estimated = estSum / static_cast<double>(acc.reporters);
   acc.actual = actualSum / static_cast<double>(acc.reporters);
@@ -130,6 +134,7 @@ std::vector<VictimOutcome> victimOutcomes(
     const trace::AvailabilityTrace& trace) {
   std::vector<VictimOutcome> out;
   if (adversary.victims.empty()) return out;
+  // lint:allow(per-node-alloc, bounded by the attack's victim count and built once per report, not per probe)
   std::unordered_map<NodeId, const trace::NodeTrace*> byId;
   for (const trace::NodeTrace& nt : trace.nodes()) {
     if (adversary.isVictim(nt.id)) byId.emplace(nt.id, &nt);
@@ -138,10 +143,10 @@ std::vector<VictimOutcome> victimOutcomes(
   for (const NodeId& id : adversary.victims) {
     VictimOutcome o;
     o.id = id;
-    for (const NodeId& monitor : protocol.monitorsOf(id)) {
+    protocol.visitMonitorsOf(id, [&](const NodeId& monitor) {
       ++o.monitors;
       if (adversary.isColluder(monitor)) ++o.colludingMonitors;
-    }
+    });
     o.eclipsed = o.monitors > 0 && o.colludingMonitors == o.monitors;
     if (const auto it = byId.find(id); it != byId.end()) {
       if (const auto acc = alignedAccuracyOf(protocol, *it->second)) {

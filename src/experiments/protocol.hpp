@@ -136,6 +136,16 @@ class Protocol {
     return {};
   }
 
+  /// Visits `id`'s current monitors in exactly the order monitorsOf()
+  /// returns them, without materializing a vector — the allocation-free
+  /// path the per-node accuracy probes walk at million-node scale. The
+  /// default forwards to monitorsOf(); schemes with large monitor sets
+  /// should override both consistently.
+  virtual void visitMonitorsOf(
+      const NodeId& id, const std::function<void(const NodeId&)>& fn) const {
+    for (const NodeId& m : monitorsOf(id)) fn(m);
+  }
+
   /// `monitor`'s availability estimate of `target`, or nullopt when the
   /// monitor holds no statistically meaningful estimate (not a monitor,
   /// no samples, too few samples — the scheme's own threshold).

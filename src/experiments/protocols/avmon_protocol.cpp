@@ -15,7 +15,10 @@ void AvmonProtocol::build(const ProtocolContext& ctx) {
   // One protocol node per scheduled node, all constructed up front (they
   // start down; the trace player brings them up). Each node lives in its
   // home shard's sub-world and checks the consistency condition through
-  // that shard's memo.
+  // that shard's memo. Every node shares one immutable config — a copy
+  // per node is ~150 B nobody reads twice.
+  const auto sharedConfig = std::make_shared<const AvmonConfig>(ctx.config);
+  state_.resize(ctx.trace.nodes().size());
   std::uint32_t index = 0;
   for (const trace::NodeTrace& nt : ctx.trace.nodes()) {
     const std::size_t shard = ctx.world.shardOfIndex(index);
@@ -23,8 +26,9 @@ void AvmonProtocol::build(const ProtocolContext& ctx) {
       return nextBootstrapPick(index);
     };
     auto node = std::make_unique<AvmonNode>(
-        nt.id, ctx.config, *ctx.memoSelectors[shard], ctx.world.simOf(shard),
+        nt.id, sharedConfig, *ctx.memoSelectors[shard], ctx.world.simOf(shard),
         ctx.world.netOf(shard), bootstrap, ctx.rootRng.fork());
+    node->bindStateSlot(&state_, index);
     nodes_.emplace(nt.id, std::move(node));
     ++index;
   }
@@ -62,7 +66,15 @@ void AvmonProtocol::precomputeBootstrapPicks(const ProtocolContext& ctx) {
   // (and keeps the draws shard-count-invariant).
   Rng bootRng = ctx.rootRng.fork();
   const auto& nodes = ctx.trace.nodes();
-  bootstrapPicks_.assign(nodes.size(), {});
+
+  // One pick per session, banked into a flat arena sliced by pickOffsets_
+  // (node i's picks live at [pickOffsets_[i], pickOffsets_[i+1])).
+  pickOffsets_.assign(nodes.size() + 1, 0);
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    pickOffsets_[i + 1] =
+        pickOffsets_[i] + static_cast<std::uint32_t>(nodes[i].sessions.size());
+  }
+  bootstrapPicks_.assign(pickOffsets_.back(), NodeId{});
   bootstrapCursor_.assign(nodes.size(), 0);
 
   struct Transition {
@@ -90,6 +102,7 @@ void AvmonProtocol::precomputeBootstrapPicks(const ProtocolContext& ctx) {
             });
 
   std::vector<NodeId> alive;
+  // lint:allow(per-node-alloc, one-shot bootstrap precomputation at build(); freed before the run starts)
   std::unordered_map<NodeId, std::size_t> alivePos;
   for (const Transition& tr : transitions) {
     const NodeId id = nodes[tr.node].id;
@@ -106,7 +119,7 @@ void AvmonProtocol::precomputeBootstrapPicks(const ProtocolContext& ctx) {
           }
         }
       }
-      bootstrapPicks_[tr.node].push_back(pick);
+      bootstrapPicks_[pickOffsets_[tr.node] + tr.session] = pick;
       if (!alivePos.count(id)) {
         alivePos[id] = alive.size();
         alive.push_back(id);
@@ -122,10 +135,11 @@ void AvmonProtocol::precomputeBootstrapPicks(const ProtocolContext& ctx) {
 }
 
 NodeId AvmonProtocol::nextBootstrapPick(std::uint32_t nodeIndex) {
-  const auto& picks = bootstrapPicks_[nodeIndex];
-  std::size_t& cursor = bootstrapCursor_[nodeIndex];
-  if (cursor >= picks.size()) return NodeId{};  // more joins than sessions?
-  return picks[cursor++];
+  const std::uint32_t begin = pickOffsets_[nodeIndex];
+  const std::uint32_t end = pickOffsets_[nodeIndex + 1];
+  std::uint32_t& cursor = bootstrapCursor_[nodeIndex];
+  if (begin + cursor >= end) return NodeId{};  // more joins than sessions?
+  return bootstrapPicks_[begin + cursor++];
 }
 
 void AvmonProtocol::onJoin(const NodeId& id, bool firstJoin) {
@@ -142,29 +156,47 @@ void AvmonProtocol::forEachNode(
 
 std::optional<SimDuration> AvmonProtocol::discoveryDelay(
     const NodeId& id, std::size_t k) const {
+  if (k == 1) {
+    // Fast path off the struct-of-arrays row — the k = 1 delay is probed
+    // per measured node per window barrier in the streamed lane.
+    const std::uint32_t slot = slotOf(id);
+    const SimTime joined = state_.firstJoin[slot];
+    const SimTime found = state_.firstDiscovery[slot];
+    if (joined < 0 || found < 0) return std::nullopt;
+    return found - joined;
+  }
   return nodes_.at(id)->discoveryDelay(k);
 }
 
 std::size_t AvmonProtocol::memoryEntries(const NodeId& id) const {
-  return nodes_.at(id)->memoryEntries();
+  const std::uint32_t slot = slotOf(id);
+  return static_cast<std::size_t>(state_.cvSize[slot]) + state_.psSize[slot] +
+         state_.tsSize[slot];
 }
 
 std::uint64_t AvmonProtocol::hashChecks(const NodeId& id) const {
-  return nodes_.at(id)->metrics().hashChecks;
+  return state_.hashChecks[slotOf(id)];
 }
 
 std::uint64_t AvmonProtocol::uselessPings(const NodeId& id) const {
-  return nodes_.at(id)->metrics().uselessPings;
+  return state_.uselessPings[slotOf(id)];
 }
 
 bool AvmonProtocol::isMonitoring(const NodeId& id) const {
-  return !nodes_.at(id)->targetSet().empty();
+  return state_.tsSize[slotOf(id)] != 0;
 }
 
 std::vector<NodeId> AvmonProtocol::monitorsOf(const NodeId& id) const {
   const auto& ps = nodes_.at(id)->pingingSet();
   // lint:allow(unordered-iter, the accuracy sampler's monitor visit order is pinned by the golden fingerprints; sorting here would reorder its draws)
   return std::vector<NodeId>(ps.begin(), ps.end());
+}
+
+void AvmonProtocol::visitMonitorsOf(
+    const NodeId& id, const std::function<void(const NodeId&)>& fn) const {
+  // Same order as monitorsOf(), minus the vector materialization.
+  // lint:allow(unordered-iter, must visit in exactly the monitorsOf order the golden fingerprints pin)
+  for (const NodeId& m : nodes_.at(id)->pingingSet()) fn(m);
 }
 
 std::optional<EstimateSample> AvmonProtocol::estimate(

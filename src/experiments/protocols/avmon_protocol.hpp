@@ -7,12 +7,20 @@
 // stream, per-node streams, overreporter selection) and every container
 // iteration order are preserved exactly, which is what keeps the pinned
 // golden metric fingerprints valid across the API redesign.
+//
+// Memory layout (million-node diet): all nodes share ONE immutable
+// AvmonConfig; bootstrap picks live in one flat arena instead of a vector
+// per node; and the probe-hot per-node scalars are mirrored into a
+// struct-of-arrays NodeStateTable indexed by global world slot, which is
+// what the metric probes read — the full AvmonNode is only consulted for
+// protocol logic (estimates, monitor sets, generic-k discovery).
 #pragma once
 
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "avmon/node_state.hpp"
 #include "experiments/protocol.hpp"
 
 namespace avmon::experiments {
@@ -35,15 +43,28 @@ class AvmonProtocol final : public Protocol {
   std::uint64_t uselessPings(const NodeId& id) const override;
   bool isMonitoring(const NodeId& id) const override;
   std::vector<NodeId> monitorsOf(const NodeId& id) const override;
+  void visitMonitorsOf(
+      const NodeId& id,
+      const std::function<void(const NodeId&)>& fn) const override;
   std::optional<EstimateSample> estimate(const NodeId& monitor,
                                          const NodeId& target) const override;
 
   const AvmonNode* avmonNode(const NodeId& id) const override;
   AvmonNode* mutableAvmonNode(const NodeId& id) override;
 
+  /// The struct-of-arrays probe mirror (soa_state_test cross-checks it
+  /// against the object layout).
+  const soa::NodeStateTable& stateTable() const noexcept { return state_; }
+
  private:
   void precomputeBootstrapPicks(const ProtocolContext& ctx);
   NodeId nextBootstrapPick(std::uint32_t nodeIndex);
+
+  /// Global world slot of `id` (== trace position; nodes are built in
+  /// trace order, which is also world registration order).
+  std::uint32_t slotOf(const NodeId& id) const {
+    return nodes_.at(id)->stateSlot();
+  }
 
   // Harness facts the probes need after build() returned.
   SimDuration monitoringPeriod_ = 0;
@@ -51,12 +72,19 @@ class AvmonProtocol final : public Protocol {
 
   std::unordered_map<NodeId, std::unique_ptr<AvmonNode>> nodes_;
 
+  // Probe-hot per-node scalars, one row per trace slot (see node_state.hpp).
+  soa::NodeStateTable state_;
+
   // Bootstrap picks, precomputed from the trace (the alive set at any
   // instant is trace-determined, not protocol-determined). Node i's j-th
-  // join consumes picks_[i][j]; the cursor is only ever touched by i's
-  // home shard, so joins on different shards need no shared alive list.
-  std::vector<std::vector<NodeId>> bootstrapPicks_;
-  std::vector<std::size_t> bootstrapCursor_;
+  // join consumes the j-th pick of its [pickOffsets_[i], pickOffsets_[i+1])
+  // arena slice; the cursor is only ever touched by i's home shard, so
+  // joins on different shards need no shared alive list. One flat arena +
+  // offsets replaces the old vector-per-node layout (24 B + an allocation
+  // per node).
+  std::vector<NodeId> bootstrapPicks_;
+  std::vector<std::uint32_t> pickOffsets_;
+  std::vector<std::uint32_t> bootstrapCursor_;
 };
 
 }  // namespace avmon::experiments

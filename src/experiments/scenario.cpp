@@ -77,6 +77,15 @@ void Scenario::validate() const {
         "Scenario: notify_dedup_max must be >= 1 (the cache needs room for "
         "at least one pair)");
   }
+  if (history.has_value() && *history != "raw" && *history != "recent" &&
+      *history != "aged" && *history != "compact") {
+    throw std::invalid_argument(
+        "Scenario: unknown history '" + *history +
+        "' — known histories: raw, recent, aged, compact");
+  }
+  if (historyParam.has_value() && *historyParam < 0) {
+    throw std::invalid_argument("Scenario: history_param must be >= 0");
+  }
 
   const unsigned effectiveShards = resolveShards(shards);
   if (!deferredRpc && effectiveShards > 1) {
@@ -130,6 +139,9 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   if (scenario_.shuffle.has_value()) config_.shuffle = *scenario_.shuffle;
   if (scenario_.notifyDedupMax.has_value())
     config_.notifyDedupMax = *scenario_.notifyDedupMax;
+  if (scenario_.history.has_value()) config_.historyStyle = *scenario_.history;
+  if (scenario_.historyParam.has_value())
+    config_.historyParam = *scenario_.historyParam;
   config_.validate();
 
   const unsigned effectiveShards = resolveShards(scenario_.shards);
@@ -180,9 +192,10 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   // Register the whole population first: global indices follow trace order
   // (partition-independent), and every id must be known to the router
   // before its endpoint attaches.
+  traceBySlot_.reserve(trace_.nodes().size());
   for (const trace::NodeTrace& nt : trace_.nodes()) {
     world_->registerNode(nt.id);
-    traceByNode_[nt.id] = &nt;
+    traceBySlot_.push_back(&nt);
   }
 
   // The protocol populates the world: one participant per trace node,
@@ -296,6 +309,14 @@ sim::TrafficCounters ScenarioRunner::trafficOf(const NodeId& id) const {
   return world_->netFor(id).traffic(id);
 }
 
+const trace::NodeTrace* ScenarioRunner::traceOf(const NodeId& id) const {
+  // Trace nodes registered first, so their global slots are exactly
+  // [0, traceBySlot_.size()); anything past that is a scheme-owned extra
+  // participant with no ground truth.
+  const std::size_t slot = world_->globalIndexOf(id);
+  return slot < traceBySlot_.size() ? traceBySlot_[slot] : nullptr;
+}
+
 std::vector<double> ScenarioRunner::discoveryDelaysSeconds(std::size_t k) const {
   std::vector<double> out;
   out.reserve(measured_.size());
@@ -312,7 +333,7 @@ double ScenarioRunner::discoveredFraction(std::size_t k) const {
   // cannot be discovered and isn't part of the population).
   std::size_t joined = 0, found = 0;
   for (const NodeId& id : measured_) {
-    if (!traceByNode_.at(id)->firstJoin()) continue;
+    if (!traceOf(id)->firstJoin()) continue;
     ++joined;
     if (protocol_->discoveryDelay(id, k)) ++found;
   }
@@ -325,7 +346,7 @@ std::vector<double> ScenarioRunner::computationsPerSecond() const {
   std::vector<double> out;
   out.reserve(measured_.size());
   for (const NodeId& id : measured_) {
-    const double upSeconds = toSeconds(traceByNode_.at(id)->totalUpTime());
+    const double upSeconds = toSeconds(traceOf(id)->totalUpTime());
     if (upSeconds < 1.0) continue;
     out.push_back(static_cast<double>(protocol_->hashChecks(id)) / upSeconds);
   }
@@ -353,10 +374,9 @@ std::vector<double> ScenarioRunner::outgoingBytesPerSecond() const {
   const SimTime from = scenario_.warmup;
   const SimTime to = scenario_.horizon;
   protocol_->forEachNode([&](const NodeId& id) {
-    const auto trIt = traceByNode_.find(id);
+    const trace::NodeTrace* nt = traceOf(id);
     double upSeconds, windowSeconds;
-    if (trIt != traceByNode_.end()) {
-      const trace::NodeTrace* nt = trIt->second;
+    if (nt != nullptr) {
       upSeconds = nt->availability(from, to) * toSeconds(to - from);
       // The paper normalizes by wall-clock time, not up-time (nodes spend
       // nothing while down); nodes born mid-window get their shorter window.
@@ -378,11 +398,9 @@ std::vector<double> ScenarioRunner::uselessPingsPerMinute() const {
   std::vector<double> out;
   protocol_->forEachNode([&](const NodeId& id) {
     if (!protocol_->isMonitoring(id)) return;
-    const auto trIt = traceByNode_.find(id);
-    const double upMinutes =
-        trIt != traceByNode_.end()
-            ? toMinutes(trIt->second->totalUpTime())
-            : toMinutes(scenario_.horizon);
+    const trace::NodeTrace* nt = traceOf(id);
+    const double upMinutes = nt != nullptr ? toMinutes(nt->totalUpTime())
+                                           : toMinutes(scenario_.horizon);
     if (upMinutes < 1.0) return;
     out.push_back(static_cast<double>(protocol_->uselessPings(id)) /
                   upMinutes);
@@ -397,10 +415,9 @@ std::vector<AvailabilityAccuracy> ScenarioRunner::availabilityAccuracy(
   // experiments/adversary.cpp (alignedAccuracyOf) — the streaming
   // collector and the resilience probes use the same function.
   const auto evaluate = [&](const NodeId& id) {
-    const auto trIt = traceByNode_.find(id);
-    if (trIt == traceByNode_.end()) return;  // no ground truth off-trace
-    if (const auto acc = alignedAccuracyOf(*protocol_, *trIt->second))
-      out.push_back(*acc);
+    const trace::NodeTrace* nt = traceOf(id);
+    if (nt == nullptr) return;  // no ground truth off-trace
+    if (const auto acc = alignedAccuracyOf(*protocol_, *nt)) out.push_back(*acc);
   };
 
   if (measuredOnly) {

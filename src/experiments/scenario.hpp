@@ -31,7 +31,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "avmon/config.hpp"
@@ -154,6 +153,12 @@ struct Scenario {
   /// they override it just before validation.
   std::optional<avmon::ShufflePolicy> shuffle;  ///< spec key `shuffle`
   std::optional<std::uint32_t> notifyDedupMax;  ///< spec key `notify_dedup_max`
+  /// Availability-history implementation behind every AVMON target record
+  /// ("raw", "recent", "aged", "compact"; spec keys `history` /
+  /// `history_param`). "compact" is the million-node run-length layout —
+  /// see history/availability_history.hpp.
+  std::optional<std::string> history;
+  std::optional<double> historyParam;
 
   MeasuredSet measured = MeasuredSet::kAuto;
 
@@ -273,6 +278,13 @@ class ScenarioRunner final : public churn::LifecycleListener {
   /// Outgoing-traffic counters for `id`, read from its home shard.
   sim::TrafficCounters trafficOf(const NodeId& id) const;
 
+  /// Ground-truth schedule of `id`, or nullptr for scheme-owned
+  /// participants outside the trace (e.g. the central baseline's server).
+  /// O(1): a dense vector indexed by the world's global slot (== trace
+  /// position), not a per-node hash map — the probe paths at million-node
+  /// scale lean on this.
+  const trace::NodeTrace* traceOf(const NodeId& id) const;
+
   /// The streaming pipeline, when the scenario enabled it
   /// (scenario.metrics.window > 0); nullptr otherwise. Windows and the
   /// streamed summary are valid after run().
@@ -311,7 +323,9 @@ class ScenarioRunner final : public churn::LifecycleListener {
 
   std::unique_ptr<Protocol> protocol_;
 
-  std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
+  // Trace record per global world slot (slot i == trace position i; see
+  // the registration loop). Dense: 8 bytes per node, no hash buckets.
+  std::vector<const trace::NodeTrace*> traceBySlot_;
 
   std::vector<NodeId> measured_;
   std::unique_ptr<streaming::StreamingCollector> collector_;

@@ -229,6 +229,11 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       base.shuffle = parseShuffle(value, lineNo);
     } else if (key == "notify_dedup_max") {
       base.notifyDedupMax = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "history") {
+      if (value.empty()) fail(lineNo, "empty history name");
+      base.history = value;
+    } else if (key == "history_param") {
+      base.historyParam = parseDouble(value, lineNo);
     } else if (key == "faults.partition") {
       for (const std::string& entry : splitEntries(value, ';')) {
         const auto f = splitFields(entry, 3, lineNo, "t0:t1:groups");
@@ -458,6 +463,12 @@ std::string Scenario::toSpec() const {
   }
   if (notifyDedupMax.has_value()) {
     out << "notify_dedup_max = " << *notifyDedupMax << "\n";
+  }
+  if (history.has_value()) {
+    out << "history = " << *history << "\n";
+  }
+  if (historyParam.has_value()) {
+    out << "history_param = " << formatDouble(*historyParam) << "\n";
   }
   if (!faults.partitions.empty()) {
     out << "faults.partition = ";

@@ -15,6 +15,8 @@
 // (0 = paper default), pr2, forgetful, forgetful_ewma, overreport,
 // rpc_fail, measured (auto|control|born_after_warmup|all), shards,
 // deferred_rpc, shuffle (union-sample|swap), notify_dedup_max,
+// history (raw|recent|aged|compact) with history_param (style-specific
+// knob; compact: max run-length runs per target),
 // metrics.window (seconds; 0 = no streaming), metrics.reducers (comma
 // list of ReducerRegistry names; applies as one value, not a sweep axis),
 // metrics.quantiles (comma list in (0,1)).

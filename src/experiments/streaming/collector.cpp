@@ -39,10 +39,10 @@ StreamingCollector::StreamingCollector(
     }
   }
 
-  for (const trace::NodeTrace& nt : runner.schedule().nodes()) {
-    traceByNode_[nt.id] = &nt;
+  measuredBySlot_.assign(runner.schedule().nodes().size(), 0);
+  for (const NodeId& id : runner.measuredIds()) {
+    measuredBySlot_[world.globalIndexOf(id)] = 1;
   }
-  for (const NodeId& id : runner.measuredIds()) measuredSet_.insert(id);
 
   // Partition the participant population by home shard so the final node
   // scan runs where each node lives. Every protocol builds one participant
@@ -50,7 +50,7 @@ StreamingCollector::StreamingCollector(
   runner.protocol().forEachNode([&](const NodeId& id) {
     ShardBank& bank = banks_[world.shardOf(id)];
     bank.participants.push_back(id);
-    if (measuredSet_.count(id) != 0) bank.measuredHome.push_back(id);
+    if (isMeasured(id)) bank.measuredHome.push_back(id);
   });
 
   // Collusion victims, partitioned the same way, so the resilience
@@ -96,10 +96,10 @@ void StreamingCollector::onWindowBarrier(sim::ShardedSimulator& world,
     const ResolvedAdversary& adversary = runner_->adversary();
     for (const NodeId& id : bank.victimsHome) {
       std::size_t monitors = 0, colluding = 0;
-      for (const NodeId& m : protocol.monitorsOf(id)) {
+      protocol.visitMonitorsOf(id, [&](const NodeId& m) {
         ++monitors;
         if (adversary.isColluder(m)) ++colluding;
-      }
+      });
       if (monitors > 0) {
         ++probe.victimsMonitored;
         if (colluding == monitors) ++probe.victimsEclipsed;
@@ -141,15 +141,18 @@ void StreamingCollector::finish(sim::ShardedSimulator& world,
   finished_ = true;
 }
 
+bool StreamingCollector::isMeasured(const NodeId& id) const {
+  const std::size_t slot = runner_->world().globalIndexOf(id);
+  return slot < measuredBySlot_.size() && measuredBySlot_[slot] != 0;
+}
+
 NodeProbe StreamingCollector::probeOf(const NodeId& id) const {
   const Protocol& protocol = runner_->protocol();
   const Scenario& scenario = runner_->scenario();
   NodeProbe probe;
   probe.id = id;
-  probe.measured = measuredSet_.count(id) != 0;
-  const auto trIt = traceByNode_.find(id);
-  const trace::NodeTrace* nt =
-      trIt == traceByNode_.end() ? nullptr : trIt->second;
+  probe.measured = isMeasured(id);
+  const trace::NodeTrace* nt = runner_->traceOf(id);
 
   if (probe.measured) {
     probe.joined = nt != nullptr && nt->firstJoin().has_value();
@@ -206,10 +209,10 @@ NodeProbe StreamingCollector::probeOf(const NodeId& id) const {
   probe.victim = adversary.isVictim(id);
   if (probe.victim) {
     std::size_t monitors = 0, colluding = 0;
-    for (const NodeId& m : protocol.monitorsOf(id)) {
+    protocol.visitMonitorsOf(id, [&](const NodeId& m) {
       ++monitors;
       if (adversary.isColluder(m)) ++colluding;
-    }
+    });
     probe.eclipsed = monitors > 0 && colluding == monitors;
     if (nt != nullptr) {
       if (const auto acc = alignedAccuracyOf(protocol, *nt)) {

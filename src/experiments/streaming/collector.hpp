@@ -23,17 +23,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/node_id.hpp"
 #include "common/time.hpp"
 #include "experiments/streaming/reducer.hpp"
 #include "sim/network.hpp"
-#include "trace/availability_trace.hpp"
 
 namespace avmon::sim {
 class ShardedSimulator;
@@ -103,14 +101,20 @@ class StreamingCollector {
   /// Fresh root = fold of every shard's instance i, in shard-index order.
   std::unique_ptr<Reducer> mergedRoot(std::size_t i) const;
 
+  /// Measured-set membership via the dense slot bitmap below.
+  bool isMeasured(const NodeId& id) const;
+
   const ScenarioRunner* runner_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Reducer>> prototypes_;
   std::vector<bool> windowed_;
   bool anyWindowed_ = false;
   std::vector<ShardBank> banks_;
-  std::unordered_map<NodeId, const trace::NodeTrace*> traceByNode_;
-  std::unordered_set<NodeId> measuredSet_;
+  // Measured-set membership, one byte per global world slot (== trace
+  // position). Replaces the old NodeId hash set — ground-truth lookups go
+  // through ScenarioRunner::traceOf, so the collector holds no per-node
+  // hash container at all (the million-node memory diet).
+  std::vector<std::uint8_t> measuredBySlot_;
   SimTime lastBoundary_ = 0;
   std::vector<WindowRow> windows_;
   StreamedSummary summary_;

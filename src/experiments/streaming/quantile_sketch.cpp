@@ -1,8 +1,20 @@
 #include "experiments/streaming/quantile_sketch.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace avmon::experiments::streaming {
+
+void QuantileSketch::bump(Bins& bins, std::int32_t bin, std::uint64_t n) {
+  const auto it = std::lower_bound(
+      bins.begin(), bins.end(), bin,
+      [](const auto& entry, std::int32_t key) { return entry.first < key; });
+  if (it != bins.end() && it->first == bin) {
+    it->second += n;
+  } else {
+    bins.insert(it, {bin, n});
+  }
+}
 
 std::int32_t QuantileSketch::binOf(double magnitude) noexcept {
   int e = 0;
@@ -40,9 +52,9 @@ void QuantileSketch::add(double x) noexcept {
   if (x == 0.0) {
     ++zeroCount_;
   } else if (x > 0.0) {
-    ++positive_[binOf(x)];
+    bump(positive_, binOf(x), 1);
   } else {
-    ++negative_[binOf(-x)];
+    bump(negative_, binOf(-x), 1);
   }
 }
 
@@ -57,8 +69,8 @@ void QuantileSketch::merge(const QuantileSketch& other) {
   }
   count_ += other.count_;
   zeroCount_ += other.zeroCount_;
-  for (const auto& [bin, n] : other.positive_) positive_[bin] += n;
-  for (const auto& [bin, n] : other.negative_) negative_[bin] += n;
+  for (const auto& [bin, n] : other.positive_) bump(positive_, bin, n);
+  for (const auto& [bin, n] : other.negative_) bump(negative_, bin, n);
 }
 
 double QuantileSketch::quantile(double phi) const noexcept {
@@ -96,14 +108,11 @@ double QuantileSketch::quantile(double phi) const noexcept {
 }
 
 std::size_t QuantileSketch::stateBytes() const noexcept {
-  // Ordered-map nodes: payload plus the red-black bookkeeping (3 pointers
-  // + color, padded). An estimate for the bench's accounting, not an
-  // allocator audit.
-  constexpr std::size_t kNodeBytes =
-      sizeof(std::pair<const std::int32_t, std::uint64_t>) +
-      4 * sizeof(void*);
+  // Flat storage: retained bytes are the vectors' capacity, nothing else.
+  // An estimate for the bench's accounting, not an allocator audit.
   return sizeof(QuantileSketch) +
-         (positive_.size() + negative_.size()) * kNodeBytes;
+         (positive_.capacity() + negative_.capacity()) *
+             sizeof(Bins::value_type);
 }
 
 }  // namespace avmon::experiments::streaming

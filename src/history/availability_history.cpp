@@ -77,6 +77,53 @@ std::optional<SampleSpan> AgedHistory::sampleSpan() const {
   return SampleSpan{firstWhen_, lastWhen_};
 }
 
+CompactHistory::CompactHistory(std::size_t maxRuns) : maxRuns_(maxRuns) {
+  if (maxRuns_ < 2)
+    throw std::invalid_argument("CompactHistory maxRuns must be >= 2");
+}
+
+void CompactHistory::record(SimTime when, bool up) {
+  if (count_ == 0) firstWhen_ = when;
+  lastWhen_ = when;
+  ++count_;
+  if (up) ++upCount_;
+
+  // Extend the newest run only while it is still pure and the sample
+  // matches its state; otherwise open a new run.
+  if (!runs_.empty()) {
+    Run& tail = runs_.back();
+    const bool pureUp = tail.up == tail.total;
+    const bool pureDown = tail.up == 0;
+    if ((up && pureUp) || (!up && pureDown)) {
+      tail.last = when;
+      ++tail.total;
+      if (up) ++tail.up;
+      return;
+    }
+  }
+  runs_.push_back(Run{when, when, 1, up ? 1u : 0u});
+  if (runs_.size() > maxRuns_) {
+    // Coarsen the oldest structure: fold runs_[1] into runs_[0]. The
+    // merged run is generally mixed, so it can never be extended again.
+    runs_[0].last = runs_[1].last;
+    runs_[0].total += runs_[1].total;
+    runs_[0].up += runs_[1].up;
+    runs_.erase(runs_.begin() + 1);
+  }
+}
+
+double CompactHistory::estimate() const {
+  // Same division as RawHistory::estimate — counter-backed, so coarsening
+  // the run table never perturbs the headline estimate.
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(upCount_) / static_cast<double>(count_);
+}
+
+std::optional<SampleSpan> CompactHistory::sampleSpan() const {
+  if (count_ == 0) return std::nullopt;
+  return SampleSpan{firstWhen_, lastWhen_};
+}
+
 std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,
                                                  double param) {
   if (style == "raw") return std::make_unique<RawHistory>();
@@ -88,6 +135,11 @@ std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,
   if (style == "aged") {
     const double alpha = param > 0 ? param : 0.05;
     return std::make_unique<AgedHistory>(alpha);
+  }
+  if (style == "compact") {
+    const std::size_t runs = param > 0 ? static_cast<std::size_t>(param)
+                                       : CompactHistory::kDefaultMaxRuns;
+    return std::make_unique<CompactHistory>(runs);
   }
   throw std::invalid_argument("unknown history style: " + style);
 }

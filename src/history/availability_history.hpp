@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -120,9 +121,54 @@ class AgedHistory final : public AvailabilityHistory {
   SimTime lastWhen_ = 0;
 };
 
-/// Factory by style name ("raw" | "recent" | "aged"); throws
-/// std::invalid_argument otherwise. `recent` uses a 512-sample window and
-/// `aged` uses alpha = 0.05 unless configured via the optional parameter.
+/// Compact: run-length windows with a fixed run budget — the memory-diet
+/// store for million-node scenarios. Consecutive same-state samples
+/// collapse into one run; when the run table exceeds its budget the two
+/// OLDEST runs coalesce into one coarse (mixed up/down) run, so recent
+/// structure stays fine-grained while ancient history blurs. The headline
+/// estimate is maintained as plain up/total counters, so it is EXACTLY
+/// RawHistory's all-time up fraction regardless of coarsening — only the
+/// per-run time structure is lossy. Worst-case footprint is
+/// maxRuns * sizeof(Run) instead of one Sample per ping.
+class CompactHistory final : public AvailabilityHistory {
+ public:
+  /// One maximal span of samples; `up == total` or `up == 0` until the run
+  /// has been coarsened by a merge.
+  struct Run {
+    SimTime first = 0;
+    SimTime last = 0;
+    std::uint32_t total = 0;
+    std::uint32_t up = 0;
+  };
+
+  /// Requires maxRuns >= 2 (a merge needs two victims).
+  explicit CompactHistory(std::size_t maxRuns = kDefaultMaxRuns);
+
+  void record(SimTime when, bool up) override;
+  double estimate() const override;
+  std::size_t sampleCount() const override { return count_; }
+  std::optional<SampleSpan> sampleSpan() const override;
+  std::string name() const override { return "compact"; }
+
+  /// Retained run table, oldest first (tests / coarse window queries).
+  const std::vector<Run>& runs() const noexcept { return runs_; }
+  std::size_t maxRuns() const noexcept { return maxRuns_; }
+
+  static constexpr std::size_t kDefaultMaxRuns = 32;
+
+ private:
+  std::size_t maxRuns_;
+  std::vector<Run> runs_;
+  std::size_t count_ = 0;
+  std::size_t upCount_ = 0;
+  SimTime firstWhen_ = 0;
+  SimTime lastWhen_ = 0;
+};
+
+/// Factory by style name ("raw" | "recent" | "aged" | "compact"); throws
+/// std::invalid_argument otherwise. `recent` uses a 512-sample window,
+/// `aged` uses alpha = 0.05, and `compact` keeps 32 runs unless configured
+/// via the optional parameter.
 std::unique_ptr<AvailabilityHistory> makeHistory(const std::string& style,
                                                  double param = 0.0);
 

@@ -70,12 +70,52 @@ struct ShardedSimulator::Shard {
   std::uint64_t drained = 0;
 };
 
-void ShardedSimulator::SpinBarrier::arriveAndWait() {
+ShardedSimulator::TreeBarrier::TreeBarrier(unsigned parties) {
+  const unsigned p = std::max(1u, parties);
+  // Level sizes bottom-up, computed before any Node exists: Node holds an
+  // atomic (neither movable nor copyable), so nodes_ must be sized once.
+  std::vector<unsigned> levels{(p + kFanIn - 1) / kFanIn};
+  while (levels.back() > 1) {
+    levels.push_back((levels.back() + kFanIn - 1) / kFanIn);
+  }
+  unsigned total = 0;
+  for (const unsigned count : levels) total += count;
+  nodes_ = std::vector<Node>(total);
+
+  leafOf_.resize(p);
+  for (unsigned i = 0; i < p; ++i) leafOf_[i] = i / kFanIn;
+  unsigned levelStart = 0;
+  unsigned members = p;  // arrivals feeding the current level
+  for (const unsigned count : levels) {
+    for (unsigned i = 0; i < count; ++i) {
+      Node& node = nodes_[levelStart + i];
+      node.expected = std::min(kFanIn, members - i * kFanIn);
+      node.pending.store(node.expected, std::memory_order_relaxed);
+      node.parent = levelStart + count + i / kFanIn;
+    }
+    members = count;
+    levelStart += count;
+  }
+  nodes_.back().root = true;
+}
+
+void ShardedSimulator::TreeBarrier::arriveAndWait(unsigned party) {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
-    arrived_.store(0, std::memory_order_relaxed);
-    generation_.fetch_add(1, std::memory_order_release);
-    return;
+  unsigned index = leafOf_[party];
+  for (;;) {
+    Node& node = nodes_[index];
+    if (node.pending.fetch_sub(1, std::memory_order_acq_rel) != 1) break;
+    // Last arrival at this node: reset it for the next generation, then
+    // count one arrival at the parent — or release everyone from the
+    // root. The root bump happens only after every node in the tree has
+    // completed (each resets itself before propagating), so re-arrivals
+    // in the next generation always find reset counters.
+    node.pending.store(node.expected, std::memory_order_relaxed);
+    if (node.root) {
+      generation_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    index = node.parent;
   }
   int spins = 0;
   while (generation_.load(std::memory_order_acquire) == gen) {
@@ -143,7 +183,7 @@ ShardedSimulator::ShardedSimulator(Config config)
 ShardedSimulator::~ShardedSimulator() {
   if (!workers_.empty()) {
     stop_.store(true, std::memory_order_release);
-    barrier_.arriveAndWait();  // releases workers into the stop check
+    barrier_.arriveAndWait(0);  // releases workers into the stop check
     for (std::thread& t : workers_) t.join();
   }
 }
@@ -191,9 +231,18 @@ void ShardedSimulator::enqueue(std::size_t srcShard, Handoff handoff) {
   shards_[srcShard]->out[dst]->push(std::move(handoff));
 }
 
-void ShardedSimulator::runOwnedShards(unsigned worker, SimTime target) {
+void ShardedSimulator::runShardsStealing(SimTime target) {
   try {
-    for (std::size_t s = worker; s < shards_.size(); s += workerCount_) {
+    // Per-window work stealing: shards are claimed from the shared cursor
+    // instead of a static worker -> shard map, so a worker whose claims
+    // went idle picks up the stragglers instead of spinning at barrier B.
+    // WHICH thread runs a shard cannot affect results: a shard's event
+    // execution is self-contained within a window, the sentinel scope
+    // follows the claim, and the barrier orders the producer hand-over on
+    // every SPSC queue between windows.
+    for (std::size_t s = stealCursor_.fetch_add(1, std::memory_order_relaxed);
+         s < shards_.size();
+         s = stealCursor_.fetch_add(1, std::memory_order_relaxed)) {
       AVMON_DET_SHARD_SCOPE(&detDomain_, s);
       shards_[s]->sim->runUntil(target);
     }
@@ -257,17 +306,17 @@ void ShardedSimulator::visitOwnedShards(unsigned worker) {
 
 void ShardedSimulator::workerLoop(unsigned worker) {
   for (;;) {
-    barrier_.arriveAndWait();  // A: coordinator published the phase
+    barrier_.arriveAndWait(worker);  // A: coordinator published the phase
     if (stop_.load(std::memory_order_acquire)) return;
     if (phase_ == Phase::kVisit) {
       visitOwnedShards(worker);
-      barrier_.arriveAndWait();  // C: every visit done
+      barrier_.arriveAndWait(worker);  // C: every visit done
       continue;
     }
-    runOwnedShards(worker, phaseTarget_);
-    barrier_.arriveAndWait();  // B: every shard reached the window end
+    runShardsStealing(phaseTarget_);
+    barrier_.arriveAndWait(worker);  // B: every shard reached the window end
     drainOwnedShards(worker);
-    barrier_.arriveAndWait();  // C: every barrier insertion done
+    barrier_.arriveAndWait(worker);  // C: every barrier insertion done
   }
 }
 
@@ -277,16 +326,17 @@ std::uint64_t ShardedSimulator::executeWindow(SimTime wEnd) {
   AVMON_DET_PHASE_SCOPE(detDomain_);
   std::uint64_t drainedBefore = 0;
   for (const auto& s : shards_) drainedBefore += s->drained;
+  stealCursor_.store(0, std::memory_order_relaxed);
   if (workers_.empty()) {
-    runOwnedShards(0, wEnd);
+    runShardsStealing(wEnd);
     drainOwnedShards(0);
   } else {
     phaseTarget_ = wEnd;
-    barrier_.arriveAndWait();  // A
-    runOwnedShards(0, wEnd);
-    barrier_.arriveAndWait();  // B
+    barrier_.arriveAndWait(0);  // A
+    runShardsStealing(wEnd);
+    barrier_.arriveAndWait(0);  // B
     drainOwnedShards(0);
-    barrier_.arriveAndWait();  // C
+    barrier_.arriveAndWait(0);  // C
   }
   rethrowPendingError();
   std::uint64_t drainedAfter = 0;
@@ -304,9 +354,9 @@ void ShardedSimulator::visitShards(const std::function<void(std::size_t)>& fn) {
     visitOwnedShards(0);
   } else {
     phase_ = Phase::kVisit;
-    barrier_.arriveAndWait();  // A
+    barrier_.arriveAndWait(0);  // A
     visitOwnedShards(0);
-    barrier_.arriveAndWait();  // C
+    barrier_.arriveAndWait(0);  // C
     phase_ = Phase::kWindow;
   }
   visitFn_ = nullptr;

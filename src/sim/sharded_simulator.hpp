@@ -139,14 +139,17 @@ class ShardedSimulator {
   /// repeatedly with increasing horizons.
   void runUntil(SimTime until);
 
-  /// Runs `fn(shard)` once per shard, in parallel, each call on the worker
-  /// thread that OWNS the shard during window phases (shard s -> worker
-  /// s % workers) and inside that shard's determinism-sentinel scope. The
-  /// shards must be quiescent (between runUntil calls); `fn` may read the
-  /// shard's sub-world and write only per-shard state it owns. This is how
-  /// per-shard reducer banks ingest window probes without any state ever
-  /// crossing a shard boundary (experiments/streaming). Exceptions from
-  /// `fn` are rethrown on this thread after every shard completed.
+  /// Runs `fn(shard)` once per shard, in parallel, each call on the
+  /// shard's HOME worker (shard s -> worker s % workers) and inside that
+  /// shard's determinism-sentinel scope. Unlike the run phase — which
+  /// steals shards across workers per window — visits always use the
+  /// static home assignment, so state `fn` accumulates per shard (e.g. a
+  /// reducer bank) is touched by exactly one thread for the whole run.
+  /// The shards must be quiescent (between runUntil calls); `fn` may read
+  /// the shard's sub-world and write only per-shard state it owns. This is
+  /// how per-shard reducer banks ingest window probes without any state
+  /// ever crossing a shard boundary (experiments/streaming). Exceptions
+  /// from `fn` are rethrown on this thread after every shard completed.
   void visitShards(const std::function<void(std::size_t)>& fn);
 
   /// Watermark: all shards have fully executed up to and including now().
@@ -165,24 +168,42 @@ class ShardedSimulator {
   class ShardPort;
   struct Shard;
 
-  // Reusable sense-reversing spin barrier (short spin, then yield — the
-  // window cadence is far too fast for a condvar round-trip per phase).
-  class SpinBarrier {
+  // Reusable sense-reversing combining-tree barrier. Each party arrives
+  // at its leaf group node (kFanIn parties per node); the last arriver at
+  // a node propagates one arrival to the parent, and the root release is
+  // a single generation bump every waiter spins on (short spin, then
+  // yield — the window cadence is far too fast for a condvar round-trip
+  // per phase). Per-barrier contention is O(fan-in) per cache line
+  // instead of every party hammering one counter, which is what the old
+  // flat barrier cost three times per window at high worker counts.
+  class TreeBarrier {
    public:
-    explicit SpinBarrier(unsigned parties) : parties_(parties) {}
-    void arriveAndWait();
+    explicit TreeBarrier(unsigned parties);
+    /// `party` is the calling thread's stable index in [0, parties).
+    void arriveAndWait(unsigned party);
 
    private:
-    const unsigned parties_;
-    std::atomic<unsigned> arrived_{0};
+    static constexpr unsigned kFanIn = 4;
+    struct alignas(64) Node {
+      std::atomic<unsigned> pending{0};
+      unsigned expected = 0;
+      unsigned parent = 0;  ///< unused on the root
+      bool root = false;
+    };
+    std::vector<Node> nodes_;        ///< leaves first, root last
+    std::vector<unsigned> leafOf_;   ///< party -> leaf node index
     std::atomic<std::uint64_t> generation_{0};
   };
 
   void enqueue(std::size_t srcShard, Handoff handoff);
 
-  // Phase bodies, each executed by every worker for the shards it owns
-  // (shard s belongs to worker s % workerCount_).
-  void runOwnedShards(unsigned worker, SimTime target);
+  // Run phase: every worker claims shards from the shared steal cursor
+  // until none remain (per-window work stealing — a worker whose shards
+  // went idle picks up the stragglers instead of spinning at the barrier).
+  void runShardsStealing(SimTime target);
+  // Drain/visit phases keep the static home map (shard s -> worker
+  // s % workerCount_): drains reuse each destination's inbox scratch, and
+  // visitShards promises reducer banks a single touching thread.
   void drainOwnedShards(unsigned worker);
   void visitOwnedShards(unsigned worker);
 
@@ -208,7 +229,10 @@ class ShardedSimulator {
   // Thread pool (empty when one worker suffices).
   unsigned workerCount_ = 1;
   std::vector<std::thread> workers_;
-  SpinBarrier barrier_;
+  TreeBarrier barrier_;
+  // Next unclaimed shard of the current run phase; reset by the
+  // coordinator before each release (the barrier orders the reads).
+  std::atomic<std::size_t> stealCursor_{0};
   // What the next barrier-A release asks the workers to do: run a window
   // to phaseTarget_ (the default) or visit their shards with visitFn_.
   // Published by the coordinator before A; the barrier orders the reads.

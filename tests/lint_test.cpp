@@ -357,6 +357,81 @@ TEST(LintEngineTest, AnnotatedUnseededEnginePasses) {
   EXPECT_TRUE(ok.empty()) << dump(ok);
 }
 
+// ------------------------------------------------------- per-node alloc
+
+TEST(LintPerNodeAllocTest, LocalNodeIdMapTriggers) {
+  const auto f = lintSnippet(R"cpp(
+    #include <unordered_map>
+    struct NodeId;
+    void probe() {
+      std::unordered_map<NodeId, double> estimates;
+    }
+  )cpp");
+  EXPECT_TRUE(hasRule(f, "per-node-alloc")) << dump(f);
+
+  const auto qualified = lintSnippet(R"cpp(
+    #include <map>
+    namespace avmon { struct NodeId; }
+    void scan() {
+      std::map<avmon::NodeId, int> byId;
+    }
+  )cpp");
+  EXPECT_TRUE(hasRule(qualified, "per-node-alloc")) << dump(qualified);
+}
+
+TEST(LintPerNodeAllocTest, MembersParametersAndViewsPass) {
+  // A member is a long-lived design choice, not probe scratch.
+  const auto member = lintSnippet(R"cpp(
+    #include <unordered_map>
+    struct NodeId;
+    class Registry {
+      std::unordered_map<NodeId, int> slots_;
+    };
+  )cpp");
+  EXPECT_FALSE(hasRule(member, "per-node-alloc")) << dump(member);
+
+  // Reference parameters and views allocate nothing.
+  const auto param = lintSnippet(R"cpp(
+    #include <unordered_set>
+    struct NodeId;
+    int count(const std::unordered_set<NodeId>& ids);
+    void f(const std::unordered_set<NodeId>& ids) {
+      const std::unordered_set<NodeId>& view = ids;
+      (void)view;
+    }
+  )cpp");
+  EXPECT_FALSE(hasRule(param, "per-node-alloc")) << dump(param);
+
+  // Other key types are out of scope for this rule.
+  const auto otherKey = lintSnippet(R"cpp(
+    #include <unordered_map>
+    void f() {
+      std::unordered_map<int, int> m;
+      (void)m;
+    }
+  )cpp");
+  EXPECT_FALSE(hasRule(otherKey, "per-node-alloc")) << dump(otherKey);
+}
+
+TEST(LintPerNodeAllocTest, AnnotatedLocalPasses) {
+  const auto ok = lintSnippet(
+      "#include <unordered_map>\n"
+      "struct NodeId;\n"
+      "void resolve() {\n"
+      "  " +
+      allow("per-node-alloc", "bounded by victim count, built once") +
+      "\n"
+      "  std::unordered_map<NodeId, int> byId;\n"
+      "}\n");
+  EXPECT_TRUE(ok.empty()) << dump(ok);
+}
+
+TEST(LintPerNodeAllocTest, RuleIsAdvisory) {
+  EXPECT_TRUE(avmon::lint::isAdvisoryRule("per-node-alloc"));
+  EXPECT_FALSE(avmon::lint::isAdvisoryRule("unordered-iter"));
+  EXPECT_FALSE(avmon::lint::isAdvisoryRule("no-such-rule"));
+}
+
 // ----------------------------------------------------------- meta rules
 
 TEST(LintMetaTest, UnknownRuleInAnnotationReportsBadAllow) {

@@ -1,0 +1,124 @@
+// Struct-of-arrays state-table proof layer (the memory-diet tentpole).
+//
+// Two guarantees:
+//  * The probe mirror is EXACT: after a run, every NodeStateTable row
+//    equals the corresponding AvmonNode object's state — container sizes,
+//    counters, liveness, and the k=1 discovery delay answered off the
+//    firstJoin/firstDiscovery columns. If a mutation path ever forgets to
+//    publishState(), this cross-check catches it on the paper workloads.
+//  * The SoA layout changed the metric path, not the metrics: the golden
+//    summary and per-node fingerprints are bit-identical at S ∈ {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "avmon/node.hpp"
+#include "experiments/protocols/avmon_protocol.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/spec.hpp"
+#include "golden_hash.hpp"
+
+namespace avmon::experiments {
+namespace {
+
+void expectTableMatchesObjects(const ScenarioRunner& runner) {
+  const auto* proto = dynamic_cast<const AvmonProtocol*>(&runner.protocol());
+  ASSERT_NE(proto, nullptr);
+  const soa::NodeStateTable& table = proto->stateTable();
+  const auto& nodes = runner.schedule().nodes();
+  ASSERT_GE(table.size(), nodes.size());
+  for (const auto& nt : nodes) {
+    const std::uint32_t slot = runner.world().globalIndexOf(nt.id);
+    ASSERT_LT(slot, table.size());
+    const AvmonNode& node = runner.node(nt.id);
+    EXPECT_EQ(table.alive[slot] != 0, node.isAlive()) << "slot " << slot;
+    EXPECT_EQ(table.cvSize[slot], node.coarseView().size());
+    EXPECT_EQ(table.psSize[slot], node.pingingSet().size());
+    EXPECT_EQ(table.tsSize[slot], node.targetSet().size());
+    EXPECT_EQ(table.hashChecks[slot], node.metrics().hashChecks);
+    EXPECT_EQ(table.uselessPings[slot], node.metrics().uselessPings);
+
+    // Probes answered off the table == probes answered off the object.
+    EXPECT_EQ(proto->memoryEntries(nt.id),
+              node.coarseView().size() + node.pingingSet().size() +
+                  node.targetSet().size());
+    EXPECT_EQ(proto->isMonitoring(nt.id), !node.targetSet().empty());
+    const std::optional<SimDuration> tableDelay = proto->discoveryDelay(nt.id, 1);
+    const std::optional<SimDuration> objectDelay = node.discoveryDelay(1);
+    EXPECT_EQ(tableDelay.has_value(), objectDelay.has_value());
+    if (tableDelay && objectDelay) {
+      EXPECT_EQ(*tableDelay, *objectDelay);
+    }
+  }
+}
+
+// Every golden workload, single shard: the mirror is exact row by row.
+TEST(SoaStateTest, TableMatchesObjectStateAfterRun) {
+  for (const Scenario& s : goldenScenarios()) {
+    ScenarioRunner runner(s);
+    runner.run();
+    expectTableMatchesObjects(runner);
+  }
+}
+
+// Same exactness when the population is partitioned across shards (each
+// shard's nodes publish into the one shared table at disjoint slots).
+TEST(SoaStateTest, TableMatchesObjectStateWhenSharded) {
+  Scenario s = goldenScenarios().front();
+  s.shards = 8;
+  ScenarioRunner runner(s);
+  runner.run();
+  expectTableMatchesObjects(runner);
+}
+
+// The memory diet is metric-invisible: summary and per-node fingerprints
+// are bit-identical for S ∈ {1, 2, 8} on the pinned STAT workload.
+TEST(SoaStateTest, GoldenFingerprintsIdenticalAcrossShardCounts) {
+  const Scenario base = goldenScenarios().front();
+  std::optional<std::uint64_t> refSummary, refPerNode;
+  for (const unsigned shards : {1u, 2u, 8u}) {
+    Scenario s = base;
+    s.shards = shards;
+    ScenarioRunner runner(s);
+    runner.run();
+    const std::uint64_t summary = summaryHash(runner);
+    const std::uint64_t perNode = perNodeHash(runner);
+    if (!refSummary) {
+      refSummary = summary;
+      refPerNode = perNode;
+    } else {
+      EXPECT_EQ(summary, *refSummary) << "shards=" << shards;
+      EXPECT_EQ(perNode, *refPerNode) << "shards=" << shards;
+    }
+  }
+}
+
+// The million-node scenario family, golden-pinned at CI scale. This is
+// examples/specs/million_node_smoke.spec built in code — STAT, compact
+// histories, cvs/k override, sharded, streaming-only metrics — which
+// differs from the full million_node.spec ONLY in n. The full-scale
+// fingerprint (0xe68f9db28835e840 at N = 10^6) is reported by
+// `bench_sim_core --million` and recorded in BENCH_simcore.json; this
+// pin catches any drift in the machinery both specs share.
+TEST(SoaStateTest, MillionNodeSmokeFingerprintPinned) {
+  Scenario s;
+  s.model = churn::Model::kStat;
+  s.stableSize = 20000;
+  s.horizon = 3 * kMinute;
+  s.warmup = 1 * kMinute;
+  s.seed = 1000003;
+  s.hashName = "splitmix64";
+  s.configOverride = cvsKOverride(s.model, s.stableSize, /*cvs=*/4, /*k=*/1);
+  s.shards = 4;
+  s.history = "compact";
+  s.metrics.window = kMinute;
+  s.metrics.reducers = {"summary"};
+  ScenarioRunner runner(s);
+  runner.run();
+  EXPECT_EQ(summaryHash(runner), 0xae92f15b08ba8fbaULL);
+  EXPECT_EQ(perNodeHash(runner), 0x524362948a712bd5ULL);
+}
+
+}  // namespace
+}  // namespace avmon::experiments

@@ -194,6 +194,32 @@ TEST(QuantileSketchTest, RankErrorBoundAgainstExactCdf) {
   }
 }
 
+// The flat sorted-vector storage keeps a canonical form: any insertion
+// order of the same multiset yields the identical sketch (operator== over
+// the bin vectors), so shard partitioning can never reorder state.
+TEST(QuantileSketchTest, InsertOrderNeverChangesState) {
+  std::vector<double> values;
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> mantissa(0.5, 1.0);
+  std::uniform_int_distribution<int> exponent(-20, 19);
+  for (int i = 0; i < 400; ++i) {
+    const double magnitude = std::ldexp(mantissa(rng), exponent(rng));
+    values.push_back(i % 7 == 0 ? 0.0 : (i % 3 == 0 ? -magnitude : magnitude));
+  }
+  QuantileSketch forward;
+  for (double v : values) forward.add(v);
+  QuantileSketch backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) backward.add(*it);
+  QuantileSketch interleaved;
+  for (std::size_t i = 0; i < values.size(); i += 2) interleaved.add(values[i]);
+  for (std::size_t i = 1; i < values.size(); i += 2) interleaved.add(values[i]);
+  EXPECT_TRUE(backward == forward);
+  EXPECT_TRUE(interleaved == forward);
+  for (double phi : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(backward.quantile(phi), forward.quantile(phi));
+  }
+}
+
 TEST(QuantileSketchTest, ResultClampedToObservedRange) {
   QuantileSketch sketch;
   sketch.add(3.0);
@@ -363,6 +389,36 @@ TEST(StreamingLaneTest, StreamedSummariesMatchMaterializedAcrossShards) {
     EXPECT_EQ(summary.discoveredFraction(), control.discoveredFraction(1))
         << p.name;
   }
+}
+
+// Memory regression guard for the streamed lane (the million-node diet):
+// retained metric state must be O(shards x reducers), never O(N). The old
+// horizon accuracy scan materialized a per-node estimate map inside
+// finish(); the window-incremental probes replaced it, and this test keeps
+// it dead — quadrupling the population may not grow the collector's
+// retained bytes more than the sketches' bin spread (a few hundred bytes),
+// and the absolute footprint stays under a flat ceiling no million-node
+// run could meet with any per-node container left on the path.
+TEST(StreamingLaneTest, CollectorStateIsPopulationIndependent) {
+  const auto streamedStateBytes = [](std::size_t stableSize) {
+    Scenario s = goldenScenarios().front();  // STAT
+    s.stableSize = stableSize;
+    s.horizon = 45 * kMinute;
+    s.warmup = 15 * kMinute;
+    s.shards = 2;
+    s.metrics.window = 60 * kSecond;  // all reducers, windowed path on
+    ScenarioRunner runner(s);
+    runner.run();
+    const StreamingCollector* collector = runner.streamingCollector();
+    EXPECT_NE(collector, nullptr);
+    return collector == nullptr ? std::size_t{0} : collector->stateBytes();
+  };
+  const std::size_t small = streamedStateBytes(60);
+  const std::size_t large = streamedStateBytes(240);
+  EXPECT_LT(large, small + 2048u)
+      << "streamed metric state grew with N — a per-node container is back "
+         "on the probe path";
+  EXPECT_LT(large, 65536u) << "collector footprint exceeds the flat ceiling";
 }
 
 }  // namespace

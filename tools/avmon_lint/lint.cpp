@@ -22,6 +22,7 @@ constexpr const char* kWallClock = "wall-clock";
 constexpr const char* kGetenv = "getenv";
 constexpr const char* kPtrKeyOrder = "ptr-key-order";
 constexpr const char* kUnseededEngine = "unseeded-mt19937";
+constexpr const char* kPerNodeAlloc = "per-node-alloc";
 constexpr const char* kBadAllow = "bad-allow";
 constexpr const char* kStaleAllow = "stale-allow";
 
@@ -425,7 +426,9 @@ class FileChecker {
       : file_(files[fileIndex]),
         tables_(tables),
         vars_(effectiveVars(files, tables, fileIndex)),
-        findings_(findings) {}
+        findings_(findings) {
+    computeBodyMap();
+  }
 
   void check() {
     const auto& ts = file_.tokens;
@@ -435,6 +438,7 @@ class FileChecker {
       checkEntropyAndClock(i);
       checkPointerKeys(i);
       checkUnseededEngine(i);
+      checkPerNodeAlloc(i);
     }
     reportAllowProblems();
   }
@@ -444,6 +448,11 @@ class FileChecker {
   SymbolTables& tables_;
   std::set<std::string> vars_;
   std::vector<Finding>& findings_;
+  // inBody_[i]: token i sits inside a function (or lambda) body. Computed
+  // by classifying each `{` from the tokens just before it; declarations
+  // at class/namespace scope (members, return types, parameters) are
+  // outside every body and so never trip the per-node-alloc rule.
+  std::vector<char> inBody_;
   // Mutable view of this file's allows (used flags updated as rules fire).
   std::vector<Allow> allows_{file_.allows};
 
@@ -641,6 +650,89 @@ class FileChecker {
     }
   }
 
+  // Classifies every `{` as opening a function body or not, and marks the
+  // tokens inside. A brace opens a body when the nearest interesting token
+  // before it is `)` (function/ctor/catch — at namespace scope nothing
+  // else ends in `)` before `{`) or `]` (parameterless lambda); `do`,
+  // `else`, and `try` only occur inside bodies and inherit; declaration
+  // keywords, `;`, `=`, `,`, `(`, and braces mean class/namespace/init
+  // scope. Blocks nested inside a body stay inside it. Deliberately
+  // approximate (a ctor whose init list ends in `}` reads as non-body and
+  // under-reports) — per-node-alloc is advisory, so misses are cheap and
+  // false alarms are not.
+  void computeBodyMap() {
+    inBody_.assign(size(), 0);
+    std::vector<char> stack;
+    static const std::set<std::string> nonBodyStops = {
+        ";", "{", "}", "=", ",", "(",        "class",
+        "struct", "union", "enum", "namespace", "export", "extern"};
+    for (std::size_t i = 0; i < size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        if (!stack.empty()) stack.pop_back();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        bool body = !stack.empty() && stack.back() != 0;
+        if (!body) {
+          for (std::size_t back = i; back > 0;) {
+            --back;
+            const std::string& p = tok(back).text;
+            if (p == ")" || p == "]" || p == "do" || p == "else" ||
+                p == "try") {
+              body = true;
+              break;
+            }
+            if (nonBodyStops.count(p) > 0) break;
+            // Anything else (identifiers, `::`, `<`, `>`, `:`, `const`,
+            // `noexcept`, `->`, ...) is part of a head we keep skipping.
+          }
+        }
+        stack.push_back(body ? 1 : 0);
+        continue;
+      }
+      inBody_[i] = (!stack.empty() && stack.back() != 0) ? 1 : 0;
+    }
+  }
+
+  // Advisory rule: a function-local std associative container keyed by
+  // NodeId. This is the shape of the O(N) scratch maps the memory diet
+  // removed from the probe paths (per-node estimate maps, id->trace maps
+  // rebuilt per scan); dense slot arrays (globalIndexOf) or the visit APIs
+  // cover the same needs without the per-node allocation churn. Members,
+  // parameters, and reference/pointer views are exempt.
+  void checkPerNodeAlloc(std::size_t i) {
+    if (!isIdent(i) || tok(i).text != "std" || !isPunct(i + 1, "::")) return;
+    if (!isIdent(i + 2) || !isPunct(i + 3, "<")) return;
+    static const std::set<std::string> assoc = {
+        "map",           "multimap",           "set",
+        "multiset",      "unordered_map",      "unordered_multimap",
+        "unordered_set", "unordered_multiset"};
+    if (assoc.count(tok(i + 2).text) == 0) return;
+    if (i >= inBody_.size() || inBody_[i] == 0) return;
+    // Key type: optional namespace qualifiers, then NodeId itself.
+    std::size_t k = i + 4;
+    while (isIdent(k) && isPunct(k + 1, "::")) k += 2;
+    if (!isIdent(k) || tok(k).text != "NodeId") return;
+    // Find the template close and exempt reference/pointer views.
+    int depth = 1;
+    std::size_t close = 0;
+    for (std::size_t j = i + 4; j < size(); ++j) {
+      if (tok(j).kind != TokKind::kPunct) continue;
+      if (tok(j).text == "<") ++depth;
+      if (tok(j).text == ">" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == 0) return;
+    if (isPunct(close + 1, "&") || isPunct(close + 1, "*")) return;
+    report(tok(i).line, kPerNodeAlloc,
+           "function-local std::" + tok(i + 2).text +
+               " keyed by NodeId: O(N) per-node scratch; prefer a dense "
+               "slot array (globalIndexOf) or a visit API");
+  }
+
   // Rule: default-constructed std <random> engines (seeded from a fixed
   // implementation default, which reads as seeded but is shared global
   // state and invites later 'fixes' via random_device).
@@ -692,6 +784,10 @@ const std::vector<RuleInfo>& ruleCatalog() {
        "ordered container or std::hash keyed by pointer value "
        "(ASLR-dependent order)"},
       {"unseeded-mt19937", "default-constructed std <random> engine"},
+      {"per-node-alloc",
+       "function-local associative container keyed by NodeId: O(N) "
+       "per-node scratch on what may be a probe path (advisory)",
+       /*advisory=*/true},
       {"bad-allow", "malformed suppression annotation"},
       {"stale-allow", "suppression annotation that suppresses nothing"},
   };
@@ -701,6 +797,13 @@ const std::vector<RuleInfo>& ruleCatalog() {
 bool isKnownRule(const std::string& name) {
   for (const auto& r : ruleCatalog()) {
     if (name == r.name) return true;
+  }
+  return false;
+}
+
+bool isAdvisoryRule(const std::string& name) {
+  for (const auto& r : ruleCatalog()) {
+    if (name == r.name) return r.advisory;
   }
   return false;
 }

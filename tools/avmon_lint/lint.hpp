@@ -18,6 +18,10 @@
 //   ptr-key-order     std::map/std::set keyed by a pointer type, or
 //                     std::hash over a pointer type (ASLR-dependent order)
 //   unseeded-mt19937  default-constructed std <random> engines
+//   per-node-alloc    (advisory) function-local associative container
+//                     keyed by NodeId — the O(N) probe-scratch pattern the
+//                     million-node memory diet removed; prefer dense slot
+//                     arrays or the visitMonitorsOf-style visit APIs
 //
 // Escape hatch: a line (or the line directly above) may carry a comment
 // annotation of the form `lint:allow` + `(<rule>, <reason>)` which
@@ -42,6 +46,9 @@ struct Finding {
 struct RuleInfo {
   const char* name;
   const char* summary;
+  /// Advisory rules print in reports and honor lint:allow, but do not
+  /// fail the CLI's exit status (exit 0 when only advisories remain).
+  bool advisory = false;
 };
 
 /// The rule set, in stable catalog order (includes the two meta rules
@@ -49,6 +56,7 @@ struct RuleInfo {
 const std::vector<RuleInfo>& ruleCatalog();
 
 bool isKnownRule(const std::string& name);
+bool isAdvisoryRule(const std::string& name);
 
 /// `file:line: [rule] message`
 std::string formatFinding(const Finding& f);

@@ -2,7 +2,8 @@
 //
 //   avmon_lint [--list-rules] [--root DIR]... [FILE]...
 //
-// Exit status: 0 when the scanned tree is clean, 1 when findings were
+// Exit status: 0 when the scanned tree is clean (advisory-rule findings
+// are printed but do not fail the run), 1 when blocking findings were
 // reported, 2 on usage or I/O errors.
 #include <cstdio>
 #include <string>
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& r : avmon::lint::ruleCatalog()) {
-        std::printf("%-18s %s\n", r.name, r.summary);
+        std::printf("%-18s %s%s\n", r.name, r.advisory ? "(advisory) " : "",
+                    r.summary);
       }
       return 0;
     }
@@ -64,13 +66,18 @@ int main(int argc, char** argv) {
   if (!anyInput) return usage(argv[0]);
 
   const std::vector<avmon::lint::Finding> findings = linter.run();
+  std::size_t blocking = 0;
   for (const auto& f : findings) {
-    std::printf("%s\n", avmon::lint::formatFinding(f).c_str());
+    const bool advisory = avmon::lint::isAdvisoryRule(f.rule);
+    if (!advisory) ++blocking;
+    std::printf("%s%s\n", advisory ? "advisory: " : "",
+                avmon::lint::formatFinding(f).c_str());
   }
   if (findings.empty()) {
     std::printf("avmon_lint: clean\n");
     return 0;
   }
-  std::printf("avmon_lint: %zu finding(s)\n", findings.size());
-  return 1;
+  std::printf("avmon_lint: %zu finding(s), %zu blocking\n", findings.size(),
+              blocking);
+  return blocking == 0 ? 0 : 1;
 }
