@@ -13,6 +13,12 @@
 //   --million additionally runs the N = 10^6 memory-diet scenario
 //             (examples/specs/million_node.spec in-process; minutes of
 //             wall time and ~3 GB of RSS) and appends its rows
+//
+// Hardware-dependent rows carry a machine-readable qualifier: on hosts
+// with fewer than 4 hardware threads the sharded 4-shard speedup row is
+// still emitted (the measurement is honest — pure barrier overhead) but
+// tagged "note": "skipped_1core", which tells downstream trajectory
+// checks to skip the >=1.5x @ >=4-core assertion rather than fail it.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -413,7 +419,14 @@ int main(int argc, char** argv) {
       million = true;
     } else {
       std::fprintf(
-          stderr, "usage: %s [--preset smoke|full] [--out PATH] [--million]\n",
+          stderr,
+          "usage: %s [--preset smoke|full] [--out PATH] [--million]\n"
+          "  smoke     ~1 s, for CI artifact jobs\n"
+          "  full      ~20 s, the checked-in trajectory point (default)\n"
+          "  --million append the N = 10^6 memory-diet rows (minutes, ~3 GB)\n"
+          "hardware-dependent rows (sharded 4-shard speedup) are tagged\n"
+          "\"note\": \"skipped_1core\" on <4-thread hosts: recorded, but the\n"
+          ">=1.5x assertion is skipped instead of failed\n",
           argv[0]);
       return 2;
     }

@@ -62,7 +62,7 @@ thread_local std::vector<NodeId> poolScratch;
 
 AvmonNode::AvmonNode(NodeId id, std::shared_ptr<const AvmonConfig> config,
                      const MonitorSelector& selector, sim::Simulator& sim,
-                     sim::Network& net, BootstrapFn bootstrap, Rng rng)
+                     sim::Transport& net, BootstrapFn bootstrap, Rng rng)
     : id_(id),
       config_(std::move(config)),
       selector_(selector),
@@ -80,7 +80,7 @@ AvmonNode::AvmonNode(NodeId id, std::shared_ptr<const AvmonConfig> config,
 
 AvmonNode::AvmonNode(NodeId id, AvmonConfig config,
                      const MonitorSelector& selector, sim::Simulator& sim,
-                     sim::Network& net, BootstrapFn bootstrap, Rng rng)
+                     sim::Transport& net, BootstrapFn bootstrap, Rng rng)
     : AvmonNode(id, std::make_shared<const AvmonConfig>(std::move(config)),
                 selector, sim, net, std::move(bootstrap), std::move(rng)) {}
 

@@ -14,9 +14,10 @@
 //     the optional PR2 re-advertisement optimization.
 //
 // The node is deliberately ignorant of the simulation: it talks to a
-// sim::Network, a Simulator clock, a MonitorSelector, and a bootstrap
-// oracle (the "pick a random node" of Figure 1, which in a deployment is a
-// rendezvous/bootstrap service and in our harness is the scenario runner).
+// sim::Transport (the simulated Network or the live UDP lane), a Simulator
+// clock, a MonitorSelector, and a bootstrap oracle (the "pick a random
+// node" of Figure 1, which in a deployment is a rendezvous/bootstrap
+// service and in our harness is the scenario runner).
 #pragma once
 
 #include <cstdint>
@@ -36,8 +37,8 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "history/availability_history.hpp"
-#include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/transport.hpp"
 
 namespace avmon {
 
@@ -74,12 +75,12 @@ class AvmonNode final : public sim::Endpoint {
   /// costs ~150 B each). The config must already be validate()d.
   AvmonNode(NodeId id, std::shared_ptr<const AvmonConfig> config,
             const MonitorSelector& selector, sim::Simulator& sim,
-            sim::Network& net, BootstrapFn bootstrap, Rng rng);
+            sim::Transport& net, BootstrapFn bootstrap, Rng rng);
 
   /// Convenience for tests and one-off nodes: wraps the value in a private
   /// shared config.
   AvmonNode(NodeId id, AvmonConfig config, const MonitorSelector& selector,
-            sim::Simulator& sim, sim::Network& net, BootstrapFn bootstrap,
+            sim::Simulator& sim, sim::Transport& net, BootstrapFn bootstrap,
             Rng rng);
 
   AvmonNode(const AvmonNode&) = delete;
@@ -226,7 +227,7 @@ class AvmonNode final : public sim::Endpoint {
   std::shared_ptr<const AvmonConfig> config_;
   const MonitorSelector& selector_;
   sim::Simulator& sim_;
-  sim::Network& net_;
+  sim::Transport& net_;
   BootstrapFn bootstrap_;
   Rng rng_;
 

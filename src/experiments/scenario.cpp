@@ -99,6 +99,40 @@ void Scenario::validate() const {
         "runs on at most " + std::to_string(factory->maxShards) +
         " shard(s) — got shards = " + std::to_string(effectiveShards));
   }
+  if (transport == TransportKind::kSim) {
+    // A sim spec carrying non-default udp.* keys is almost certainly a
+    // live spec missing `transport = udp`; refuse the dead configuration.
+    if (udp != UdpSpec{}) {
+      throw std::invalid_argument(
+          "Scenario: udp.* keys are set but transport = sim — the simulated "
+          "lane never reads them; set transport = udp (or drop the keys)");
+    }
+  } else {
+    if (udp.portBase < 1024) {
+      throw std::invalid_argument(
+          "Scenario: udp.port_base must be >= 1024 (unprivileged range; the "
+          "driver binds port_base - 1)");
+    }
+    if (udp.retryMax == 0) {
+      throw std::invalid_argument(
+          "Scenario: udp.retry_max must be >= 1 (every RPC needs at least "
+          "one send attempt)");
+    }
+    if (udp.backoffMs == 0 || udp.backoffCapMs < udp.backoffMs) {
+      throw std::invalid_argument(
+          "Scenario: udp backoff ladder needs 0 < udp.backoff_ms <= "
+          "udp.backoff_cap_ms");
+    }
+    if (!(udp.timeScale > 0.0)) {
+      throw std::invalid_argument(
+          "Scenario: udp.time_scale must be > 0 (simulated ms per wall ms)");
+    }
+    if (shards > 1) {
+      throw std::invalid_argument(
+          "Scenario: the live lane runs one process per node — sharding is a "
+          "sim-lane concept; use shards = 1 with transport = udp");
+    }
+  }
   if (metrics.window < 0) {
     throw std::invalid_argument(
         "Scenario: metrics.window must be >= 0 (0 disables streaming)");
@@ -122,6 +156,11 @@ void Scenario::validate() const {
 ScenarioRunner::ScenarioRunner(Scenario scenario)
     : scenario_(std::move(scenario)), rootRng_(scenario_.seed) {
   scenario_.validate();
+  if (scenario_.transport != TransportKind::kSim) {
+    throw std::invalid_argument(
+        "ScenarioRunner executes the simulated lane only — run "
+        "transport = udp specs through tools/avmon_live instead");
+  }
 
   churn::WorkloadParams workload;
   workload.stableSize = scenario_.stableSize;

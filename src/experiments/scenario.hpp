@@ -93,6 +93,40 @@ struct AttackSpec {
   }
 };
 
+/// Which lane executes the scenario: the deterministic discrete-event
+/// simulator (ScenarioRunner) or the live-wire loopback cluster of real
+/// UDP processes (tools/avmon_live). The sim lane is the default and the
+/// only one ScenarioRunner accepts; kUdp specs are driver input.
+enum class TransportKind {
+  kSim,  ///< in-process sim::Network (default; every golden runs here)
+  kUdp,  ///< net::LiveTransport over loopback sockets, one process per node
+};
+
+/// Live-lane knobs (spec keys udp.*). Meaningful only under
+/// transport = udp; validate() rejects non-default values under kSim so a
+/// spec cannot silently carry dead configuration.
+struct UdpSpec {
+  /// First UDP port: node i binds 127.0.0.1:(portBase + i), the driver
+  /// takes portBase - 1.
+  std::uint16_t portBase = 42000;
+  /// RPC retry ladder (net::LiveConfig): total send attempts, initial
+  /// per-attempt timeout, and the doubling cap.
+  std::uint32_t retryMax = 4;
+  std::uint32_t backoffMs = 50;
+  std::uint32_t backoffCapMs = 800;
+  /// Simulated milliseconds per wall millisecond: every node process
+  /// wall-slaves its simulator clock at this rate so a 40-minute horizon
+  /// replays in 40 s of wall time at the default 60x.
+  double timeScale = 60.0;
+
+  bool operator==(const UdpSpec& other) const {
+    return portBase == other.portBase && retryMax == other.retryMax &&
+           backoffMs == other.backoffMs &&
+           backoffCapMs == other.backoffCapMs && timeScale == other.timeScale;
+  }
+  bool operator!=(const UdpSpec& other) const { return !(*this == other); }
+};
+
 /// Which nodes the metrics cover.
 enum class MeasuredSet {
   kAuto,             ///< per-model default described above
@@ -161,6 +195,13 @@ struct Scenario {
   std::optional<double> historyParam;
 
   MeasuredSet measured = MeasuredSet::kAuto;
+
+  /// Execution lane (spec key `transport`, values sim|udp). ScenarioRunner
+  /// refuses kUdp — live specs are executed by tools/avmon_live, which
+  /// spawns one avmon_node process per scheduled node.
+  TransportKind transport = TransportKind::kSim;
+  /// Live-lane knobs (spec keys udp.*); defaults under kSim only.
+  UdpSpec udp;
 
   /// Shards the node population is partitioned across (sim::ShardedSimulator).
   /// 1 = single sub-world (still windowed, so its metrics are bit-identical

@@ -107,6 +107,20 @@ MeasuredSet parseMeasured(const std::string& v, std::size_t line) {
                  v + "'");
 }
 
+TransportKind parseTransport(const std::string& v, std::size_t line) {
+  if (v == "sim") return TransportKind::kSim;
+  if (v == "udp") return TransportKind::kUdp;
+  fail(line, "expected transport = sim|udp, got '" + v + "'");
+}
+
+const char* transportName(TransportKind t) {
+  switch (t) {
+    case TransportKind::kSim: return "sim";
+    case TransportKind::kUdp: return "udp";
+  }
+  return "sim";
+}
+
 const char* measuredName(MeasuredSet m) {
   switch (m) {
     case MeasuredSet::kAuto: return "auto";
@@ -280,6 +294,21 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       for (const std::string& v : splitList(value)) {
         spec.overreports.push_back(parseDouble(v, lineNo));
       }
+    } else if (key == "transport") {
+      base.transport = parseTransport(value, lineNo);
+    } else if (key == "udp.port_base") {
+      const std::uint64_t port = parseU64(value, lineNo);
+      if (port > 0xFFFF) fail(lineNo, "udp.port_base must fit a UDP port");
+      base.udp.portBase = static_cast<std::uint16_t>(port);
+    } else if (key == "udp.retry_max") {
+      base.udp.retryMax = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "udp.backoff_ms") {
+      base.udp.backoffMs = static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "udp.backoff_cap_ms") {
+      base.udp.backoffCapMs =
+          static_cast<std::uint32_t>(parseU64(value, lineNo));
+    } else if (key == "udp.time_scale") {
+      base.udp.timeScale = parseDouble(value, lineNo);
     } else if (key == "metrics.window") {
       const double seconds = parseDouble(value, lineNo);
       if (seconds < 0) fail(lineNo, "metrics.window must be >= 0 seconds");
@@ -436,6 +465,27 @@ std::string Scenario::toSpec() const {
   out << "measured = " << measuredName(measured) << "\n";
   out << "shards = " << shards << "\n";
   out << "deferred_rpc = " << (deferredRpc ? "true" : "false") << "\n";
+  // The transport/udp.* keys are emitted only when they differ from the
+  // sim-lane defaults, so every pre-live spec's canonical form is
+  // byte-unchanged.
+  if (transport != TransportKind::kSim) {
+    out << "transport = " << transportName(transport) << "\n";
+  }
+  if (udp.portBase != UdpSpec{}.portBase) {
+    out << "udp.port_base = " << udp.portBase << "\n";
+  }
+  if (udp.retryMax != UdpSpec{}.retryMax) {
+    out << "udp.retry_max = " << udp.retryMax << "\n";
+  }
+  if (udp.backoffMs != UdpSpec{}.backoffMs) {
+    out << "udp.backoff_ms = " << udp.backoffMs << "\n";
+  }
+  if (udp.backoffCapMs != UdpSpec{}.backoffCapMs) {
+    out << "udp.backoff_cap_ms = " << udp.backoffCapMs << "\n";
+  }
+  if (udp.timeScale != UdpSpec{}.timeScale) {
+    out << "udp.time_scale = " << formatDouble(udp.timeScale) << "\n";
+  }
   // Streaming keys are emitted only when they differ from the defaults, so
   // every pre-streaming spec (and its canonical form) is byte-unchanged.
   if (metrics.window > 0) {

@@ -1,0 +1,197 @@
+#include "net/live_transport.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/wall_clock.hpp"
+
+namespace avmon::net {
+
+bool LiveTransport::open(const NodeId& self) { return socket_.open(self); }
+
+void LiveTransport::attach(const NodeId& id, sim::Endpoint& endpoint) {
+  assert(id == socket_.local() &&
+         "LiveTransport hosts exactly the node whose id it is bound under");
+  (void)id;
+  endpoint_ = &endpoint;
+}
+
+void LiveTransport::detach(const NodeId& id) {
+  (void)id;
+  endpoint_ = nullptr;
+  up_ = false;
+}
+
+void LiveTransport::setUp(const NodeId& id, bool up) {
+  (void)id;
+  up_ = up;
+}
+
+void LiveTransport::send(const NodeId& from, const NodeId& to,
+                         sim::Message message) {
+  traffic_.bytesSent += sim::wireBytes(message);
+  traffic_.messagesSent += 1;
+  sendBytes(to, encodeMessage(from, message));
+}
+
+void LiveTransport::callAsyncErased(const NodeId& from, const NodeId& to,
+                                    sim::RpcRequest request,
+                                    sim::RpcHandler handler) {
+  // Request leg charged unconditionally, exactly like the simulated lane.
+  traffic_.bytesSent += sim::requestWireBytes(request);
+  traffic_.messagesSent += 1;
+  counters_.rpcCalls += 1;
+
+  const std::uint64_t callId = nextCallId_++;
+  PendingCall call;
+  call.to = to;
+  call.frame = encodeRequest(from, callId, request);
+  call.handler = std::move(handler);
+  call.attemptsLeft = config_.retryMax > 0 ? config_.retryMax - 1 : 0;
+  call.timeoutMs = config_.retryBaseMs;
+  call.deadlineMs = wallNowMs() + call.timeoutMs;
+  sendBytes(to, call.frame);
+  pending_.emplace(callId, std::move(call));
+}
+
+void LiveTransport::sendControl(const NodeId& to, std::uint64_t seq,
+                                const ControlCommand& command) {
+  sendBytes(to, encodeControl(socket_.local(), seq, command));
+}
+
+void LiveTransport::sendBytes(const NodeId& to,
+                              const std::vector<std::uint8_t>& bytes) {
+  if (socket_.sendTo(to, bytes.data(), bytes.size())) {
+    counters_.datagramsSent += 1;
+  } else {
+    counters_.sendErrors += 1;
+  }
+}
+
+std::int64_t LiveTransport::msUntilDeadline(std::int64_t nowMs) const {
+  if (pending_.empty()) return -1;
+  std::int64_t earliest = -1;
+  for (const auto& entry : pending_) {
+    const std::int64_t left = entry.second.deadlineMs - nowMs;
+    if (earliest < 0 || left < earliest) earliest = left;
+  }
+  return std::max<std::int64_t>(earliest, 0);
+}
+
+std::size_t LiveTransport::poll(int maxWaitMs) {
+  // Phase 1: settle due retries/timeouts. Handlers may issue new calls
+  // (mutating pending_), so collect first, fire after.
+  const std::int64_t now = wallNowMs();
+  std::vector<sim::RpcHandler> expired;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingCall& call = it->second;
+    if (call.deadlineMs > now) {
+      ++it;
+      continue;
+    }
+    if (call.attemptsLeft > 0) {
+      call.attemptsLeft -= 1;
+      call.timeoutMs = std::min(call.timeoutMs * 2, config_.retryCapMs);
+      call.deadlineMs = now + call.timeoutMs;
+      counters_.rpcRetries += 1;
+      sendBytes(call.to, call.frame);
+      ++it;
+      continue;
+    }
+    counters_.rpcTimeouts += 1;
+    expired.push_back(std::move(call.handler));
+    it = pending_.erase(it);
+  }
+  for (auto& handler : expired) handler(std::nullopt);
+
+  // Phase 2: drain readable datagrams, blocking up to maxWaitMs for the
+  // first one only.
+  std::size_t dispatched = expired.size();
+  std::uint8_t buf[kMaxFrameBytes + 1];
+  bool first = true;
+  for (;;) {
+    auto datagram = socket_.recvFrom(buf, sizeof(buf));
+    if (!datagram) {
+      if (first && maxWaitMs > 0 && socket_.waitReadable(maxWaitMs)) {
+        first = false;
+        continue;
+      }
+      break;
+    }
+    first = false;
+    counters_.datagramsReceived += 1;
+    const auto frame = decodeFrame(buf, datagram->size);
+    if (!frame) {
+      counters_.decodeFailures += 1;
+      continue;
+    }
+    handleFrame(*frame);
+    dispatched += 1;
+  }
+  return dispatched;
+}
+
+void LiveTransport::handleFrame(const Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kOneWay:
+      if (endpoint_ != nullptr && up_) {
+        endpoint_->onMessage(frame.sender, *frame.message);
+      } else {
+        counters_.messagesDropped += 1;
+      }
+      break;
+    case FrameKind::kRpcRequest:
+      serveRequest(frame);
+      break;
+    case FrameKind::kRpcResponse: {
+      auto it = pending_.find(frame.callId);
+      if (it == pending_.end()) break;  // late duplicate; already settled
+      sim::RpcHandler handler = std::move(it->second.handler);
+      pending_.erase(it);
+      handler(*frame.response);
+      break;
+    }
+    case FrameKind::kControl:
+      // Always acked (the control plane is out-of-band and must stay
+      // reliable even while the node is down); commands are idempotent.
+      sendBytes(frame.sender, encodeControlAck(socket_.local(), frame.callId));
+      if (controlHandler_) controlHandler_(frame.sender, *frame.control);
+      break;
+    case FrameKind::kControlAck:
+      if (ackHandler_) ackHandler_(frame.sender, frame.callId);
+      break;
+  }
+}
+
+void LiveTransport::serveRequest(const Frame& frame) {
+  // Down/unattached nodes answer nothing — the caller's retry/timeout
+  // ladder reports it, matching the simulated semantics.
+  if (endpoint_ == nullptr || !up_) {
+    counters_.messagesDropped += 1;
+    return;
+  }
+  const auto key = std::make_pair(frame.sender, frame.callId);
+  auto cached = replyCache_.find(key);
+  if (cached != replyCache_.end()) {
+    counters_.duplicateRequests += 1;
+    sendBytes(frame.sender, cached->second);
+    return;
+  }
+  const sim::RpcResponse response =
+      endpoint_->onRpc(frame.sender, *frame.request);
+  // Response leg charged only on service, like the simulated lane.
+  traffic_.bytesSent += sim::responseWireBytes(*frame.request);
+  traffic_.messagesSent += 1;
+  counters_.rpcServed += 1;
+
+  auto bytes = encodeResponse(socket_.local(), frame.callId, response);
+  sendBytes(frame.sender, bytes);
+  if (replyCacheOrder_.size() >= config_.replyCacheCap) {
+    replyCache_.erase(replyCacheOrder_.front());
+    replyCacheOrder_.pop_front();
+  }
+  replyCache_.emplace(key, std::move(bytes));
+  replyCacheOrder_.push_back(key);
+}
+
+}  // namespace avmon::net

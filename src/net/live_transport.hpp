@@ -1,0 +1,158 @@
+// LiveTransport: the sim::Transport backend that carries the closed
+// protocol variants over a real non-blocking UDP socket.
+//
+// One LiveTransport hosts one endpoint (one process = one node, plus the
+// driver's control endpoint-less instance). The surface is exactly the
+// simulated Network's: `send` is fire-and-forget, `exchangeAsync` (via
+// `callAsyncErased`) completes with the typed response or nullopt. Under
+// the hood:
+//
+//  * every outgoing request carries a fresh callId; the matching response
+//    settles the pending entry and fires the handler;
+//  * an unanswered request is retransmitted with bounded exponential
+//    backoff (retryBaseMs, doubling, capped at retryCapMs, at most
+//    retryMax attempts) and then settled nullopt — the same observable
+//    timeout semantics as the simulated lane;
+//  * the responder keeps a bounded reply cache keyed by (caller, callId)
+//    so a retransmitted request is answered with the cached bytes instead
+//    of re-running onRpc (at-least-once delivery, exactly-once service);
+//  * malformed/foreign datagrams are counted and dropped, never crash
+//    (`decodeFailures` is the live lane's "hash check failures" metric —
+//    the cross-validation asserts it is zero on loopback).
+//
+// The owner drives everything by calling poll() from its event loop; there
+// are no threads in here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "net/udp_socket.hpp"
+#include "net/wire_codec.hpp"
+#include "sim/network.hpp"
+#include "sim/transport.hpp"
+
+namespace avmon::net {
+
+/// Retry/backoff knobs (wall milliseconds). Spec keys `udp.*` map here.
+struct LiveConfig {
+  std::uint32_t retryMax = 4;   ///< total attempts per request (>= 1)
+  std::int64_t retryBaseMs = 50;   ///< first-attempt timeout
+  std::int64_t retryCapMs = 800;   ///< backoff ceiling per attempt
+  std::size_t replyCacheCap = 1024;  ///< responder-side dedup entries
+};
+
+/// Wire-level counters, distinct from the protocol-level TrafficCounters
+/// (which mirror the simulated lane's declared-byte accounting).
+struct LiveCounters {
+  std::uint64_t datagramsSent = 0;
+  std::uint64_t datagramsReceived = 0;
+  std::uint64_t decodeFailures = 0;  ///< checksum/garbage/unknown-tag drops
+  std::uint64_t sendErrors = 0;
+  std::uint64_t rpcCalls = 0;
+  std::uint64_t rpcRetries = 0;
+  std::uint64_t rpcTimeouts = 0;  ///< exchanges settled with nullopt
+  std::uint64_t rpcServed = 0;
+  std::uint64_t duplicateRequests = 0;  ///< answered from the reply cache
+  std::uint64_t messagesDropped = 0;    ///< received while down/unattached
+};
+
+/// Driver-side hooks for the out-of-band control plane.
+using ControlHandler =
+    std::function<void(const NodeId& from, const ControlCommand& command)>;
+using AckHandler = std::function<void(const NodeId& from, std::uint64_t seq)>;
+
+class LiveTransport final : public sim::Transport {
+ public:
+  explicit LiveTransport(LiveConfig config) : config_(config) {}
+
+  /// Binds the UDP socket under `self` — in the live lane the NodeId IS
+  /// the socket address. Must succeed before any traffic. Port 0 picks an
+  /// ephemeral port; local() reports the resolved identity.
+  bool open(const NodeId& self);
+  const NodeId& local() const noexcept { return socket_.local(); }
+
+  // ---- sim::Transport ----
+
+  /// Registers the single hosted endpoint. `id` must equal local().
+  void attach(const NodeId& id, sim::Endpoint& endpoint) override;
+  void detach(const NodeId& id) override;
+  void setUp(const NodeId& id, bool up) override;
+  bool isUp() const noexcept { return up_; }
+
+  void send(const NodeId& from, const NodeId& to,
+            sim::Message message) override;
+  void callAsyncErased(const NodeId& from, const NodeId& to,
+                       sim::RpcRequest request,
+                       sim::RpcHandler handler) override;
+
+  // ---- control plane ----
+
+  void setControlHandler(ControlHandler handler) {
+    controlHandler_ = std::move(handler);
+  }
+  void setAckHandler(AckHandler handler) { ackHandler_ = std::move(handler); }
+
+  /// Fire-and-forget control command (the caller owns retry-until-ack).
+  void sendControl(const NodeId& to, std::uint64_t seq,
+                   const ControlCommand& command);
+
+  // ---- event loop ----
+
+  /// Settles due retries/timeouts, then drains readable datagrams, waiting
+  /// up to `maxWaitMs` for the first one (0 = non-blocking pass). Returns
+  /// the number of frames dispatched.
+  std::size_t poll(int maxWaitMs);
+
+  /// Wall ms until the earliest pending retry/timeout deadline, or -1 when
+  /// nothing is pending — the owner caps its poll wait with this.
+  std::int64_t msUntilDeadline(std::int64_t nowMs) const;
+
+  const LiveCounters& counters() const noexcept { return counters_; }
+
+  /// Declared-byte outgoing accounting, mirroring the simulated lane (the
+  /// request leg is charged once per exchange, not per retransmission, so
+  /// bandwidth numbers are comparable across lanes).
+  const sim::TrafficCounters& traffic() const noexcept { return traffic_; }
+
+ private:
+  struct PendingCall {
+    NodeId to;
+    std::vector<std::uint8_t> frame;
+    sim::RpcHandler handler;
+    std::uint32_t attemptsLeft = 0;
+    std::int64_t timeoutMs = 0;
+    std::int64_t deadlineMs = 0;
+  };
+
+  void sendBytes(const NodeId& to, const std::vector<std::uint8_t>& bytes);
+  void handleFrame(const Frame& frame);
+  void serveRequest(const Frame& frame);
+
+  LiveConfig config_;
+  UdpSocket socket_;
+  sim::Endpoint* endpoint_ = nullptr;
+  bool up_ = false;
+
+  std::uint64_t nextCallId_ = 1;
+  // Ordered map: deadline scans iterate deterministically and the linter
+  // stays quiet; size is the handful of in-flight exchanges per tick.
+  std::map<std::uint64_t, PendingCall> pending_;
+
+  // Responder-side reply cache: (caller, callId) -> encoded response.
+  std::map<std::pair<NodeId, std::uint64_t>, std::vector<std::uint8_t>>
+      replyCache_;
+  std::deque<std::pair<NodeId, std::uint64_t>> replyCacheOrder_;
+
+  ControlHandler controlHandler_;
+  AckHandler ackHandler_;
+  LiveCounters counters_;
+  sim::TrafficCounters traffic_;
+};
+
+}  // namespace avmon::net

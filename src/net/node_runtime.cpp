@@ -1,0 +1,162 @@
+#include "net/node_runtime.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "net/wall_clock.hpp"
+
+namespace avmon::net {
+namespace {
+
+/// Per-node deterministic seed: splitmix64 over (cluster seed, index) so
+/// every process derives an independent stream without coordination.
+std::uint64_t nodeSeed(std::uint64_t seed, std::uint32_t index) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(NodeRuntimeOptions options)
+    : options_(std::move(options)),
+      transport_(options_.live),
+      hashFn_(hash::makeHashFunction(options_.hashName)),
+      selector_(std::make_unique<HashMonitorSelector>(
+          *hashFn_, options_.config.k, options_.config.systemSize)) {}
+
+bool NodeRuntime::open() {
+  if (!transport_.open(options_.self)) return false;
+  node_ = std::make_unique<AvmonNode>(
+      options_.self, options_.config, *selector_, sim_, transport_,
+      [this](const NodeId& self) {
+        // The driver's ControlJoin carries the bootstrap contact; the
+        // contact being ourselves encodes "you are alone".
+        return pendingBootstrap_ == self ? NodeId{} : pendingBootstrap_;
+      },
+      Rng(nodeSeed(options_.seed, options_.index)));
+  transport_.setControlHandler(
+      [this](const NodeId& from, const ControlCommand& command) {
+        handleControl(from, command);
+      });
+  return true;
+}
+
+void NodeRuntime::handleControl(const NodeId& from,
+                                const ControlCommand& command) {
+  (void)from;
+  std::visit(sim::Overloaded{
+                 [this](const ControlJoin& c) {
+                   if (!started_) {  // defensive: join implies start
+                     started_ = true;
+                     anchorWallMs_ = wallNowMs();
+                   }
+                   if (!node_->isAlive()) {
+                     pendingBootstrap_ = c.bootstrap;
+                     node_->join(c.firstJoin);
+                   }
+                 },
+                 [this](const ControlLeave&) {
+                   if (node_->isAlive()) node_->leave();
+                 },
+                 [](const ControlPing&) {},  // readiness probe; ack is enough
+                 [this](const ControlStart&) {
+                   if (!started_) {
+                     started_ = true;
+                     anchorWallMs_ = wallNowMs();
+                   }
+                 },
+             },
+             command);
+}
+
+int NodeRuntime::run(const volatile std::sig_atomic_t* stop) {
+  // Phase 0: answer the readiness barrier until the driver anchors us.
+  while (*stop == 0 && !started_) transport_.poll(20);
+
+  while (*stop == 0) {
+    const std::int64_t now = wallNowMs();
+    auto target = static_cast<SimTime>(
+        static_cast<double>(now - anchorWallMs_) * options_.timeScale);
+    const bool done = options_.horizon > 0 && target >= options_.horizon;
+    if (done) target = options_.horizon;
+    sim_.runUntil(target);
+    if (done) break;
+
+    // Sleep until the next sim event is due in wall terms, the next RPC
+    // retry deadline, or a 20 ms heartbeat — whichever is first.
+    std::int64_t wait = 20;
+    const SimTime next = sim_.nextEventTime();
+    if (next != sim::Simulator::kNoPendingEvent) {
+      const auto dueWall =
+          anchorWallMs_ +
+          static_cast<std::int64_t>(static_cast<double>(next) /
+                                    options_.timeScale) -
+          now;
+      wait = std::min(wait, std::max<std::int64_t>(dueWall, 0));
+    }
+    const std::int64_t deadline = transport_.msUntilDeadline(now);
+    if (deadline >= 0) wait = std::min(wait, deadline);
+    transport_.poll(static_cast<int>(wait));
+  }
+  return 0;
+}
+
+void NodeRuntime::writeMetricsJson(std::ostream& out) const {
+  const auto& m = node_->metrics();
+  const auto& c = transport_.counters();
+  const auto& t = transport_.traffic();
+  const auto delay = node_->discoveryDelay(1);
+
+  out << "{\n";
+  out << "  \"node\": \"" << options_.self.toString() << "\",\n";
+  out << "  \"index\": " << options_.index << ",\n";
+  out << "  \"sim_now_ms\": " << sim_.now() << ",\n";
+  out << "  \"alive\": " << (node_->isAlive() ? "true" : "false") << ",\n";
+  out << "  \"discovered\": " << (delay ? "true" : "false") << ",\n";
+  out << "  \"discovery_delay_ms\": " << (delay ? *delay : -1) << ",\n";
+  out << "  \"memory_entries\": " << node_->memoryEntries() << ",\n";
+  out << "  \"metrics\": {"
+      << "\"hash_checks\": " << m.hashChecks
+      << ", \"notifies_sent\": " << m.notifiesSent
+      << ", \"joins_received\": " << m.joinsReceived
+      << ", \"cv_fetches\": " << m.cvFetches
+      << ", \"monitoring_pings_sent\": " << m.monitoringPingsSent
+      << ", \"useless_pings\": " << m.uselessPings << "},\n";
+  out << "  \"transport\": {"
+      << "\"datagrams_sent\": " << c.datagramsSent
+      << ", \"datagrams_received\": " << c.datagramsReceived
+      << ", \"decode_failures\": " << c.decodeFailures
+      << ", \"send_errors\": " << c.sendErrors
+      << ", \"rpc_calls\": " << c.rpcCalls
+      << ", \"rpc_retries\": " << c.rpcRetries
+      << ", \"rpc_timeouts\": " << c.rpcTimeouts
+      << ", \"rpc_served\": " << c.rpcServed
+      << ", \"duplicate_requests\": " << c.duplicateRequests << "},\n";
+  out << "  \"traffic\": {\"bytes_sent\": " << t.bytesSent
+      << ", \"messages_sent\": " << t.messagesSent << "},\n";
+
+  // Per-target availability estimates, emitted in NodeId order so the
+  // report is deterministic for a given end state.
+  std::vector<NodeId> targets;
+  targets.reserve(node_->targetSet().size());
+  // lint:allow(unordered-iter, key harvest only — the keys are sorted before anything order-sensitive happens)
+  for (const auto& entry : node_->targetSet()) targets.push_back(entry.first);
+  std::sort(targets.begin(), targets.end());
+  out << "  \"targets\": [";
+  bool firstTarget = true;
+  for (const NodeId& target : targets) {
+    const auto estimate = node_->availabilityEstimateOf(target);
+    if (!estimate) continue;
+    if (!firstTarget) out << ", ";
+    firstTarget = false;
+    out << "{\"node\": \"" << target.toString() << "\", \"estimate\": "
+        << *estimate << "}";
+  }
+  out << "]\n";
+  out << "}\n";
+}
+
+}  // namespace avmon::net

@@ -1,0 +1,100 @@
+#include "net/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace avmon::net {
+namespace {
+
+sockaddr_in toSockaddr(const NodeId& id) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(id.ip());
+  addr.sin_port = htons(id.port());
+  return addr;
+}
+
+NodeId fromSockaddr(const sockaddr_in& addr) {
+  return NodeId(ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+bool UdpSocket::open(const NodeId& local) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return false;
+
+  const sockaddr_in addr = toSockaddr(local);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close();
+    return false;
+  }
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    close();
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close();
+    return false;
+  }
+  local_ = NodeId(local.ip(), ntohs(bound.sin_port));
+  return true;
+}
+
+bool UdpSocket::sendTo(const NodeId& to, const std::uint8_t* data,
+                       std::size_t size) {
+  if (fd_ < 0) return false;
+  const sockaddr_in addr = toSockaddr(to);
+  const auto sent =
+      ::sendto(fd_, data, size, 0, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr));
+  return sent >= 0 && static_cast<std::size_t>(sent) == size;
+}
+
+std::optional<DatagramInfo> UdpSocket::recvFrom(std::uint8_t* buf,
+                                                std::size_t cap) {
+  if (fd_ < 0) return std::nullopt;
+  sockaddr_in src{};
+  socklen_t len = sizeof(src);
+  const auto got = ::recvfrom(fd_, buf, cap, 0,
+                              reinterpret_cast<sockaddr*>(&src), &len);
+  if (got < 0) return std::nullopt;  // EWOULDBLOCK or transient error
+  DatagramInfo info;
+  info.size = static_cast<std::size_t>(got);
+  info.source = fromSockaddr(src);
+  return info;
+}
+
+bool UdpSocket::waitReadable(int timeoutMs) const {
+  if (fd_ < 0) return false;
+  pollfd p{};
+  p.fd = fd_;
+  p.events = POLLIN;
+  return ::poll(&p, 1, timeoutMs) > 0 && (p.revents & POLLIN) != 0;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  local_ = NodeId{};
+}
+
+}  // namespace avmon::net

@@ -1,0 +1,60 @@
+// Thin RAII wrapper over a non-blocking IPv4 UDP socket — the only file
+// that talks to the BSD socket API. In the live-wire lane a NodeId *is* a
+// socket address (IPv4 + port), so send/receive take NodeIds directly and
+// no peer table exists anywhere above this layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/node_id.hpp"
+
+namespace avmon::net {
+
+/// One received datagram's metadata; the bytes land in the caller's buffer.
+struct DatagramInfo {
+  std::size_t size = 0;
+  NodeId source;  ///< source IPv4 + port, i.e. the peer's NodeId
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Binds to `local` (ip in NodeId host order; port 0 picks an ephemeral
+  /// port) and switches the socket non-blocking. Returns false and stays
+  /// closed on any failure (port in use, out of descriptors).
+  bool open(const NodeId& local);
+
+  bool isOpen() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// The bound address, with the kernel-assigned port when 0 was asked.
+  const NodeId& local() const noexcept { return local_; }
+
+  /// Sends one datagram to `to`. Returns false on any send error (buffer
+  /// full, unreachable) — the live lane treats that like a dropped packet,
+  /// which retries/timeouts already cover.
+  bool sendTo(const NodeId& to, const std::uint8_t* data, std::size_t size);
+
+  /// Non-blocking receive of one datagram into `buf`; nullopt when nothing
+  /// is queued. Datagrams longer than `cap` are truncated by the kernel and
+  /// surface as oversized frames the codec rejects.
+  std::optional<DatagramInfo> recvFrom(std::uint8_t* buf, std::size_t cap);
+
+  /// Blocks up to `timeoutMs` (0 = poll, <0 = forever) until the socket is
+  /// readable. Returns true if readable.
+  bool waitReadable(int timeoutMs) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  NodeId local_;
+};
+
+}  // namespace avmon::net

@@ -1,0 +1,23 @@
+// The live-wire lane's one wall-clock read. Everything in src/net that
+// needs real time goes through wallNowMs() so the determinism linter sees
+// exactly one reasoned wall-clock site in the whole subsystem (the lint
+// scope policy confines wall-clock allows to the live lane — see
+// tools/avmon_lint).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace avmon::net {
+
+/// Monotonic wall time in milliseconds (arbitrary epoch). The live lane's
+/// timers, retries, and the scaled simulator clock all derive from this.
+inline std::int64_t wallNowMs() {
+  // lint:allow(wall-clock, live-wire lane: real elapsed time is the clock that drives the scaled simulator and RPC retry deadlines; never linked into the simulated lane)
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace avmon::net

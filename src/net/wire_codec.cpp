@@ -1,0 +1,461 @@
+#include "net/wire_codec.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace avmon::net {
+namespace {
+
+// Payload tags. Tag values are wire contract: append-only, never reuse.
+constexpr std::uint8_t kTagJoin = 1;
+constexpr std::uint8_t kTagNotify = 2;
+constexpr std::uint8_t kTagForceAdd = 3;
+constexpr std::uint8_t kTagPresence = 4;
+constexpr std::uint8_t kTagRegister = 5;
+constexpr std::uint8_t kTagText = 6;
+
+constexpr std::uint8_t kTagPing = 1;
+constexpr std::uint8_t kTagCvFetch = 2;
+constexpr std::uint8_t kTagSwap = 3;
+constexpr std::uint8_t kTagMonitorPing = 4;
+
+constexpr std::uint8_t kTagCtlJoin = 1;
+constexpr std::uint8_t kTagCtlLeave = 2;
+constexpr std::uint8_t kTagCtlPing = 3;
+constexpr std::uint8_t kTagCtlStart = 4;
+
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+// ---- writer ----
+
+class Writer {
+ public:
+  explicit Writer(FrameKind kind, const NodeId& sender, std::uint64_t callId) {
+    buf_.reserve(64);
+    buf_.push_back('A');
+    buf_.push_back('V');
+    buf_.push_back(kWireVersion);
+    buf_.push_back(static_cast<std::uint8_t>(kind));
+    u16(0);  // payload length, patched in finish()
+    u32(0);  // checksum, patched in finish()
+    id(sender);
+    u64(callId);
+    assert(buf_.size() == kHeaderBytes);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void id(const NodeId& node) {
+    const auto bytes = node.toBytes();
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void ids(const std::vector<NodeId>& nodes) {
+    assert(nodes.size() <= 0xFFFF);
+    u16(static_cast<std::uint16_t>(nodes.size()));
+    for (const auto& n : nodes) id(n);
+  }
+  /// A declared byte budget (std::size_t in the structs, u32 on the wire).
+  void size(std::size_t v) {
+    assert(v <= 0xFFFFFFFFu);
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void text(const std::string& s) {
+    assert(s.size() <= 0xFFFF);
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::vector<std::uint8_t> finish() {
+    const std::size_t payload = buf_.size() - kHeaderBytes;
+    assert(payload <= 0xFFFF && buf_.size() <= kMaxFrameBytes &&
+           "wire frame exceeds the single-datagram ceiling");
+    buf_[4] = static_cast<std::uint8_t>(payload >> 8);
+    buf_[5] = static_cast<std::uint8_t>(payload);
+    const std::uint32_t sum = fnv1a32(buf_.data() + 10, buf_.size() - 10);
+    buf_[6] = static_cast<std::uint8_t>(sum >> 24);
+    buf_[7] = static_cast<std::uint8_t>(sum >> 16);
+    buf_[8] = static_cast<std::uint8_t>(sum >> 8);
+    buf_[9] = static_cast<std::uint8_t>(sum);
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// ---- bounds-checked reader ----
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::size_t sizeField() { return static_cast<std::size_t>(u32()); }
+
+  NodeId id() {
+    if (!need(NodeId::kWireSize)) return NodeId{};
+    std::array<std::uint8_t, NodeId::kWireSize> raw{};
+    std::memcpy(raw.data(), data_ + pos_, NodeId::kWireSize);
+    pos_ += NodeId::kWireSize;
+    return NodeId::fromBytes(raw);
+  }
+
+  std::vector<NodeId> ids() {
+    const std::uint16_t count = u16();
+    // Reject counts the remaining bytes cannot possibly hold before
+    // allocating anything (a garbage count must not drive a huge reserve).
+    if (!ok_ || remaining() < std::size_t{count} * NodeId::kWireSize) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<NodeId> out;
+    out.reserve(count);
+    for (std::uint16_t i = 0; i < count && ok_; ++i) out.push_back(id());
+    return out;
+  }
+
+  std::string text() {
+    const std::uint16_t len = u16();
+    if (!ok_ || remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<sim::Message> decodeMessage(Reader& r) {
+  switch (r.u8()) {
+    case kTagJoin: {
+      sim::JoinMessage m;
+      m.origin = r.id();
+      m.weight = r.i32();
+      return sim::Message(m);
+    }
+    case kTagNotify: {
+      sim::NotifyMessage m;
+      m.monitor = r.id();
+      m.target = r.id();
+      return sim::Message(m);
+    }
+    case kTagForceAdd:
+      return sim::Message(sim::ForceAddMessage{r.id()});
+    case kTagPresence:
+      return sim::Message(sim::PresenceMessage{r.id()});
+    case kTagRegister:
+      return sim::Message(sim::RegisterMessage{r.id()});
+    case kTagText: {
+      sim::TextMessage m;
+      m.bytes = r.sizeField();
+      m.text = r.text();
+      return sim::Message(std::move(m));
+    }
+    default:
+      return std::nullopt;  // future alternative: tolerated, dropped
+  }
+}
+
+std::optional<sim::RpcRequest> decodeRequest(Reader& r) {
+  switch (r.u8()) {
+    case kTagPing: {
+      sim::PingRequest q;
+      q.pingBytes = r.sizeField();
+      return sim::RpcRequest(q);
+    }
+    case kTagCvFetch: {
+      sim::CvFetchRequest q;
+      q.pingBytes = r.sizeField();
+      q.responseBudgetBytes = r.sizeField();
+      return sim::RpcRequest(q);
+    }
+    case kTagSwap: {
+      sim::SwapRequest q;
+      q.entryBytes = r.sizeField();
+      q.budgetEntries = r.sizeField();
+      q.offered = r.ids();
+      return sim::RpcRequest(std::move(q));
+    }
+    case kTagMonitorPing: {
+      sim::MonitorPingRequest q;
+      q.pingBytes = r.sizeField();
+      return sim::RpcRequest(q);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<sim::RpcResponse> decodeResponse(Reader& r) {
+  switch (r.u8()) {
+    case kTagPing:
+      return sim::RpcResponse(sim::PingResponse{});
+    case kTagCvFetch: {
+      sim::CvFetchResponse p;
+      p.view = r.ids();
+      return sim::RpcResponse(std::move(p));
+    }
+    case kTagSwap: {
+      sim::SwapResponse p;
+      p.given = r.ids();
+      return sim::RpcResponse(std::move(p));
+    }
+    case kTagMonitorPing: {
+      sim::MonitorPingResponse p;
+      p.acknowledged = r.u8() != 0;
+      return sim::RpcResponse(p);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<ControlCommand> decodeControl(Reader& r) {
+  switch (r.u8()) {
+    case kTagCtlJoin: {
+      ControlJoin c;
+      c.firstJoin = r.u8() != 0;
+      c.bootstrap = r.id();
+      return ControlCommand(c);
+    }
+    case kTagCtlLeave:
+      return ControlCommand(ControlLeave{});
+    case kTagCtlPing:
+      return ControlCommand(ControlPing{});
+    case kTagCtlStart:
+      return ControlCommand(ControlStart{});
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeMessage(const NodeId& sender,
+                                        const sim::Message& message) {
+  Writer w(FrameKind::kOneWay, sender, 0);
+  std::visit(sim::Overloaded{
+                 [&](const sim::JoinMessage& m) {
+                   w.u8(kTagJoin);
+                   w.id(m.origin);
+                   w.i32(m.weight);
+                 },
+                 [&](const sim::NotifyMessage& m) {
+                   w.u8(kTagNotify);
+                   w.id(m.monitor);
+                   w.id(m.target);
+                 },
+                 [&](const sim::ForceAddMessage& m) {
+                   w.u8(kTagForceAdd);
+                   w.id(m.origin);
+                 },
+                 [&](const sim::PresenceMessage& m) {
+                   w.u8(kTagPresence);
+                   w.id(m.origin);
+                 },
+                 [&](const sim::RegisterMessage& m) {
+                   w.u8(kTagRegister);
+                   w.id(m.origin);
+                 },
+                 [&](const sim::TextMessage& m) {
+                   w.u8(kTagText);
+                   w.size(m.bytes);
+                   w.text(m.text);
+                 },
+             },
+             message);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encodeRequest(const NodeId& sender,
+                                        std::uint64_t callId,
+                                        const sim::RpcRequest& request) {
+  Writer w(FrameKind::kRpcRequest, sender, callId);
+  std::visit(sim::Overloaded{
+                 [&](const sim::PingRequest& q) {
+                   w.u8(kTagPing);
+                   w.size(q.pingBytes);
+                 },
+                 [&](const sim::CvFetchRequest& q) {
+                   w.u8(kTagCvFetch);
+                   w.size(q.pingBytes);
+                   w.size(q.responseBudgetBytes);
+                 },
+                 [&](const sim::SwapRequest& q) {
+                   w.u8(kTagSwap);
+                   w.size(q.entryBytes);
+                   w.size(q.budgetEntries);
+                   w.ids(q.offered);
+                 },
+                 [&](const sim::MonitorPingRequest& q) {
+                   w.u8(kTagMonitorPing);
+                   w.size(q.pingBytes);
+                 },
+             },
+             request);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encodeResponse(const NodeId& sender,
+                                         std::uint64_t callId,
+                                         const sim::RpcResponse& response) {
+  Writer w(FrameKind::kRpcResponse, sender, callId);
+  std::visit(sim::Overloaded{
+                 [&](const sim::PingResponse&) { w.u8(kTagPing); },
+                 [&](const sim::CvFetchResponse& p) {
+                   w.u8(kTagCvFetch);
+                   w.ids(p.view);
+                 },
+                 [&](const sim::SwapResponse& p) {
+                   w.u8(kTagSwap);
+                   w.ids(p.given);
+                 },
+                 [&](const sim::MonitorPingResponse& p) {
+                   w.u8(kTagMonitorPing);
+                   w.u8(p.acknowledged ? 1 : 0);
+                 },
+             },
+             response);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encodeControl(const NodeId& sender,
+                                        std::uint64_t seq,
+                                        const ControlCommand& command) {
+  Writer w(FrameKind::kControl, sender, seq);
+  std::visit(sim::Overloaded{
+                 [&](const ControlJoin& c) {
+                   w.u8(kTagCtlJoin);
+                   w.u8(c.firstJoin ? 1 : 0);
+                   w.id(c.bootstrap);
+                 },
+                 [&](const ControlLeave&) { w.u8(kTagCtlLeave); },
+                 [&](const ControlPing&) { w.u8(kTagCtlPing); },
+                 [&](const ControlStart&) { w.u8(kTagCtlStart); },
+             },
+             command);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encodeControlAck(const NodeId& sender,
+                                           std::uint64_t seq) {
+  Writer w(FrameKind::kControlAck, sender, seq);
+  return w.finish();
+}
+
+std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t size) {
+  if (size < kHeaderBytes || size > kMaxFrameBytes) return std::nullopt;
+  if (data[0] != 'A' || data[1] != 'V') return std::nullopt;
+  if (data[2] != kWireVersion) return std::nullopt;
+  const std::size_t payload =
+      (static_cast<std::size_t>(data[4]) << 8) | data[5];
+  if (size != kHeaderBytes + payload) return std::nullopt;
+  const std::uint32_t declared = (static_cast<std::uint32_t>(data[6]) << 24) |
+                                 (static_cast<std::uint32_t>(data[7]) << 16) |
+                                 (static_cast<std::uint32_t>(data[8]) << 8) |
+                                 data[9];
+  if (declared != fnv1a32(data + 10, size - 10)) return std::nullopt;
+
+  Frame frame;
+  Reader header(data + 10, kHeaderBytes - 10);
+  frame.sender = header.id();
+  frame.callId = header.u64();
+
+  Reader r(data + kHeaderBytes, payload);
+  switch (data[3]) {
+    case static_cast<std::uint8_t>(FrameKind::kOneWay): {
+      frame.kind = FrameKind::kOneWay;
+      frame.message = decodeMessage(r);
+      if (!frame.message) return std::nullopt;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kRpcRequest): {
+      frame.kind = FrameKind::kRpcRequest;
+      frame.request = decodeRequest(r);
+      if (!frame.request) return std::nullopt;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kRpcResponse): {
+      frame.kind = FrameKind::kRpcResponse;
+      frame.response = decodeResponse(r);
+      if (!frame.response) return std::nullopt;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kControl): {
+      frame.kind = FrameKind::kControl;
+      frame.control = decodeControl(r);
+      if (!frame.control) return std::nullopt;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kControlAck):
+      frame.kind = FrameKind::kControlAck;
+      break;
+    default:
+      return std::nullopt;  // unknown kind
+  }
+  // Truncated fields or trailing garbage inside the payload both reject.
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return frame;
+}
+
+}  // namespace avmon::net

@@ -1,0 +1,109 @@
+// Canonical wire codec for the live-wire lane: every closed-variant
+// alternative the simulated transport carries (`sim::Message`,
+// `sim::RpcRequest`, `sim::RpcResponse`) serialized to a versioned,
+// length-prefixed, checksummed binary frame that fits one UDP datagram.
+//
+// Frame layout (all multi-byte integers big-endian):
+//
+//   offset  size  field
+//        0     2  magic "AV"
+//        2     1  wire version (kWireVersion)
+//        3     1  frame kind (FrameKind)
+//        4     2  payload length L (bytes after the 24-byte header)
+//        6     4  FNV-1a 32 checksum over bytes [10, 24 + L)
+//       10     6  sender NodeId (IPv4 + port, NodeId::toBytes order)
+//       16     8  call id (RPC correlation / control sequence; 0 for
+//                 one-way messages)
+//       24     L  payload: 1 tag byte + the alternative's fields
+//
+// Decoding is total and tolerant: any violation — short buffer, bad magic,
+// foreign version, length/checksum mismatch, unknown kind or tag,
+// truncated or trailing payload bytes — returns nullopt, never UB. A
+// *future* alternative (unknown tag under a known kind) is therefore
+// dropped cleanly by old receivers, which is the forward-compatibility
+// contract the version byte backs up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "sim/message.hpp"
+#include "sim/rpc.hpp"
+
+namespace avmon::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+/// Hard frame ceiling: one loopback-safe datagram, far below any MTU
+/// fragmentation risk. Encoders assert against it; oversized views are a
+/// protocol bug (budgeted responses are bounded by cvs entries).
+inline constexpr std::size_t kMaxFrameBytes = 1400;
+
+enum class FrameKind : std::uint8_t {
+  kOneWay = 1,       ///< sim::Message
+  kRpcRequest = 2,   ///< sim::RpcRequest, callId correlates the response
+  kRpcResponse = 3,  ///< sim::RpcResponse, echoes the request's callId
+  kControl = 4,      ///< driver → node lifecycle command, callId is a seq
+  kControlAck = 5,   ///< node → driver, echoes the control seq
+};
+
+// ---- control plane (driver → node, out-of-band of the protocol) ----
+
+/// "Come up and run the joining sub-protocol" — carries the bootstrap
+/// contact the paper's rendezvous service would provide. `bootstrap ==`
+/// the receiver itself means "you are alone" (the first joiner).
+struct ControlJoin {
+  bool firstJoin = true;
+  NodeId bootstrap;
+};
+
+/// "Go down" (leave or simulated crash — indistinguishable, as in the sim).
+struct ControlLeave {};
+
+/// Liveness probe for the driver's readiness barrier; acked like every
+/// control frame, no state change.
+struct ControlPing {};
+
+/// "Anchor your clock now": the node starts its scaled sim clock (and the
+/// horizon countdown) on receipt, so every process measures the run from
+/// the same instant regardless of spawn staggering.
+struct ControlStart {};
+
+using ControlCommand =
+    std::variant<ControlJoin, ControlLeave, ControlPing, ControlStart>;
+
+/// A successfully decoded frame. Exactly one of the four optionals is
+/// engaged, matching `kind` (kControlAck engages none — the ack is just
+/// the echoed callId).
+struct Frame {
+  FrameKind kind = FrameKind::kOneWay;
+  NodeId sender;
+  std::uint64_t callId = 0;
+  std::optional<sim::Message> message;
+  std::optional<sim::RpcRequest> request;
+  std::optional<sim::RpcResponse> response;
+  std::optional<ControlCommand> control;
+};
+
+std::vector<std::uint8_t> encodeMessage(const NodeId& sender,
+                                        const sim::Message& message);
+std::vector<std::uint8_t> encodeRequest(const NodeId& sender,
+                                        std::uint64_t callId,
+                                        const sim::RpcRequest& request);
+std::vector<std::uint8_t> encodeResponse(const NodeId& sender,
+                                         std::uint64_t callId,
+                                         const sim::RpcResponse& response);
+std::vector<std::uint8_t> encodeControl(const NodeId& sender,
+                                        std::uint64_t seq,
+                                        const ControlCommand& command);
+std::vector<std::uint8_t> encodeControlAck(const NodeId& sender,
+                                           std::uint64_t seq);
+
+/// Decodes one datagram-sized buffer into a frame, or nullopt on any
+/// malformation (see the header comment for the full rejection list).
+std::optional<Frame> decodeFrame(const std::uint8_t* data, std::size_t size);
+
+}  // namespace avmon::net

@@ -49,25 +49,9 @@
 #include "sim/message.hpp"
 #include "sim/rpc.hpp"
 #include "sim/simulator.hpp"
+#include "sim/transport.hpp"
 
 namespace avmon::sim {
-
-/// Interface implemented by every protocol node attached to the network.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  /// Delivery of a one-way message. Receivers dispatch on the closed
-  /// `Message` sum type (exhaustively, or with a catch-all for traffic
-  /// they don't speak).
-  virtual void onMessage(const NodeId& from, const Message& message) = 0;
-
-  /// Serves a typed RPC. Called by the network only while the endpoint is
-  /// attached and up. The default answers every request like a liveness
-  /// probe — enough for endpoints (central-baseline members, test probes)
-  /// whose only RPC role is "answer if alive".
-  virtual RpcResponse onRpc(const NodeId& from, const RpcRequest& request);
-};
 
 /// Latency and fault model.
 struct NetworkConfig {
@@ -100,11 +84,6 @@ struct TrafficCounters {
   std::uint64_t bytesSent = 0;
   std::uint64_t messagesSent = 0;
 };
-
-/// Completion callback for the deferred callAsync path: the response, or
-/// nullopt on timeout. (The degenerate inline path accepts any callable and
-/// never materializes a std::function.)
-using RpcHandler = std::function<void(std::optional<RpcResponse>)>;
 
 /// Shard-count-invariant ordering key carried by every cross-shard
 /// hand-off: the sender's global node index plus a per-sender sequence
@@ -157,7 +136,9 @@ class CrossShardRouter {
 
 /// Simulated network switchboard. Endpoints attach under their NodeId; an
 /// external lifecycle manager toggles per-node aliveness as churn dictates.
-class Network {
+/// One of the two Transport backends (the other being net::LiveTransport,
+/// which carries the same closed variants over real UDP sockets).
+class Network final : public Transport {
  public:
   /// `rng` seeds the network's randomness. Internally every attached node
   /// gets its own latency/fault stream derived from (rng's first output,
@@ -176,7 +157,7 @@ class Network {
   /// outlive the network or be detached first. Nodes start down. Traffic
   /// counters survive a detach/attach cycle (they belong to the node id,
   /// not the endpoint object).
-  void attach(const NodeId& id, Endpoint& endpoint);
+  void attach(const NodeId& id, Endpoint& endpoint) override;
 
   /// Shard-ownership tag for the determinism sentinel (see
   /// common/det_checks.hpp); expands to nothing unless AVMON_DET_CHECKS.
@@ -184,18 +165,18 @@ class Network {
   AVMON_DET_TAG(detTag);
 
   /// Removes the endpoint; pending messages to it are dropped on delivery.
-  void detach(const NodeId& id);
+  void detach(const NodeId& id) override;
 
   /// Marks the node up/down. Down nodes neither receive messages nor answer
   /// RPCs. (Called by the churn lifecycle, not by protocol code.)
-  void setUp(const NodeId& id, bool up);
+  void setUp(const NodeId& id, bool up) override;
 
   /// True if the node is attached and currently up.
   bool isUp(const NodeId& id) const;
 
   /// Sends a one-way message; charges its wire size to `from` immediately.
   /// Delivered after a uniform random latency iff the target is up then.
-  void send(const NodeId& from, const NodeId& to, Message message);
+  void send(const NodeId& from, const NodeId& to, Message message) override;
 
   /// Instantaneous typed exchange. Charges the request leg to `from`
   /// unconditionally; if the target is up (and the injected-failure roll
@@ -244,30 +225,17 @@ class Network {
                       RpcHandler(std::forward<F>(handler)));
   }
 
-  /// Typed asynchronous exchange: callAsync with the RpcTraits mapping
-  /// applied, so the handler receives optional<ConcreteResponse>. This is
-  /// the form every periodic protocol exchange goes through.
-  template <class Request, class F>
-  void exchangeAsync(const NodeId& from, const NodeId& to, Request request,
-                     F&& handler) {
-    using Response = typename RpcTraits<Request>::Response;
-    callAsync(from, to, RpcRequest(std::move(request)),
-              [h = std::forward<F>(handler)](
-                  std::optional<RpcResponse> response) mutable {
-                if (!response) {
-                  h(std::optional<Response>());
-                  return;
-                }
-                auto* typed = std::get_if<Response>(&*response);
-                assert(typed != nullptr &&
-                       "Endpoint::onRpc returned a response alternative that "
-                       "does not match RpcTraits for the request it was sent");
-                if (typed == nullptr) {
-                  h(std::optional<Response>());
-                  return;
-                }
-                h(std::optional<Response>(std::move(*typed)));
-              });
+  /// The Transport-erased form of callAsync. Protocol code reaches this
+  /// through Transport::exchangeAsync; the semantics are identical to the
+  /// template above (inline completion with deferredRpc off, two modeled
+  /// legs with it on).
+  void callAsyncErased(const NodeId& from, const NodeId& to,
+                       RpcRequest request, RpcHandler handler) override {
+    if (!config_.deferredRpc) {
+      handler(call(from, to, request));
+      return;
+    }
+    callAsyncDeferred(from, to, std::move(request), std::move(handler));
   }
 
   // ---- sharded execution (driven by sim::ShardedSimulator) ----

@@ -113,7 +113,8 @@ bool scenarioEquals(const Scenario& a, const Scenario& b) {
          a.attack.collusion == b.attack.collusion &&
          a.attack.victims == b.attack.victims &&
          a.attack.forgetfulFraction == b.attack.forgetfulFraction &&
-         a.shuffle == b.shuffle && a.notifyDedupMax == b.notifyDedupMax;
+         a.shuffle == b.shuffle && a.notifyDedupMax == b.notifyDedupMax &&
+         a.transport == b.transport && a.udp == b.udp;
 }
 
 TEST(ScenarioSpecTest, DefaultScenarioRoundTrips) {
@@ -165,6 +166,15 @@ TEST(ScenarioSpecTest, RoundTripIsFixedPointProperty) {
     s.measured = measured[nextRand() % 4];
     s.shards = static_cast<unsigned>(nextRand() % 9);
     s.deferredRpc = nextRand() % 2 == 0;
+    if (nextRand() % 3 == 0) {
+      s.transport = TransportKind::kUdp;
+      s.udp.portBase = static_cast<std::uint16_t>(1024 + nextRand() % 60000);
+      s.udp.retryMax = 1 + static_cast<std::uint32_t>(nextRand() % 6);
+      s.udp.backoffMs = 1 + static_cast<std::uint32_t>(nextRand() % 200);
+      s.udp.backoffCapMs =
+          s.udp.backoffMs * (1 + static_cast<std::uint32_t>(nextRand() % 8));
+      s.udp.timeScale = static_cast<double>(1 + nextRand() % 120);
+    }
     s.metrics.window =
         nextRand() % 3 == 0 ? 0 : static_cast<SimDuration>(nextRand() % kHour);
     if (nextRand() % 2 == 0) {
@@ -329,6 +339,81 @@ TEST(ScenarioSpecTest, StreamingMetricsKeysParseAndStayOptional) {
   // unless a scenario opted in.
   EXPECT_EQ(Scenario{}.toSpec().find("metrics."), std::string::npos);
   EXPECT_FALSE(Scenario{}.metrics.enabled());
+}
+
+TEST(ScenarioSpecTest, TransportKeysParseRoundTripAndStayOptional) {
+  const Scenario s = Scenario::fromSpec(
+      "model = STAT\nn = 120\ntransport = udp\n"
+      "udp.port_base = 43000\nudp.retry_max = 3\n"
+      "udp.backoff_ms = 25\nudp.backoff_cap_ms = 400\n"
+      "udp.time_scale = 30\n");
+  EXPECT_EQ(s.transport, TransportKind::kUdp);
+  EXPECT_EQ(s.udp.portBase, 43000);
+  EXPECT_EQ(s.udp.retryMax, 3u);
+  EXPECT_EQ(s.udp.backoffMs, 25u);
+  EXPECT_EQ(s.udp.backoffCapMs, 400u);
+  EXPECT_DOUBLE_EQ(s.udp.timeScale, 30.0);
+  EXPECT_NO_THROW(s.validate());
+
+  const Scenario back = Scenario::fromSpec(s.toSpec());
+  EXPECT_TRUE(scenarioEquals(s, back));
+  EXPECT_EQ(s.toSpec(), back.toSpec());
+
+  // Pre-live specs serialize byte-unchanged: no transport/udp keys appear
+  // unless a scenario opted into the live lane.
+  const std::string defaults = Scenario{}.toSpec();
+  EXPECT_EQ(defaults.find("transport"), std::string::npos);
+  EXPECT_EQ(defaults.find("udp."), std::string::npos);
+}
+
+TEST(ScenarioValidateTest, UdpKeysUnderSimTransportAreRejected) {
+  // Non-default udp.* configuration on a sim spec is dead configuration —
+  // almost certainly a live spec missing `transport = udp`.
+  Scenario s;
+  s.udp.portBase = 43000;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  try {
+    s.validate();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("transport = udp"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioValidateTest, LiveLaneChecksItsOwnKnobs) {
+  Scenario live;
+  live.transport = TransportKind::kUdp;
+  EXPECT_NO_THROW(live.validate());
+
+  Scenario s = live;
+  s.udp.portBase = 80;  // privileged range
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = live;
+  s.udp.retryMax = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = live;
+  s.udp.backoffCapMs = 10;  // below backoff_ms = 50
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = live;
+  s.udp.timeScale = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = live;
+  s.shards = 4;  // sharding is a sim-lane concept
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RunnerRefusesLiveSpecs) {
+  // ScenarioRunner executes the simulated lane only; a valid udp spec must
+  // be routed through tools/avmon_live instead of silently simulated.
+  Scenario s;
+  s.transport = TransportKind::kUdp;
+  s.stableSize = 20;
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_THROW(ScenarioRunner runner(s), std::invalid_argument);
 }
 
 TEST(ScenarioSpecTest, FaultAndAttackKeysParseRoundTripAndStayOptional) {

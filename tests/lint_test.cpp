@@ -13,10 +13,15 @@ namespace {
 using avmon::lint::Finding;
 using avmon::lint::Linter;
 
-std::vector<Finding> lintSnippet(const std::string& code) {
+std::vector<Finding> lintSnippetAt(const std::string& name,
+                                   const std::string& code) {
   Linter linter;
-  linter.addSource("snippet.cpp", code);
+  linter.addSource(name, code);
   return linter.run();
+}
+
+std::vector<Finding> lintSnippet(const std::string& code) {
+  return lintSnippetAt("snippet.cpp", code);
 }
 
 bool hasRule(const std::vector<Finding>& findings, const std::string& rule) {
@@ -255,13 +260,75 @@ TEST(LintWallClockTest, MemberNamedTimeAndAnnotationPass) {
   )cpp");
   EXPECT_TRUE(member.empty()) << dump(member);
 
-  const auto ok = lintSnippet(
+  // The annotated twin must sit in a sanctioned tree: wall-clock allows
+  // are directory-scoped (see LintScopedAllowTest below).
+  const auto ok = lintSnippetAt(
+      "bench/snippet.cpp",
       "#include <chrono>\n"
       "long f() {\n"
       "  " + allow("wall-clock", "bench harness self-timing only") + "\n"
       "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
       "}\n");
   EXPECT_TRUE(ok.empty()) << dump(ok);
+}
+
+TEST(LintScopedAllowTest, WallClockAllowIsSanctionedInsideTheLiveLane) {
+  const std::string code =
+      "#include <chrono>\n"
+      "long f() {\n"
+      "  " + allow("wall-clock", "live lane drives retries off wall time") +
+      "\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  for (const char* name :
+       {"src/net/wall_clock.hpp", "tools/avmon_node.cpp",
+        "tools/avmon_live.cpp", "bench/common.hpp"}) {
+    const auto f = lintSnippetAt(name, code);
+    EXPECT_TRUE(f.empty()) << name << ":\n" << dump(f);
+  }
+}
+
+TEST(LintScopedAllowTest, WallClockAllowOutsideTheScopeIsItselfAFinding) {
+  const std::string code =
+      "#include <chrono>\n"
+      "long f() {\n"
+      "  " + allow("wall-clock", "a perfectly reasoned excuse") + "\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  // The simulated lane stays wall-clock-free even with a reason attached:
+  // the allow still suppresses the wall-clock hit (no silent sites), but
+  // the annotation itself reports scoped-allow.
+  for (const char* name :
+       {"src/sim/simulator.cpp", "src/avmon/node.cpp",
+        "src/experiments/scenario.cpp", "tools/avmon_sim.cpp"}) {
+    const auto f = lintSnippetAt(name, code);
+    EXPECT_FALSE(hasRule(f, "wall-clock")) << name << ":\n" << dump(f);
+    EXPECT_TRUE(hasRule(f, "scoped-allow")) << name << ":\n" << dump(f);
+  }
+}
+
+TEST(LintScopedAllowTest, OtherRulesAreNotDirectoryScoped) {
+  // The scope policy is wall-clock-specific: an unordered-iter allow in
+  // simulator code stays a plain reasoned suppression.
+  const auto f = lintSnippetAt(
+      "src/sim/network.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  " + allow("unordered-iter", "order-insensitive aggregate") + "\n"
+      "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintScopedAllowTest, StaleWallClockAllowOutsideScopeReportsStaleOnly) {
+  // An allow that suppresses nothing is stale, not scope-violating — the
+  // scope check applies to annotations that actually fired.
+  const auto f = lintSnippetAt(
+      "src/sim/simulator.cpp",
+      allow("wall-clock", "nothing here reads a clock") + "\nint x;\n");
+  EXPECT_TRUE(hasRule(f, "stale-allow")) << dump(f);
+  EXPECT_FALSE(hasRule(f, "scoped-allow")) << dump(f);
 }
 
 TEST(LintGetenvTest, GetenvTriggersAndAnnotatedPasses) {

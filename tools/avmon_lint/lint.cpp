@@ -25,6 +25,24 @@ constexpr const char* kUnseededEngine = "unseeded-mt19937";
 constexpr const char* kPerNodeAlloc = "per-node-alloc";
 constexpr const char* kBadAllow = "bad-allow";
 constexpr const char* kStaleAllow = "stale-allow";
+constexpr const char* kScopedAllow = "scoped-allow";
+
+// Directory-level policy for wall-clock suppressions: the simulated lane
+// must stay wall-clock-free even *with* a reasoned annotation, so a
+// wall-clock allow is sanctioned only inside the trees whose job is real
+// time — the live-wire lane (src/net/ and its avmon_node / avmon_live
+// process hosts) and the self-timing bench harness. Anywhere else the
+// allow itself is the finding (`scoped-allow`): the annotation still
+// suppresses the wall-clock hit, so every site stays reasoned, but the
+// carve-out cannot silently leak into simulator code.
+bool inWallClockAllowScope(const std::string& path) {
+  static constexpr const char* kScopes[] = {
+      "src/net/", "tools/avmon_node", "tools/avmon_live", "bench/"};
+  for (const char* scope : kScopes) {
+    if (path.find(scope) != std::string::npos) return true;
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -500,6 +518,14 @@ class FileChecker {
             file_.name, a.line, kStaleAllow,
             "annotation for rule '" + a.rule +
                 "' suppresses nothing on this or the next line"});
+      } else if (a.rule == kWallClock &&
+                 !inWallClockAllowScope(file_.name)) {
+        findings_.push_back(Finding{
+            file_.name, a.line, kScopedAllow,
+            "wall-clock allows are sanctioned only under src/net/, "
+            "tools/avmon_node, tools/avmon_live, and bench/ — the simulated "
+            "lane stays wall-clock-free even with a reason; move the code "
+            "into the live-wire lane or drive it from simulated time"});
       }
     }
   }
@@ -790,6 +816,9 @@ const std::vector<RuleInfo>& ruleCatalog() {
        /*advisory=*/true},
       {"bad-allow", "malformed suppression annotation"},
       {"stale-allow", "suppression annotation that suppresses nothing"},
+      {"scoped-allow",
+       "wall-clock suppression outside its sanctioned trees (src/net/, "
+       "tools/avmon_node, tools/avmon_live, bench/)"},
   };
   return kRules;
 }

@@ -29,6 +29,13 @@
 // itself checked: an unknown rule or empty reason reports `bad-allow`, and
 // an annotation that suppresses nothing reports `stale-allow`, so the
 // justifications cannot rot silently.
+//
+// Scope policy: wall-clock suppressions are additionally restricted by
+// directory. Only the live-wire lane (src/net/, tools/avmon_node,
+// tools/avmon_live) and the self-timing bench harness (bench/) may carry a
+// reasoned wall-clock allow; a used wall-clock allow anywhere else reports
+// `scoped-allow`, so the simulated lane stays wall-clock-free even with a
+// justification attached.
 #pragma once
 
 #include <string>
